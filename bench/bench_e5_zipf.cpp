@@ -1,0 +1,55 @@
+// E5 (extension) — skewed sharing: throughput vs Zipf exponent.
+//
+// Between the paper's two poles (one shared line, all-private lines) real
+// workloads spread accesses over a skewed set of lines. The sweep crosses
+// from near-linear scaling (uniform over many lines) to the single-line
+// plateau as the exponent grows; the model column is the closed-network
+// mean-value analysis (BouncingModel::predict_zipf).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace am {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("E5: Zipf-skewed sharing, throughput vs exponent");
+  bench_util::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto backend = bench_util::backend_from(cli);
+  const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
+
+  Table table({"machine", "threads", "lines", "zipf s", "measured ops/kcy",
+               "model ops/kcy"});
+
+  for (std::uint32_t n : {8u, 16u, 32u}) {
+    if (n > backend->max_threads()) continue;
+    for (std::size_t lines : {std::size_t{16}, std::size_t{256}}) {
+      for (double s : {0.0, 0.5, 0.8, 0.99, 1.2, 1.5, 2.0}) {
+        bench::WorkloadConfig w;
+        w.mode = bench::WorkloadMode::kZipf;
+        w.prim = Primitive::kFaa;
+        w.threads = n;
+        w.zipf_lines = lines;
+        w.zipf_s = s;
+        const auto run = backend->run(w);
+        const model::Prediction pred =
+            model.predict_zipf(Primitive::kFaa, n, 0.0, lines, s);
+        table.add_row({backend->machine_name(), Table::num(std::size_t{n}),
+                       Table::num(lines), Table::num(s, 2),
+                       Table::num(run.throughput_ops_per_kcycle(), 2),
+                       Table::num(pred.throughput_ops_per_kcycle, 2)});
+      }
+    }
+  }
+
+  bench_util::emit(cli, "E5: Zipf sharing (" + backend->machine_name() + ")",
+                   table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace am
+
+int main(int argc, char** argv) { return am::run(argc, argv); }

@@ -1,0 +1,53 @@
+// F1 — High-contention throughput vs. thread count, all primitives.
+//
+// The paper's headline figure: RMW primitives plateau almost immediately
+// (one line hand-off per op, serialized), LOAD scales linearly (Shared
+// copies), and the CAS retry loop *degrades* with threads. The model
+// column overlays the closed-form prediction on every measured point.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace am {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("F1: high-contention throughput vs threads");
+  bench_util::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto backend = bench_util::backend_from(cli);
+  const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
+  const auto sweep = bench_util::thread_sweep(cli, backend->max_threads());
+
+  Table table({"machine", "primitive", "threads", "measured Mops",
+               "model Mops", "measured ops/kcy", "model ops/kcy"});
+
+  for (Primitive prim : all_primitives()) {
+    for (std::uint32_t n : sweep) {
+      bench::WorkloadConfig w;
+      w.mode = bench::WorkloadMode::kHighContention;
+      w.prim = prim;
+      w.threads = n;
+      const bench::MeasuredRun run = backend->run(w);
+      const model::Prediction pred = model.predict(prim, n, 0.0);
+      table.add_row({backend->machine_name(), to_string(prim),
+                     Table::num(std::size_t{n}),
+                     Table::num(run.throughput_mops(), 2),
+                     Table::num(pred.throughput_mops, 2),
+                     Table::num(run.throughput_ops_per_kcycle(), 3),
+                     Table::num(pred.throughput_ops_per_kcycle, 3)});
+    }
+  }
+
+  bench_util::emit(cli,
+                   "F1: throughput vs threads, shared line, w=0 (" +
+                       backend->machine_name() + ")",
+                   table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace am
+
+int main(int argc, char** argv) { return am::run(argc, argv); }

@@ -1,0 +1,65 @@
+// F3 — Throughput vs. parallel work w at fixed thread counts: the paper's
+// two-regime figure.
+//
+// Below the crossover w* = (N-1)*h the system is saturated: work hides
+// behind the queue and throughput stays pinned at 1/h. Beyond w* the
+// system is work-bound: X = N/(w + h). The harness sweeps w across the
+// crossover for several N and prints the model prediction, the measured
+// value, and the regime the model assigns.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace am {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("F3: throughput vs parallel work (two regimes + crossover)");
+  bench_util::add_common_flags(cli);
+  cli.add_flag("prim", "primitive to sweep", "FAA");
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto backend = bench_util::backend_from(cli);
+  const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
+  const Primitive prim =
+      parse_primitive(cli.get("prim")).value_or(Primitive::kFaa);
+
+  Table table({"machine", "threads", "work (cy)", "w/w*", "measured ops/kcy",
+               "model ops/kcy", "regime", "crossover w* (cy)"});
+
+  std::vector<std::uint32_t> thread_points;
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    if (n <= backend->max_threads()) thread_points.push_back(n);
+  }
+
+  for (std::uint32_t n : thread_points) {
+    const double wstar = model.crossover_work(prim, n);
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}) {
+      const auto work = static_cast<bench::Cycles>(frac * wstar);
+      bench::WorkloadConfig w;
+      w.mode = bench::WorkloadMode::kHighContention;
+      w.prim = prim;
+      w.threads = n;
+      w.work = work;
+      const bench::MeasuredRun run = backend->run(w);
+      const model::Prediction pred =
+          model.predict(prim, n, static_cast<double>(work));
+      table.add_row({backend->machine_name(), Table::num(std::size_t{n}),
+                     Table::num(std::size_t{work}), Table::num(frac, 2),
+                     Table::num(run.throughput_ops_per_kcycle(), 3),
+                     Table::num(pred.throughput_ops_per_kcycle, 3),
+                     to_string(pred.regime), Table::num(wstar, 0)});
+    }
+  }
+
+  bench_util::emit(cli,
+                   std::string("F3: regimes and crossover, ") +
+                       to_string(prim) + " (" + backend->machine_name() + ")",
+                   table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace am
+
+int main(int argc, char** argv) { return am::run(argc, argv); }

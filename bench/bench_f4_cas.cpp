@@ -1,0 +1,73 @@
+// F4 — CAS under contention: success rate of single-shot CAS, acquisition
+// cost of the CAS retry loop, and the FAA-vs-CASLOOP gap.
+//
+// A failed CAS still drags the line to the failing core, so the retry
+// loop pays ~N line acquisitions per completed increment while FAA pays
+// one — the model's headline design signal. Model columns give the
+// closed-form success rate (1/N deterministic, the Poisson fixed point
+// under randomized arbitration) and attempts per op.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "model/cas_model.hpp"
+
+namespace am {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("F4: CAS success rate and CAS-loop cost vs threads");
+  bench_util::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+
+  auto backend = bench_util::backend_from(cli);
+  const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
+  const auto sweep = bench_util::thread_sweep(cli, backend->max_threads());
+
+  Table table({"machine", "threads", "CAS success", "model success",
+               "CASLOOP acq/op", "model acq/op", "FAA Mops", "CASLOOP Mops",
+               "FAA/CASLOOP"});
+
+  for (std::uint32_t n : sweep) {
+    bench::WorkloadConfig cas;
+    cas.mode = bench::WorkloadMode::kHighContention;
+    cas.prim = Primitive::kCas;
+    cas.threads = n;
+    const auto r_cas = backend->run(cas);
+
+    bench::WorkloadConfig loop = cas;
+    loop.prim = Primitive::kCasLoop;
+    const auto r_loop = backend->run(loop);
+
+    bench::WorkloadConfig faa = cas;
+    faa.prim = Primitive::kFaa;
+    const auto r_faa = backend->run(faa);
+
+    const model::Prediction p_cas = model.predict(Primitive::kCas, n, 0.0);
+    const model::Prediction p_loop =
+        model.predict(Primitive::kCasLoop, n, 0.0);
+
+    const double ratio =
+        r_loop.throughput_mops() > 0.0
+            ? r_faa.throughput_mops() / r_loop.throughput_mops()
+            : 0.0;
+    table.add_row({backend->machine_name(), Table::num(std::size_t{n}),
+                   Table::num(r_cas.success_rate(), 3),
+                   Table::num(p_cas.success_rate, 3),
+                   Table::num(r_loop.attempts_per_op(), 2),
+                   Table::num(p_loop.attempts_per_op, 2),
+                   Table::num(r_faa.throughput_mops(), 2),
+                   Table::num(r_loop.throughput_mops(), 2),
+                   Table::num(ratio, 2)});
+  }
+
+  bench_util::emit(cli,
+                   "F4: CAS failure behaviour (" + backend->machine_name() +
+                       ")",
+                   table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace am
+
+int main(int argc, char** argv) { return am::run(argc, argv); }

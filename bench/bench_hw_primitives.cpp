@@ -1,0 +1,80 @@
+// Google-benchmark microbenchmarks of the raw primitives on the host CPU —
+// the hardware-side anchor for Table 2's local-hit column. These time the
+// actual lock-prefixed instructions through the same atomics layer the
+// measurement engine uses.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "atomics/padded.hpp"
+#include "atomics/primitives.hpp"
+#include "lockfree/ms_queue.hpp"
+#include "lockfree/treiber_stack.hpp"
+
+namespace am {
+namespace {
+
+template <Primitive P>
+void BM_Primitive(benchmark::State& state) {
+  PaddedAtomic cell;
+  OpContext ctx;
+  for (auto _ : state) {
+    OpResult r = execute(P, cell.value, ctx);
+    benchmark::DoNotOptimize(r.observed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_Primitive<Primitive::kLoad>)->Name("hw/LOAD");
+BENCHMARK(BM_Primitive<Primitive::kStore>)->Name("hw/STORE");
+BENCHMARK(BM_Primitive<Primitive::kSwap>)->Name("hw/SWP");
+BENCHMARK(BM_Primitive<Primitive::kTas>)->Name("hw/TAS");
+BENCHMARK(BM_Primitive<Primitive::kFaa>)->Name("hw/FAA");
+BENCHMARK(BM_Primitive<Primitive::kCas>)->Name("hw/CAS");
+BENCHMARK(BM_Primitive<Primitive::kCasLoop>)->Name("hw/CASLOOP");
+
+// Contended variants when the host has threads to spare: gbench's
+// threaded mode hammers one line from all benchmark threads.
+template <Primitive P>
+void BM_Contended(benchmark::State& state) {
+  static PaddedAtomic cell;
+  OpContext ctx;
+  for (auto _ : state) {
+    OpResult r = execute(P, cell.value, ctx);
+    benchmark::DoNotOptimize(r.observed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_Contended<Primitive::kFaa>)
+    ->Name("hw/FAA/contended")
+    ->ThreadRange(1, 4);
+BENCHMARK(BM_Contended<Primitive::kCasLoop>)
+    ->Name("hw/CASLOOP/contended")
+    ->ThreadRange(1, 4);
+
+// Lock-free structures: one push+pop / enqueue+dequeue pair per iteration.
+void BM_TreiberStack(benchmark::State& state) {
+  static lockfree::TreiberStack<std::uint64_t> stack(1024);
+  for (auto _ : state) {
+    stack.push(1);
+    benchmark::DoNotOptimize(stack.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_TreiberStack)->Name("hw/treiber-stack")->ThreadRange(1, 4);
+
+void BM_MsQueue(benchmark::State& state) {
+  static lockfree::MichaelScottQueue<std::uint64_t> queue(1024);
+  for (auto _ : state) {
+    queue.enqueue(1);
+    benchmark::DoNotOptimize(queue.dequeue());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_MsQueue)->Name("hw/ms-queue")->ThreadRange(1, 4);
+
+}  // namespace
+}  // namespace am
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Shared plumbing for the experiment harnesses: every bench binary
+// reproduces one table/figure of the paper, prints it as an aligned ASCII
+// table, and mirrors it to a CSV file for offline plotting.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_core/backend.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "model/bouncing_model.hpp"
+#include "model/params.hpp"
+#include "sim/config.hpp"
+
+namespace am::bench_util {
+
+/// Registers the flags every experiment binary shares.
+inline void add_common_flags(CliParser& cli) {
+  cli.add_flag("backend",
+               "execution backend: sim:xeon | sim:knl | sim:test | hw | auto",
+               "sim:xeon");
+  cli.add_flag("csv", "write the table as CSV to this path (empty = skip)",
+               "");
+  cli.add_flag("threads", "comma-separated thread counts (empty = default sweep)",
+               "");
+}
+
+/// Builds the backend named by --backend.
+inline std::unique_ptr<bench::ExecutionBackend> backend_from(
+    const CliParser& cli) {
+  return bench::make_backend(cli.get("backend"));
+}
+
+/// Analytic model parameters for a sim backend spec; for "hw" this returns
+/// the Xeon skeleton (structure only) — pair it with calibration.
+inline model::ModelParams params_for(const std::string& backend_spec) {
+  if (backend_spec.rfind("sim:", 0) == 0) {
+    return model::ModelParams::from_machine(
+        sim::preset_by_name(backend_spec.substr(4)));
+  }
+  return model::ModelParams::from_machine(sim::xeon_e5_2x18());
+}
+
+/// Default thread sweep for a backend: powers-of-two-ish points up to the
+/// machine's core count (the x-axis of the paper's figures).
+inline std::vector<std::uint32_t> default_thread_sweep(std::uint32_t max) {
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t n : {1u, 2u, 4u, 8u, 12u, 16u, 24u, 32u, 36u, 48u, 64u}) {
+    if (n <= max) sweep.push_back(n);
+  }
+  if (sweep.empty() || sweep.back() != max) sweep.push_back(max);
+  return sweep;
+}
+
+/// Thread sweep from --threads, falling back to the default.
+inline std::vector<std::uint32_t> thread_sweep(const CliParser& cli,
+                                               std::uint32_t max) {
+  if (!cli.has("threads")) return default_thread_sweep(max);
+  std::vector<std::uint32_t> sweep;
+  for (auto v : cli.get_int_list("threads")) {
+    if (v >= 1 && static_cast<std::uint32_t>(v) <= max) {
+      sweep.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  return sweep.empty() ? default_thread_sweep(max) : sweep;
+}
+
+/// Prints the table and mirrors it to --csv when requested.
+inline void emit(const CliParser& cli, const std::string& title,
+                 const Table& table) {
+  std::cout << "\n== " << title << " ==\n" << table;
+  const std::string path = cli.get("csv");
+  if (!path.empty()) {
+    if (table.write_csv(path)) {
+      std::cout << "(csv written to " << path << ")\n";
+    } else {
+      std::cerr << "failed to write csv to " << path << "\n";
+    }
+  }
+}
+
+}  // namespace am::bench_util

@@ -1,0 +1,65 @@
+// Quickstart: the five-minute tour of the library.
+//
+//   1. Pick a machine (a simulated 2-socket Xeon E5 here).
+//   2. Build the bouncing model from its parameters.
+//   3. Ask the model about a design question: "32 threads increment one
+//      shared counter — FAA or CAS loop?"
+//   4. Check the answer by actually running both workloads on the
+//      coherence machine through the same backend the benchmarks use.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "bench_core/sim_backend.hpp"
+#include "model/advisor.hpp"
+#include "model/bouncing_model.hpp"
+#include "sim/config.hpp"
+
+int main() {
+  using namespace am;
+
+  // 1. The machine.
+  const sim::MachineConfig machine = sim::xeon_e5_2x18();
+  std::printf("machine: %s (%u cores, %.1f GHz)\n", machine.name.c_str(),
+              machine.core_count(), machine.freq_ghz);
+
+  // 2. The model.
+  const model::BouncingModel model(model::ModelParams::from_machine(machine));
+
+  // 3. Ask the model.
+  constexpr std::uint32_t kThreads = 32;
+  const model::Prediction faa = model.predict(Primitive::kFaa, kThreads, 0.0);
+  const model::Prediction loop =
+      model.predict(Primitive::kCasLoop, kThreads, 0.0);
+  std::printf("\nmodel @ %u threads, shared line, no local work:\n", kThreads);
+  std::printf("  FAA      : %6.2f Mops, latency %6.0f cycles\n",
+              faa.throughput_mops, faa.latency_cycles);
+  std::printf("  CAS loop : %6.2f Mops, ~%.1f line acquisitions per op\n",
+              loop.throughput_mops, loop.attempts_per_op);
+  std::printf("  crossover: beyond w* = %.0f cycles of local work the line "
+              "stops being saturated\n",
+              faa.crossover_work);
+
+  const model::Advice advice = model::advise_counter(model, kThreads, 0.0);
+  std::printf("  advisor  : use %s — %s\n", advice.recommended.c_str(),
+              advice.rationale.c_str());
+
+  // 4. Verify on the machine.
+  bench::SimBackend backend(machine);
+  bench::WorkloadConfig w;
+  w.mode = bench::WorkloadMode::kHighContention;
+  w.threads = kThreads;
+
+  w.prim = Primitive::kFaa;
+  const auto r_faa = backend.run(w);
+  w.prim = Primitive::kCasLoop;
+  const auto r_loop = backend.run(w);
+
+  std::printf("\nmeasured on the coherence machine:\n");
+  std::printf("  FAA      : %6.2f Mops\n", r_faa.throughput_mops());
+  std::printf("  CAS loop : %6.2f Mops (%.1f acquisitions per op)\n",
+              r_loop.throughput_mops(), r_loop.attempts_per_op());
+  std::printf("  FAA wins by %.1fx — as predicted.\n",
+              r_faa.throughput_mops() / r_loop.throughput_mops());
+  return 0;
+}

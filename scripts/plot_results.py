@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Plots the CSVs produced by run_all_experiments.sh.
+
+Usage: scripts/plot_results.py [results-dir]
+
+Requires matplotlib; falls back to printing a summary when it is missing
+(this repo's CI environment is offline)."""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def series(rows, key_col, x_col, y_col):
+    out = {}
+    for r in rows:
+        key = r[key_col]
+        try:
+            x = float(r[x_col])
+            y = float(r[y_col])
+        except (KeyError, ValueError):
+            continue
+        out.setdefault(key, []).append((x, y))
+    return out
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; printing summaries instead\n")
+        for name in sorted(os.listdir(results)):
+            if name.endswith(".csv"):
+                rows = read_csv(os.path.join(results, name))
+                print(f"{name}: {len(rows)} rows, columns: "
+                      f"{', '.join(rows[0].keys()) if rows else '-'}")
+        return 0
+
+    plots = [
+        # (csv, series key, x, y, ylog, title)
+        ("bench_f1_throughput.csv", "primitive", "threads", "measured Mops",
+         True, "F1: throughput vs threads"),
+        ("bench_f2_latency.csv", "primitive", "threads", "mean latency (cy)",
+         False, "F2: latency vs threads"),
+        ("bench_f4_cas.csv", None, "threads", "CAS success", False,
+         "F4: CAS success vs threads"),
+        ("bench_f5_fairness.csv", "arbitration", "threads", "Jain (measured)",
+         False, "F5: fairness vs threads"),
+        ("bench_f6_energy.csv", "primitive", "threads", "measured nJ/op",
+         True, "F6: energy per op"),
+        ("bench_e2_sharding.csv", None, "shards", "measured Mops", True,
+         "E2: sharding"),
+    ]
+    made = 0
+    for csv_name, key, x, y, ylog, title in plots:
+        path = os.path.join(results, csv_name)
+        if not os.path.exists(path):
+            continue
+        rows = read_csv(path)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        if key:
+            for label, pts in series(rows, key, x, y).items():
+                pts.sort()
+                ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                        marker="o", label=label)
+            ax.legend(fontsize=8)
+        else:
+            pts = sorted((float(r[x]), float(r[y])) for r in rows
+                         if r.get(x) and r.get(y))
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o")
+        if ylog:
+            ax.set_yscale("log")
+        ax.set_xlabel(x)
+        ax.set_ylabel(y)
+        ax.set_title(title)
+        out = os.path.join(results, csv_name.replace(".csv", ".png"))
+        fig.tight_layout()
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        print(f"wrote {out}")
+        made += 1
+    if made == 0:
+        print("no known CSVs found; run scripts/run_all_experiments.sh first")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the reproduction and drops the ASCII
+# tables plus CSVs into results/. Usage:
+#   scripts/run_all_experiments.sh [build-dir] [backend]
+# backend defaults to sim:xeon; pass "hw" on a many-core host.
+set -euo pipefail
+
+BUILD="${1:-build}"
+BACKEND="${2:-sim:xeon}"
+OUT="results"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "== $name =="
+  "$BUILD/bench/$name" "$@" --csv="$OUT/$name.csv" | tee "$OUT/$name.txt"
+}
+
+run bench_t1_machines
+run bench_t2_latency_states
+run bench_f1_throughput  --backend="$BACKEND"
+run bench_f2_latency     --backend="$BACKEND"
+run bench_f3_regimes     --backend="$BACKEND"
+run bench_f4_cas         --backend="$BACKEND"
+run bench_f5_fairness
+run bench_f6_energy      --backend="$BACKEND"
+run bench_t3_validation  --backend="$BACKEND"
+run bench_f7_casestudy
+run bench_a1_ablations
+run bench_e1_working_set
+run bench_e2_sharding
+run bench_e3_read_mostly --backend="$BACKEND"
+run bench_e4_lockfree
+run bench_e5_zipf
+
+# Raw host microbenchmarks (google-benchmark).
+"$BUILD/bench/bench_hw_primitives" --benchmark_min_time=0.05 \
+  | tee "$OUT/bench_hw_primitives.txt"
+
+echo "all experiment outputs in $OUT/"

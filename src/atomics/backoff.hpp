@@ -1,0 +1,47 @@
+// Backoff policies for retry loops.
+//
+// One of the design questions the paper's model answers is when backing off
+// between CAS retries pays: under heavy contention each failed CAS still
+// costs a full line acquisition, so spacing retries out trades individual
+// latency for system throughput. The ablation bench (A1) compares these
+// policies on CASLOOP and on the TAS/TTAS locks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cpu.hpp"
+
+namespace am {
+
+/// No waiting between retries (the default the primitive figures use).
+struct NoBackoff {
+  static constexpr const char* name() noexcept { return "none"; }
+  void reset() noexcept {}
+  void pause() noexcept { cpu_relax(); }
+};
+
+/// Bounded exponential backoff: wait doubles on every retry up to a cap.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(std::uint32_t min_spins = 4,
+                              std::uint32_t max_spins = 1024) noexcept
+      : min_(min_spins), max_(max_spins), current_(min_spins) {}
+
+  static constexpr const char* name() noexcept { return "exp"; }
+
+  void reset() noexcept { current_ = min_; }
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ < max_) current_ *= 2;
+  }
+
+  std::uint32_t current_spins() const noexcept { return current_; }
+
+ private:
+  std::uint32_t min_;
+  std::uint32_t max_;
+  std::uint32_t current_;
+};
+
+}  // namespace am

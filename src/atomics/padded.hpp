@@ -1,0 +1,51 @@
+// Cache-line-isolated atomic cells and cell arrays.
+//
+// The experiment's unit of contention is the cache line. PaddedAtomic
+// guarantees one atomic per (double-)line; CellArray lays out N of them so
+// the high-contention workload (everyone on cell 0) and the low-contention
+// workload (thread i on cell i) use identical code paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/cacheline.hpp"
+
+namespace am {
+
+struct alignas(kNoFalseSharingAlign) PaddedAtomic {
+  std::atomic<std::uint64_t> value{0};
+};
+
+static_assert(sizeof(PaddedAtomic) == kNoFalseSharingAlign);
+
+class CellArray {
+ public:
+  explicit CellArray(std::size_t n)
+      : cells_(std::make_unique<PaddedAtomic[]>(n)), size_(n) {}
+
+  std::atomic<std::uint64_t>& operator[](std::size_t i) noexcept {
+    return cells_[i].value;
+  }
+  const std::atomic<std::uint64_t>& operator[](std::size_t i) const noexcept {
+    return cells_[i].value;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Resets every cell to @p v (not atomic w.r.t. concurrent accessors —
+  /// only between measurement epochs).
+  void fill(std::uint64_t v) noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      cells_[i].value.store(v, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::unique_ptr<PaddedAtomic[]> cells_;
+  std::size_t size_;
+};
+
+}  // namespace am

@@ -1,0 +1,92 @@
+#include "atomics/primitives.hpp"
+
+namespace am {
+
+const char* to_string(Primitive p) noexcept {
+  switch (p) {
+    case Primitive::kLoad: return "LOAD";
+    case Primitive::kStore: return "STORE";
+    case Primitive::kSwap: return "SWP";
+    case Primitive::kTas: return "TAS";
+    case Primitive::kFaa: return "FAA";
+    case Primitive::kCas: return "CAS";
+    case Primitive::kCasLoop: return "CASLOOP";
+  }
+  return "?";
+}
+
+std::optional<Primitive> parse_primitive(const std::string& name) noexcept {
+  for (Primitive p : kAllPrimitives) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::span<const Primitive> all_primitives() noexcept {
+  return kAllPrimitives;
+}
+
+OpResult execute(Primitive p, std::atomic<std::uint64_t>& cell,
+                 OpContext& ctx) noexcept {
+  OpResult r;
+  switch (p) {
+    case Primitive::kLoad:
+      r.observed = cell.load(std::memory_order_acquire);
+      ctx.expected = r.observed;
+      break;
+    case Primitive::kStore:
+      cell.store(ctx.store_value, std::memory_order_release);
+      r.observed = ctx.store_value;
+      break;
+    case Primitive::kSwap:
+      r.observed = cell.exchange(ctx.store_value, std::memory_order_acq_rel);
+      ctx.expected = ctx.store_value;
+      break;
+    case Primitive::kTas:
+      // Byte-granularity test-and-set expressed as exchange with 1; the
+      // "test" result is whether the bit was already set.
+      r.observed = cell.exchange(1, std::memory_order_acq_rel);
+      r.success = (r.observed == 0);  // acquired iff previously clear
+      ctx.expected = 1;
+      break;
+    case Primitive::kFaa:
+      r.observed = cell.fetch_add(1, std::memory_order_acq_rel);
+      ctx.expected = r.observed + 1;
+      break;
+    case Primitive::kCas: {
+      // Single attempt: expect the value this thread last observed. On
+      // failure compare_exchange writes back the current value, refreshing
+      // the expectation for the next attempt — exactly the read-CAS pattern.
+      std::uint64_t expected = ctx.expected;
+      const std::uint64_t desired = ctx.cas_desired.value_or(expected + 1);
+      r.success = cell.compare_exchange_strong(
+          expected, desired, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+      r.observed = expected;
+      ctx.expected = r.success ? desired : expected;
+      break;
+    }
+    case Primitive::kCasLoop: {
+      std::uint64_t expected = cell.load(std::memory_order_acquire);
+      std::uint32_t attempts = 0;
+      std::uint64_t desired = ctx.cas_desired.value_or(expected + 1);
+      while (true) {
+        ++attempts;
+        if (cell.compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          break;
+        }
+        // compare_exchange refreshed `expected` with the observed value.
+        if (!ctx.cas_desired) desired = expected + 1;
+      }
+      r.observed = expected;
+      r.attempts = attempts;
+      ctx.expected = desired;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace am

@@ -1,0 +1,49 @@
+#include "bench_core/backend.hpp"
+
+#include <thread>
+
+#include "bench_core/hw_backend.hpp"
+#include "bench_core/sim_backend.hpp"
+
+namespace am::bench {
+
+const char* to_string(WorkloadMode m) noexcept {
+  switch (m) {
+    case WorkloadMode::kHighContention: return "high-contention";
+    case WorkloadMode::kLowContention: return "low-contention";
+    case WorkloadMode::kZipf: return "zipf";
+    case WorkloadMode::kMixedReadWrite: return "mixed-rw";
+    case WorkloadMode::kSharded: return "sharded";
+    case WorkloadMode::kPrivateWalk: return "private-walk";
+  }
+  return "?";
+}
+
+std::string WorkloadConfig::describe() const {
+  std::string s = std::string(am::to_string(prim)) + " " +
+                  am::bench::to_string(mode) + " threads=" +
+                  std::to_string(threads) + " work=" + std::to_string(work);
+  if (mode == WorkloadMode::kZipf) {
+    s += " lines=" + std::to_string(zipf_lines) + " s=" + std::to_string(zipf_s);
+  }
+  if (mode == WorkloadMode::kMixedReadWrite) {
+    s += " wr=" + std::to_string(write_fraction);
+  }
+  return s;
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(const std::string& spec) {
+  if (spec == "hw") return std::make_unique<HardwareBackend>();
+  if (spec.rfind("sim:", 0) == 0) {
+    return std::make_unique<SimBackend>(sim::preset_by_name(spec.substr(4)));
+  }
+  if (spec == "sim") {
+    return std::make_unique<SimBackend>(sim::xeon_e5_2x18());
+  }
+  // "auto": contention experiments need real parallelism to mean anything.
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 8) return std::make_unique<HardwareBackend>();
+  return std::make_unique<SimBackend>(sim::xeon_e5_2x18());
+}
+
+}  // namespace am::bench

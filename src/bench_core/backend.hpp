@@ -1,0 +1,43 @@
+// ExecutionBackend: the seam between the experiments and the machinery that
+// runs them.
+//
+// Every bench binary is written against this interface and can therefore run
+// on real hardware threads (HardwareBackend) or on the coherence simulator
+// (SimBackend) unchanged. choose_backend() implements the repo's policy:
+// simulator presets stand in for the paper's 36/64-core testbeds whenever
+// the host lacks the cores to produce meaningful contention.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bench_core/result.hpp"
+#include "bench_core/workload.hpp"
+
+namespace am::bench {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Runs one workload to completion and returns its measurements.
+  virtual MeasuredRun run(const WorkloadConfig& config) = 0;
+
+  /// "sim" or "hw".
+  virtual std::string name() const = 0;
+  /// Machine this backend models/runs on.
+  virtual std::string machine_name() const = 0;
+  /// Largest thread count the backend can place.
+  virtual std::uint32_t max_threads() const = 0;
+  /// Nominal core frequency, for cycle <-> time conversions.
+  virtual double freq_ghz() const = 0;
+};
+
+/// Builds a backend from a CLI-ish spec:
+///   "sim:xeon" | "sim:knl" | "sim:test" -> SimBackend on that preset
+///   "hw"                                -> HardwareBackend on this host
+///   "auto"                              -> hw when the host has >= 8 cores,
+///                                          otherwise sim:xeon
+std::unique_ptr<ExecutionBackend> make_backend(const std::string& spec);
+
+}  // namespace am::bench

@@ -1,0 +1,45 @@
+// HardwareBackend: runs workloads with real pinned threads over std::atomic.
+//
+// This is the paper's native methodology: N pinned threads execute the
+// primitive in a timed epoch; per-op latencies are sampled with the TSC;
+// energy comes from RAPL when the host exposes it. On hosts without enough
+// cores the results are still well-defined (threads are timeshared) but not
+// meaningful as contention measurements — choose_backend() steers such
+// hosts to the simulator.
+#pragma once
+
+#include "bench_core/backend.hpp"
+#include "common/topology.hpp"
+
+namespace am::bench {
+
+struct HwBackendOptions {
+  double warmup_s = 0.05;
+  double measure_s = 0.2;
+  bool pin_threads = true;
+  /// Sample one op latency out of every 2^shift ops (timing every op would
+  /// double the cost of the cheapest primitives).
+  std::uint32_t latency_sample_shift = 6;
+  /// Open per-thread perf_event counters (cycles, instructions) around the
+  /// measurement epoch. Silently absent where the kernel refuses.
+  bool collect_perf_counters = true;
+};
+
+class HardwareBackend final : public ExecutionBackend {
+ public:
+  explicit HardwareBackend(HwBackendOptions options = {});
+
+  MeasuredRun run(const WorkloadConfig& config) override;
+  std::string name() const override { return "hw"; }
+  std::string machine_name() const override { return "host"; }
+  std::uint32_t max_threads() const override;
+  double freq_ghz() const override;
+
+  const Topology& topology() const noexcept { return topology_; }
+
+ private:
+  HwBackendOptions options_;
+  Topology topology_;
+};
+
+}  // namespace am::bench

@@ -1,0 +1,84 @@
+#include "bench_core/result.hpp"
+
+#include "common/stats.hpp"
+
+namespace am::bench {
+
+std::uint64_t MeasuredRun::total_ops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : threads) n += t.ops;
+  return n;
+}
+
+std::uint64_t MeasuredRun::total_successes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : threads) n += t.successes;
+  return n;
+}
+
+std::uint64_t MeasuredRun::total_attempts() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : threads) n += t.attempts;
+  return n;
+}
+
+double MeasuredRun::throughput_ops_per_kcycle() const noexcept {
+  if (duration_cycles <= 0.0) return 0.0;
+  return static_cast<double>(total_ops()) * 1000.0 / duration_cycles;
+}
+
+double MeasuredRun::throughput_mops() const noexcept {
+  if (duration_cycles <= 0.0) return 0.0;
+  const double ops_per_cycle =
+      static_cast<double>(total_ops()) / duration_cycles;
+  return ops_per_cycle * freq_ghz * 1e9 / 1e6;
+}
+
+double MeasuredRun::mean_latency_cycles() const noexcept {
+  double weighted = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& t : threads) {
+    weighted += t.mean_latency_cycles * static_cast<double>(t.ops);
+    n += t.ops;
+  }
+  return n == 0 ? 0.0 : weighted / static_cast<double>(n);
+}
+
+double MeasuredRun::success_rate() const noexcept {
+  const std::uint64_t ops = total_ops();
+  if (ops == 0) return 1.0;
+  return static_cast<double>(total_successes()) / static_cast<double>(ops);
+}
+
+double MeasuredRun::attempts_per_op() const noexcept {
+  const std::uint64_t ops = total_ops();
+  if (ops == 0) return 1.0;
+  return static_cast<double>(total_attempts()) / static_cast<double>(ops);
+}
+
+namespace {
+std::vector<double> shares_of(const std::vector<ThreadResult>& threads) {
+  std::vector<double> s;
+  s.reserve(threads.size());
+  for (const auto& t : threads) s.push_back(static_cast<double>(t.ops));
+  return s;
+}
+}  // namespace
+
+double MeasuredRun::jain_fairness() const {
+  const auto s = shares_of(threads);
+  return am::jain_fairness(s);
+}
+
+double MeasuredRun::min_max_ratio() const {
+  const auto s = shares_of(threads);
+  return am::min_max_ratio(s);
+}
+
+double MeasuredRun::energy_per_op_nj() const noexcept {
+  const std::uint64_t ops = total_ops();
+  if (!energy_valid || ops == 0) return 0.0;
+  return (energy_package_j + energy_dram_j) * 1e9 / static_cast<double>(ops);
+}
+
+}  // namespace am::bench

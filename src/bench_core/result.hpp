@@ -1,0 +1,62 @@
+// Backend-independent measurement record.
+//
+// Both backends (hardware threads and the coherence simulator) reduce a run
+// to this structure, expressed in cycles and operation counts, so the model,
+// the validation harness and every bench binary treat them identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace am::bench {
+
+struct ThreadResult {
+  std::uint64_t ops = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t attempts = 0;
+  double mean_latency_cycles = 0.0;
+  double p99_latency_cycles = 0.0;  ///< 0 when the backend didn't sample tails
+};
+
+struct MeasuredRun {
+  std::string backend;  ///< "sim" or "hw"
+  std::string machine;  ///< machine/preset name
+  double duration_cycles = 0.0;  ///< measurement window length
+  double freq_ghz = 1.0;
+  std::vector<ThreadResult> threads;
+
+  // Coherence-event counters (simulator backend; zero on hardware).
+  std::array<std::uint64_t, 4> transfers{};  ///< by sim::Supply class
+  std::uint64_t invalidations = 0;
+  std::uint64_t memory_fetches = 0;
+
+  // Energy (RAPL on hardware, event model in the simulator).
+  bool energy_valid = false;
+  double energy_package_j = 0.0;
+  double energy_dram_j = 0.0;
+
+  // Hardware counters (perf_event on the hardware backend; absent on the
+  // simulator and on hosts where perf_event_open is not permitted).
+  bool perf_valid = false;
+  std::uint64_t perf_cycles = 0;        ///< summed over worker threads
+  std::uint64_t perf_instructions = 0;  ///< summed over worker threads
+
+  // --- derived metrics ------------------------------------------------------
+  std::uint64_t total_ops() const noexcept;
+  std::uint64_t total_successes() const noexcept;
+  std::uint64_t total_attempts() const noexcept;
+  double throughput_ops_per_kcycle() const noexcept;
+  double throughput_mops() const noexcept;
+  double mean_latency_cycles() const noexcept;
+  double success_rate() const noexcept;
+  /// Mean line acquisitions per completed operation (1 unless CAS retried).
+  double attempts_per_op() const noexcept;
+  double jain_fairness() const;
+  double min_max_ratio() const;
+  double energy_per_op_nj() const noexcept;
+};
+
+}  // namespace am::bench

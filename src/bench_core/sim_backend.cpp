@@ -1,0 +1,105 @@
+#include "bench_core/sim_backend.hpp"
+
+#include <stdexcept>
+
+#include "sim/program.hpp"
+
+namespace am::bench {
+
+SimBackend::SimBackend(sim::MachineConfig config, SimBackendOptions options,
+                       std::uint64_t seed)
+    : config_(std::move(config)),
+      options_(options),
+      machine_(std::make_unique<sim::Machine>(config_, seed)),
+      seed_(seed) {}
+
+std::uint32_t SimBackend::max_threads() const {
+  return machine_->core_count();
+}
+
+MeasuredRun to_measured_run(const sim::RunStats& stats,
+                            const std::string& machine) {
+  MeasuredRun r;
+  r.backend = "sim";
+  r.machine = machine;
+  r.duration_cycles = static_cast<double>(stats.measured_cycles);
+  r.freq_ghz = stats.freq_ghz;
+  r.threads.reserve(stats.threads.size());
+  for (const auto& t : stats.threads) {
+    ThreadResult tr;
+    tr.ops = t.ops;
+    tr.successes = t.successes;
+    tr.failures = t.failures;
+    tr.attempts = t.attempts;
+    tr.mean_latency_cycles = t.mean_latency();
+    tr.p99_latency_cycles = t.latency_hist.total_count() > 0
+                                ? t.latency_hist.value_at_percentile(99.0)
+                                : 0.0;
+    r.threads.push_back(tr);
+  }
+  r.transfers = stats.transfers;
+  r.invalidations = stats.invalidations;
+  r.memory_fetches = stats.memory_fetches;
+  r.energy_valid = true;
+  r.energy_package_j = stats.energy.package_j();
+  r.energy_dram_j = stats.energy.dram_j();
+  return r;
+}
+
+MeasuredRun SimBackend::run(const WorkloadConfig& config) {
+  if (config.threads > max_threads()) {
+    throw std::invalid_argument("SimBackend: workload needs " +
+                                std::to_string(config.threads) +
+                                " threads, machine has " +
+                                std::to_string(max_threads()) + " cores");
+  }
+  // A fresh machine per run keeps runs independent and reproducible;
+  // the per-workload seed keeps stochastic programs deterministic. The
+  // workload's pin order maps to a placement permutation: scatter
+  // interleaves the machine's halves so consecutive workload threads sit
+  // on opposite sockets / mesh halves.
+  sim::MachineConfig run_config = config_;
+  run_config.placement = sim::placement_for(
+      config_.core_count(), config.pin_order == PinOrder::kScatter);
+  machine_ = std::make_unique<sim::Machine>(run_config, seed_ ^ config.seed);
+
+  std::unique_ptr<sim::ThreadProgram> program;
+  switch (config.mode) {
+    case WorkloadMode::kHighContention:
+      program = std::make_unique<sim::HighContentionProgram>(
+          config.prim, config.work, 0, config.work_jitter);
+      break;
+    case WorkloadMode::kLowContention:
+      program = std::make_unique<sim::LowContentionProgram>(config.prim,
+                                                            config.work);
+      break;
+    case WorkloadMode::kZipf:
+      program = std::make_unique<sim::ZipfSharingProgram>(
+          config.prim, config.work, config.zipf_lines, config.zipf_s);
+      break;
+    case WorkloadMode::kMixedReadWrite:
+      program = std::make_unique<sim::MixedReadWriteProgram>(
+          config.prim, config.write_fraction, config.work);
+      break;
+    case WorkloadMode::kSharded: {
+      // Contiguous groups of ceil(threads/shards) cores per shard keep each
+      // shard's traffic topologically local.
+      const std::uint32_t shards = std::max(1u, config.shards);
+      const std::uint32_t group =
+          (config.threads + shards - 1) / shards;
+      program = std::make_unique<sim::ShardedProgram>(config.prim, config.work,
+                                                      group);
+      break;
+    }
+    case WorkloadMode::kPrivateWalk:
+      program = std::make_unique<sim::PrivateWalkProgram>(
+          config.prim, config.work, config.lines_per_thread);
+      break;
+  }
+
+  const sim::RunStats stats = machine_->run(
+      *program, config.threads, options_.warmup_cycles, options_.measure_cycles);
+  return to_measured_run(stats, config_.name);
+}
+
+}  // namespace am::bench

@@ -1,0 +1,44 @@
+// SimBackend: runs workloads on the discrete-event coherence machine.
+#pragma once
+
+#include <memory>
+
+#include "bench_core/backend.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+
+namespace am::bench {
+
+struct SimBackendOptions {
+  sim::Cycles warmup_cycles = 50'000;
+  sim::Cycles measure_cycles = 250'000;
+};
+
+class SimBackend final : public ExecutionBackend {
+ public:
+  explicit SimBackend(sim::MachineConfig config, SimBackendOptions options = {},
+                      std::uint64_t seed = 1);
+
+  MeasuredRun run(const WorkloadConfig& config) override;
+  std::string name() const override { return "sim"; }
+  std::string machine_name() const override { return config_.name; }
+  std::uint32_t max_threads() const override;
+  double freq_ghz() const override { return config_.freq_ghz; }
+
+  /// Direct access for experiments that prime line states (Table 2).
+  sim::Machine& machine() { return *machine_; }
+  const sim::MachineConfig& machine_config() const { return config_; }
+  const SimBackendOptions& options() const { return options_; }
+
+ private:
+  sim::MachineConfig config_;
+  SimBackendOptions options_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::uint64_t seed_;
+};
+
+/// Converts simulator run stats into the backend-independent record.
+MeasuredRun to_measured_run(const sim::RunStats& stats,
+                            const std::string& machine);
+
+}  // namespace am::bench

@@ -1,0 +1,59 @@
+// Workload descriptions shared by both execution backends.
+//
+// A WorkloadConfig is a complete, backend-independent description of one
+// measurement point in the paper's evaluation: which primitive, how many
+// threads, how much local work between operations, and which sharing
+// pattern (the paper's high- and low-contention settings, plus skewed and
+// read-mostly mixes used by the extension experiments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "atomics/primitives.hpp"
+#include "common/topology.hpp"
+
+namespace am::bench {
+
+using Cycles = std::uint64_t;
+
+enum class WorkloadMode : std::uint8_t {
+  kHighContention,  ///< all threads hammer one shared line
+  kLowContention,   ///< each thread owns a private line
+  kZipf,            ///< lines drawn from a Zipf distribution (skewed sharing)
+  kMixedReadWrite,  ///< one shared line, LOADs mixed with a write primitive
+  kSharded,         ///< thread t hits shard (t % shards) — sharded counter
+  kPrivateWalk,     ///< thread t cycles through its own working set
+};
+
+const char* to_string(WorkloadMode m) noexcept;
+
+struct WorkloadConfig {
+  WorkloadMode mode = WorkloadMode::kHighContention;
+  Primitive prim = Primitive::kFaa;
+  std::uint32_t threads = 1;
+  Cycles work = 0;  ///< local work between ops, in cycles (approximate on hw)
+  /// Randomizes work uniformly in [work*(1-j), work*(1+j)] — randomized
+  /// backoff; 0 keeps work deterministic (lock-step phases on the sim).
+  double work_jitter = 0.0;
+
+  // kZipf parameters
+  std::size_t zipf_lines = 64;
+  double zipf_s = 0.99;
+
+  // kMixedReadWrite parameters
+  double write_fraction = 0.1;
+
+  // kSharded parameters
+  std::uint32_t shards = 8;
+
+  // kPrivateWalk parameters
+  std::uint64_t lines_per_thread = 16;
+
+  std::uint64_t seed = 1;
+  PinOrder pin_order = PinOrder::kCompact;  ///< hardware backend placement
+
+  std::string describe() const;
+};
+
+}  // namespace am::bench

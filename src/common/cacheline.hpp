@@ -1,0 +1,49 @@
+// Cache-line geometry constants and alignment helpers.
+//
+// Everything in this project that touches shared memory is laid out in units
+// of cache lines: the studied atomic primitives operate on a cache-line
+// granularity as far as the coherence protocol is concerned, and false
+// sharing would corrupt every measurement.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace am {
+
+/// Size of one coherence granule. 64 bytes on every x86 part the paper
+/// studies (Xeon E5 and Xeon Phi KNL both use 64-byte lines).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Alignment used to keep two logically distinct objects from ever sharing a
+/// line. Twice the line size guards against adjacent-line (spatial) prefetch
+/// pairing, which on Intel parts can drag the neighbouring line along.
+inline constexpr std::size_t kNoFalseSharingAlign = 2 * kCacheLineSize;
+
+/// Rounds @p bytes up to a whole number of cache lines.
+constexpr std::size_t round_up_to_line(std::size_t bytes) noexcept {
+  return (bytes + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+}
+
+/// A value of type T alone on its own (pair of) cache line(s).
+///
+/// Used for per-thread counters and for the shared cells the primitives
+/// hammer on, so that contention is exactly what the experiment configures
+/// and nothing else.
+template <typename T>
+struct alignas(kNoFalseSharingAlign) Padded {
+  T value{};
+
+  constexpr Padded() = default;
+  constexpr explicit Padded(const T& v) : value(v) {}
+
+  constexpr T& operator*() noexcept { return value; }
+  constexpr const T& operator*() const noexcept { return value; }
+  constexpr T* operator->() noexcept { return &value; }
+  constexpr const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(Padded<char>) == kNoFalseSharingAlign);
+static_assert(alignof(Padded<char>) == kNoFalseSharingAlign);
+
+}  // namespace am

@@ -1,0 +1,108 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace am {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  if (flags_.contains(name)) {
+    throw std::logic_error("duplicate flag: " + name);
+  }
+  flags_[name] = Flag{help, default_value, false};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cerr << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected positional argument: " << arg << "\n" << usage();
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string key = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      std::cerr << "unknown flag: --" << key << "\n" << usage();
+      return false;
+    }
+    if (!have_value) {
+      // Accept "--key value" when the next token is not itself a flag;
+      // otherwise treat as boolean true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::logic_error("unregistered flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    if (!f.value.empty()) os << " (default: " << f.value << ")";
+    os << "\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace am

@@ -1,0 +1,49 @@
+// Minimal command-line flag parser shared by the bench and example binaries.
+// Accepts --key=value, --key value and boolean --key forms; anything the
+// binary did not register is an error so typos fail loudly instead of being
+// silently ignored mid-experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace am {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers a flag; @p help shows up in usage output.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parses argv. Returns false (after printing usage/diagnostics to stderr)
+  /// on unknown flags, malformed input, or --help.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of integers, e.g. "--threads=1,2,4,8".
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool set = false;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace am

@@ -1,0 +1,47 @@
+// Result-table rendering: every bench binary prints its paper table/figure
+// series as an aligned ASCII table and mirrors it to a CSV file so plots can
+// be regenerated offline.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace am {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+  const std::vector<std::string>& header() const noexcept { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Renders an aligned ASCII table (pipe-separated, header rule).
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Writes CSV to @p path; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace am

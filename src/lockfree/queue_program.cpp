@@ -1,0 +1,198 @@
+#include "lockfree/queue_program.hpp"
+
+namespace am::lockfree {
+
+namespace {
+constexpr std::uint64_t kDummy = 0xfff;
+}  // namespace
+
+MsQueueProgram::Core& MsQueueProgram::core(sim::CoreId c) {
+  if (c >= cores_.size()) {
+    const auto old = cores_.size();
+    cores_.resize(c + 1);
+    for (auto i = old; i < cores_.size(); ++i) {
+      cores_[i].my_node = i + 1;
+      cores_[i].state = i == 0 ? St::kInitNext : St::kWaitInit;
+    }
+  }
+  return cores_[c];
+}
+
+std::uint64_t MsQueueProgram::total_completions() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores_) n += c.completions;
+  return n;
+}
+
+std::optional<sim::IssueRequest> MsQueueProgram::next_op(sim::CoreId c,
+                                                         Xoshiro256&) {
+  Core& st = core(c);
+  sim::IssueRequest r;
+  r.work_before = st.next_work;
+  st.next_work = 0;
+  switch (st.state) {
+    case St::kInitNext:
+      r.prim = Primitive::kStore;
+      r.line = kNodeBase + kDummy;
+      r.store_value = 0;
+      return r;
+    case St::kInitTail:
+      r.prim = Primitive::kStore;
+      r.line = kTailLine;
+      r.store_value = pack(kDummy, 1);
+      return r;
+    case St::kInitHead:
+      r.prim = Primitive::kStore;
+      r.line = kHeadLine;
+      r.store_value = pack(kDummy, 1);
+      return r;
+    case St::kWaitInit:
+      r.prim = Primitive::kLoad;
+      r.line = kHeadLine;
+      return r;
+
+    case St::kEnqResetNext:
+      r.prim = Primitive::kStore;
+      r.line = kNodeBase + st.my_node;
+      r.store_value = 0;
+      return r;
+    case St::kEnqReadTail:
+      r.prim = Primitive::kLoad;
+      r.line = kTailLine;
+      return r;
+    case St::kEnqReadNext:
+      r.prim = Primitive::kLoad;
+      r.line = kNodeBase + index_of(st.seen_tail);
+      return r;
+    case St::kEnqLinkCas:
+      r.prim = Primitive::kCas;
+      r.line = kNodeBase + index_of(st.seen_tail);
+      r.cas_expected = st.seen_next;  // observed null word (tagged)
+      r.cas_desired = pack(st.my_node, tag_of(st.seen_next) + 1);
+      return r;
+    case St::kEnqSwingCas:
+      r.prim = Primitive::kCas;
+      r.line = kTailLine;
+      r.cas_expected = st.seen_tail;
+      r.cas_desired = pack(st.my_node, tag_of(st.seen_tail) + 1);
+      return r;
+    case St::kEnqHelpCas:
+      r.prim = Primitive::kCas;
+      r.line = kTailLine;
+      r.cas_expected = st.seen_tail;
+      r.cas_desired = pack(index_of(st.seen_next), tag_of(st.seen_tail) + 1);
+      return r;
+
+    case St::kDeqReadHead:
+      r.prim = Primitive::kLoad;
+      r.line = kHeadLine;
+      return r;
+    case St::kDeqReadTail:
+      r.prim = Primitive::kLoad;
+      r.line = kTailLine;
+      return r;
+    case St::kDeqReadNext:
+      r.prim = Primitive::kLoad;
+      r.line = kNodeBase + index_of(st.seen_head);
+      return r;
+    case St::kDeqHelpCas:
+      r.prim = Primitive::kCas;
+      r.line = kTailLine;
+      r.cas_expected = st.seen_tail;
+      r.cas_desired = pack(index_of(st.seen_next), tag_of(st.seen_tail) + 1);
+      return r;
+    case St::kDeqCas:
+      r.prim = Primitive::kCas;
+      r.line = kHeadLine;
+      r.cas_expected = st.seen_head;
+      r.cas_desired = pack(index_of(st.seen_next), tag_of(st.seen_head) + 1);
+      return r;
+  }
+  return std::nullopt;
+}
+
+void MsQueueProgram::on_result(sim::CoreId c, const OpResult& r) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kInitNext: st.state = St::kInitTail; break;
+    case St::kInitTail: st.state = St::kInitHead; break;
+    case St::kInitHead: st.state = St::kEnqResetNext; break;
+    case St::kWaitInit:
+      if (r.observed != 0) {
+        st.state = St::kEnqResetNext;
+      } else {
+        st.next_work = spin_pause_;
+      }
+      break;
+
+    case St::kEnqResetNext:
+      st.state = St::kEnqReadTail;
+      break;
+    case St::kEnqReadTail:
+      st.seen_tail = r.observed;
+      st.state = St::kEnqReadNext;
+      break;
+    case St::kEnqReadNext:
+      st.seen_next = r.observed;
+      st.state = index_of(st.seen_next) == 0 ? St::kEnqLinkCas
+                                             : St::kEnqHelpCas;
+      break;
+    case St::kEnqLinkCas:
+      if (r.success) {
+        st.state = St::kEnqSwingCas;
+      } else {
+        st.state = St::kEnqReadTail;
+        st.next_work = spin_pause_;
+      }
+      break;
+    case St::kEnqSwingCas:
+      // Success or not, the enqueue is complete (helpers fix a lag).
+      ++st.completions;
+      st.state = St::kDeqReadHead;
+      st.next_work = work_;
+      break;
+    case St::kEnqHelpCas:
+      st.state = St::kEnqReadTail;
+      break;
+
+    case St::kDeqReadHead:
+      st.seen_head = r.observed;
+      st.state = St::kDeqReadTail;
+      break;
+    case St::kDeqReadTail:
+      st.seen_tail = r.observed;
+      st.state = St::kDeqReadNext;
+      break;
+    case St::kDeqReadNext:
+      st.seen_next = r.observed;
+      if (index_of(st.seen_head) == index_of(st.seen_tail)) {
+        if (index_of(st.seen_next) == 0) {
+          // Empty: retry after a pause.
+          st.state = St::kDeqReadHead;
+          st.next_work = spin_pause_;
+        } else {
+          st.state = St::kDeqHelpCas;  // tail lagging
+        }
+      } else {
+        st.state = St::kDeqCas;
+      }
+      break;
+    case St::kDeqHelpCas:
+      st.state = St::kDeqReadHead;
+      break;
+    case St::kDeqCas:
+      if (r.success) {
+        // The old dummy becomes this core's next enqueue node.
+        st.my_node = index_of(st.seen_head);
+        ++st.completions;
+        st.state = St::kEnqResetNext;
+        st.next_work = work_;
+      } else {
+        st.state = St::kDeqReadHead;
+        st.next_work = spin_pause_;
+      }
+      break;
+  }
+}
+
+}  // namespace am::lockfree

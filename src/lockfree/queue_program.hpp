@@ -1,0 +1,93 @@
+// The Michael-Scott queue as a simulator program.
+//
+// Where the Treiber stack funnels every operation through one hot head
+// word, the MS queue splits producers onto the tail (+ the last node's
+// next link) and consumers onto the head — two mostly independent hot
+// lines. Under a balanced enqueue/dequeue mix the queue therefore sustains
+// roughly twice the stack's completed operations: a structure-level
+// consequence of the bouncing model that bench_e4_lockfree reports.
+//
+// Line layout: kTailLine, kHeadLine, node i's next-link on kNodeBase + i.
+// Words pack {tag:48 | index:16} with 0 == null; every CAS bumps the tag
+// (ABA armour). Core 0 initialises head/tail to the dummy node before the
+// other cores start (they spin on head != 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace am::lockfree {
+
+class MsQueueProgram final : public sim::ThreadProgram {
+ public:
+  static constexpr sim::LineId kTailLine = 0;
+  static constexpr sim::LineId kHeadLine = 1;
+  static constexpr sim::LineId kNodeBase = 100;
+
+  /// @param work local work after each completed queue operation
+  MsQueueProgram(sim::Cycles work, sim::Cycles spin_pause = 30)
+      : work_(work), spin_pause_(spin_pause) {}
+
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256& rng) override;
+  void on_result(sim::CoreId core, const OpResult& r) override;
+
+  /// Program-side completion counters (enqueues + dequeues per core).
+  /// Cover the whole run — pair with warmup == 0.
+  std::uint64_t completions(sim::CoreId core) const {
+    return core < cores_.size() ? cores_[core].completions : 0;
+  }
+  std::uint64_t total_completions() const;
+
+  static constexpr std::uint64_t pack(std::uint64_t index, std::uint64_t tag) {
+    return (tag << 16) | index;
+  }
+  static constexpr std::uint64_t index_of(std::uint64_t word) {
+    return word & 0xffff;
+  }
+  static constexpr std::uint64_t tag_of(std::uint64_t word) {
+    return word >> 16;
+  }
+
+ private:
+  // Dummy node index: one past the per-core nodes (core c owns c+1 at
+  // start; the dummy rotates through pops like the hardware pool).
+  static constexpr std::uint64_t dummy_index(std::uint32_t) { return 0xfff; }
+
+  enum class St : std::uint8_t {
+    // init (core 0 only): publish dummy, then everyone waits on head
+    kInitNext, kInitTail, kInitHead, kWaitInit,
+    // enqueue of my node
+    kEnqResetNext,  // next[mine] := 0
+    kEnqReadTail,   // t := tail
+    kEnqReadNext,   // nx := next[t]
+    kEnqLinkCas,    // CAS(next[t], 0 -> mine)
+    kEnqSwingCas,   // CAS(tail, t -> mine), result ignored
+    kEnqHelpCas,    // CAS(tail, t -> nx), then retry
+    // dequeue
+    kDeqReadHead,   // h := head
+    kDeqReadTail,   // t := tail
+    kDeqReadNext,   // nx := next[h]
+    kDeqHelpCas,    // CAS(tail, t -> nx) when tail lags, then retry
+    kDeqCas,        // CAS(head, h -> nx); success => own old dummy
+  };
+  struct Core {
+    St state = St::kWaitInit;
+    sim::Cycles next_work = 0;
+    std::uint64_t my_node = 0;
+    std::uint64_t seen_tail = 0;
+    std::uint64_t seen_head = 0;
+    std::uint64_t seen_next = 0;
+    std::uint64_t completions = 0;
+  };
+  Core& core(sim::CoreId c);
+
+  sim::Cycles work_;
+  sim::Cycles spin_pause_;
+  std::vector<Core> cores_;
+};
+
+}  // namespace am::lockfree

@@ -1,0 +1,111 @@
+#include "lockfree/stack_program.hpp"
+
+namespace am::lockfree {
+
+TreiberStackProgram::Core& TreiberStackProgram::core(sim::CoreId c) {
+  if (c >= cores_.size()) {
+    const auto old = cores_.size();
+    cores_.resize(c + 1);
+    for (auto i = old; i < cores_.size(); ++i) {
+      cores_[i].my_node = i + 1;  // node indices are 1-based (0 = empty)
+    }
+  }
+  return cores_[c];
+}
+
+std::optional<sim::IssueRequest> TreiberStackProgram::next_op(sim::CoreId c,
+                                                              Xoshiro256&) {
+  Core& st = core(c);
+  sim::IssueRequest r;
+  r.work_before = st.next_work;
+  st.next_work = 0;
+  switch (st.state) {
+    case St::kPushReadHead:
+      r.prim = Primitive::kLoad;
+      r.line = kHeadLine;
+      return r;
+    case St::kPushLinkNode:
+      r.prim = Primitive::kStore;
+      r.line = kNodeBase + st.my_node;
+      r.store_value = st.seen_head;  // next link carries the full head word
+      return r;
+    case St::kPushCas:
+      r.prim = Primitive::kCas;
+      r.line = kHeadLine;
+      r.cas_expected = st.seen_head;
+      r.cas_desired = pack(st.my_node, tag_of(st.seen_head) + 1);
+      return r;
+    case St::kPopReadHead:
+      r.prim = Primitive::kLoad;
+      r.line = kHeadLine;
+      return r;
+    case St::kPopReadNext:
+      r.prim = Primitive::kLoad;
+      r.line = kNodeBase + index_of(st.seen_head);
+      return r;
+    case St::kPopCas:
+      r.prim = Primitive::kCas;
+      r.line = kHeadLine;
+      r.cas_expected = st.seen_head;
+      r.cas_desired = pack(index_of(st.seen_next), tag_of(st.seen_head) + 1);
+      return r;
+  }
+  return std::nullopt;
+}
+
+void TreiberStackProgram::on_result(sim::CoreId c, const OpResult& r) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kPushReadHead:
+      st.seen_head = r.observed;
+      st.state = St::kPushLinkNode;
+      break;
+    case St::kPushLinkNode:
+      st.state = St::kPushCas;
+      break;
+    case St::kPushCas:
+      if (r.success) {
+        // Push complete: do local work, then pop.
+        st.state = St::kPopReadHead;
+        st.next_work = work_;
+      } else {
+        st.state = St::kPushReadHead;
+        st.next_work = spin_pause_;
+      }
+      break;
+    case St::kPopReadHead:
+      st.seen_head = r.observed;
+      if (index_of(st.seen_head) == 0) {
+        // Empty: someone else will push; retry after a pause.
+        st.next_work = spin_pause_;
+        break;
+      }
+      st.state = St::kPopReadNext;
+      break;
+    case St::kPopReadNext:
+      st.seen_next = r.observed;
+      st.state = St::kPopCas;
+      break;
+    case St::kPopCas:
+      if (r.success) {
+        // Pop complete: this core now owns the unlinked node.
+        st.my_node = index_of(st.seen_head);
+        st.state = St::kPushReadHead;
+        st.next_work = work_;
+      } else {
+        st.state = St::kPopReadHead;
+        st.next_work = spin_pause_;
+      }
+      break;
+  }
+}
+
+std::uint64_t TreiberStackProgram::completed_ops(const sim::RunStats& stats) {
+  std::uint64_t n = 0;
+  for (const auto& t : stats.threads) {
+    n += t.successes_by_prim[static_cast<std::size_t>(Primitive::kCas)];
+  }
+  return n;
+}
+
+}  // namespace am::lockfree

@@ -1,0 +1,74 @@
+// The Treiber stack as a simulator program: the protocol's coherence
+// traffic (head reads, node-link stores, head CAS retries) runs on the
+// MESI machine, so stack scalability emerges from line bouncing exactly as
+// it does on hardware.
+//
+// Line layout: head word on kHeadLine; node i's next-link on
+// kNodeBase + i. Head values pack {node index:16, tag:16} (0 = empty) and
+// every successful CAS bumps the tag — the same ABA armour the hardware
+// implementation uses. Each core owns one node at a time: it pushes its
+// current node, then pops (acquiring ownership of whatever node it
+// unlinked), alternating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace am::lockfree {
+
+class TreiberStackProgram final : public sim::ThreadProgram {
+ public:
+  static constexpr sim::LineId kHeadLine = 0;
+  static constexpr sim::LineId kNodeBase = 100;
+
+  /// @param work cycles of local work between completed stack operations
+  /// @param spin_pause pause before retrying after a lost CAS / empty pop
+  TreiberStackProgram(sim::Cycles work, sim::Cycles spin_pause = 30)
+      : work_(work), spin_pause_(spin_pause) {}
+
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256& rng) override;
+  void on_result(sim::CoreId core, const OpResult& r) override;
+
+  /// Completed stack operations (pushes + pops) in @p stats: every
+  /// successful CAS on the head is one completed operation.
+  static std::uint64_t completed_ops(const sim::RunStats& stats);
+
+  // Head-word packing: {tag:16 | index:16}; index 0 = empty stack.
+  static constexpr std::uint64_t pack(std::uint64_t index, std::uint64_t tag) {
+    return (tag << 16) | index;
+  }
+  static constexpr std::uint64_t index_of(std::uint64_t head) {
+    return head & 0xffff;
+  }
+  static constexpr std::uint64_t tag_of(std::uint64_t head) {
+    return head >> 16;
+  }
+
+ private:
+  enum class St : std::uint8_t {
+    kPushReadHead,   // LOAD head
+    kPushLinkNode,   // STORE next[mine] = head word
+    kPushCas,        // CAS(head, observed -> mine, tag+1)
+    kPopReadHead,    // LOAD head (empty -> retry)
+    kPopReadNext,    // LOAD next[top]
+    kPopCas,         // CAS(head, observed -> next, tag+1)
+  };
+  struct Core {
+    St state = St::kPushReadHead;
+    sim::Cycles next_work = 0;
+    std::uint64_t my_node = 0;       // node index this core currently owns
+    std::uint64_t seen_head = 0;     // head word read this round
+    std::uint64_t seen_next = 0;     // next word read during pop
+  };
+  Core& core(sim::CoreId c);
+
+  sim::Cycles work_;
+  sim::Cycles spin_pause_;
+  std::vector<Core> cores_;
+};
+
+}  // namespace am::lockfree

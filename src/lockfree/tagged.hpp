@@ -1,0 +1,38 @@
+// Tagged indices: the ABA armour for the lock-free structures.
+//
+// The classic pre-hazard-pointer technique the original Treiber/Michael-
+// Scott implementations used: nodes live in a fixed pool and links carry
+// {index, tag} packed into one 64-bit word; every successful CAS bumps the
+// tag, so a pointer that was popped and re-pushed never compares equal to
+// its stale copy.
+#pragma once
+
+#include <cstdint>
+
+namespace am::lockfree {
+
+/// Packed {index:32, tag:32}. Index kNullIndex encodes "null".
+using TaggedIndex = std::uint64_t;
+
+inline constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
+constexpr TaggedIndex make_tagged(std::uint32_t index, std::uint32_t tag) noexcept {
+  return (static_cast<std::uint64_t>(tag) << 32) | index;
+}
+constexpr std::uint32_t index_of(TaggedIndex t) noexcept {
+  return static_cast<std::uint32_t>(t);
+}
+constexpr std::uint32_t tag_of(TaggedIndex t) noexcept {
+  return static_cast<std::uint32_t>(t >> 32);
+}
+constexpr bool is_null(TaggedIndex t) noexcept {
+  return index_of(t) == kNullIndex;
+}
+/// Same index, incremented tag — what a successful CAS installs.
+constexpr TaggedIndex retag(TaggedIndex t, std::uint32_t new_index) noexcept {
+  return make_tagged(new_index, tag_of(t) + 1);
+}
+
+inline constexpr TaggedIndex kNullTagged = make_tagged(kNullIndex, 0);
+
+}  // namespace am::lockfree

@@ -1,0 +1,113 @@
+// Treiber stack over a fixed node pool with tagged indices.
+//
+// The canonical CAS-retry data structure: push/pop are CAS loops on one hot
+// head word, so the structure's scalability is *exactly* what the paper's
+// CASLOOP analysis predicts — which is why it is the case-study workload of
+// bench_e4_lockfree. ABA is prevented by 32-bit tags (tagged.hpp); memory
+// is a preallocated pool with a lock-free free list, so no reclamation
+// scheme is needed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/cacheline.hpp"
+#include "lockfree/tagged.hpp"
+
+namespace am::lockfree {
+
+template <typename T>
+class TreiberStack {
+ public:
+  /// @param capacity maximum elements ever held at once; the pool is fixed.
+  explicit TreiberStack(std::uint32_t capacity)
+      : nodes_(std::make_unique<Node[]>(capacity)), capacity_(capacity) {
+    // Thread the free list through the pool.
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      nodes_[i].next.store(
+          i + 1 < capacity ? make_tagged(i + 1, 0) : kNullTagged,
+          std::memory_order_relaxed);
+    }
+    free_.store(capacity > 0 ? make_tagged(0, 0) : kNullTagged,
+                std::memory_order_relaxed);
+  }
+
+  /// Pushes @p value; returns false when the pool is exhausted.
+  bool push(const T& value) {
+    const std::uint32_t node = allocate();
+    if (node == kNullIndex) return false;
+    nodes_[node].value = value;
+    TaggedIndex head = head_.load(std::memory_order_acquire);
+    while (true) {
+      nodes_[node].next.store(head, std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, retag(head, node),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  /// Pops the most recent element, or nullopt when empty.
+  std::optional<T> pop() {
+    TaggedIndex head = head_.load(std::memory_order_acquire);
+    while (true) {
+      if (is_null(head)) return std::nullopt;
+      const std::uint32_t node = index_of(head);
+      const TaggedIndex next = nodes_[node].next.load(std::memory_order_acquire);
+      if (head_.compare_exchange_weak(head, retag(head, index_of(next)),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        T out = nodes_[node].value;
+        release(node);
+        return out;
+      }
+    }
+  }
+
+  bool empty() const noexcept {
+    return is_null(head_.load(std::memory_order_acquire));
+  }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct alignas(kNoFalseSharingAlign) Node {
+    std::atomic<TaggedIndex> next{kNullTagged};
+    T value{};
+  };
+
+  std::uint32_t allocate() {
+    TaggedIndex head = free_.load(std::memory_order_acquire);
+    while (true) {
+      if (is_null(head)) return kNullIndex;
+      const std::uint32_t node = index_of(head);
+      const TaggedIndex next = nodes_[node].next.load(std::memory_order_acquire);
+      if (free_.compare_exchange_weak(head, retag(head, index_of(next)),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return node;
+      }
+    }
+  }
+
+  void release(std::uint32_t node) {
+    TaggedIndex head = free_.load(std::memory_order_acquire);
+    while (true) {
+      nodes_[node].next.store(head, std::memory_order_relaxed);
+      if (free_.compare_exchange_weak(head, retag(head, node),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  alignas(kNoFalseSharingAlign) std::atomic<TaggedIndex> head_{kNullTagged};
+  alignas(kNoFalseSharingAlign) std::atomic<TaggedIndex> free_{kNullTagged};
+  std::unique_ptr<Node[]> nodes_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace am::lockfree

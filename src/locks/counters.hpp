@@ -1,0 +1,113 @@
+// Shared-counter implementations — the motivating example of the paper's
+// design-decision story: the same "increment a shared counter" contract
+// implemented with FAA (one acquisition per increment), a CAS retry loop
+// (~N acquisitions per increment under contention), and a lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/cacheline.hpp"
+#include "locks/spinlocks.hpp"
+
+namespace am::locks {
+
+/// FAA-based counter: wait-free, one line acquisition per increment.
+class FaaCounter {
+ public:
+  static constexpr const char* name() noexcept { return "faa"; }
+  std::uint64_t increment() noexcept {
+    return value_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::uint64_t read() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint64_t> value_{0};
+};
+
+/// CAS-retry-loop counter: lock-free but not wait-free; a failed attempt
+/// still pays a full line acquisition.
+class CasLoopCounter {
+ public:
+  static constexpr const char* name() noexcept { return "cas-loop"; }
+  std::uint64_t increment() noexcept {
+    std::uint64_t v = value_.load(std::memory_order_acquire);
+    while (!value_.compare_exchange_strong(v, v + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      // v refreshed by compare_exchange.
+    }
+    return v;
+  }
+  std::uint64_t read() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Lock-protected counter: two contended lines (lock + data).
+template <typename Lock = TasLock>
+class LockedCounter {
+ public:
+  static constexpr const char* name() noexcept { return "locked"; }
+  std::uint64_t increment() noexcept {
+    LockGuard<Lock> guard(lock_);
+    // The lock serializes writers; relaxed atomics make the unlocked read()
+    // well-defined without adding an RMW to the data line.
+    const std::uint64_t v = value_.load(std::memory_order_relaxed);
+    value_.store(v + 1, std::memory_order_relaxed);
+    return v;
+  }
+  std::uint64_t read() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Lock lock_;
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Sharded counter: per-slot FAA cells, summed on read. Increment traffic
+/// stays shard-local (no bouncing when shards >= writers); reads pay one
+/// line fetch per shard — the classic write-optimized counter.
+class ShardedCounter {
+ public:
+  /// @param shards number of independent cells; choose >= expected writers.
+  explicit ShardedCounter(std::size_t shards)
+      : cells_(std::make_unique<Cell[]>(shards == 0 ? 1 : shards)),
+        shards_(shards == 0 ? 1 : shards) {}
+
+  static constexpr const char* name() noexcept { return "sharded"; }
+
+  /// @param slot caller-provided shard hint (typically the thread index).
+  std::uint64_t increment(std::size_t slot) noexcept {
+    return cells_[slot % shards_].value.fetch_add(1,
+                                                  std::memory_order_acq_rel);
+  }
+
+  /// Sums all shards. Not a snapshot: concurrent increments may or may not
+  /// be included — the usual sharded-counter semantics.
+  std::uint64_t read() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < shards_; ++i) {
+      total += cells_[i].value.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+  std::size_t shards() const noexcept { return shards_; }
+
+ private:
+  struct alignas(kNoFalseSharingAlign) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t shards_;
+};
+
+}  // namespace am::locks

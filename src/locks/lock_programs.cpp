@@ -1,0 +1,339 @@
+#include "locks/lock_programs.hpp"
+
+namespace am::locks {
+
+namespace {
+
+sim::IssueRequest make(Primitive p, sim::LineId line, sim::Cycles work) {
+  sim::IssueRequest r;
+  r.prim = p;
+  r.line = line;
+  r.work_before = work;
+  return r;
+}
+
+sim::IssueRequest make_store(sim::LineId line, std::uint64_t value,
+                             sim::Cycles work) {
+  sim::IssueRequest r = make(Primitive::kStore, line, work);
+  r.store_value = value;
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(LockKind k) noexcept {
+  switch (k) {
+    case LockKind::kTas: return "TAS";
+    case LockKind::kTtas: return "TTAS";
+    case LockKind::kTicket: return "ticket";
+    case LockKind::kMcs: return "MCS";
+  }
+  return "?";
+}
+
+std::uint64_t LockProgramBase::acquisitions(const sim::RunStats& stats,
+                                            LockKind kind) {
+  std::uint64_t n = 0;
+  for (const auto& t : stats.threads) {
+    switch (kind) {
+      case LockKind::kTas:
+      case LockKind::kTtas:
+        // An acquisition is a TAS that observed 0.
+        n += t.successes_by_prim[static_cast<std::size_t>(Primitive::kTas)];
+        break;
+      case LockKind::kTicket:
+        // The only STOREs in the ticket protocol are releases.
+        n += t.ops_by_prim[static_cast<std::size_t>(Primitive::kStore)];
+        break;
+      case LockKind::kMcs:
+        // The only SWP in the MCS protocol is the tail swap on acquire.
+        n += t.ops_by_prim[static_cast<std::size_t>(Primitive::kSwap)];
+        break;
+    }
+  }
+  return n;
+}
+
+std::vector<double> LockProgramBase::acquisition_shares(
+    const sim::RunStats& stats, LockKind kind) {
+  std::vector<double> shares;
+  shares.reserve(stats.threads.size());
+  for (const auto& t : stats.threads) {
+    double v = 0.0;
+    switch (kind) {
+      case LockKind::kTas:
+      case LockKind::kTtas:
+        v = static_cast<double>(
+            t.successes_by_prim[static_cast<std::size_t>(Primitive::kTas)]);
+        break;
+      case LockKind::kTicket:
+        v = static_cast<double>(
+            t.ops_by_prim[static_cast<std::size_t>(Primitive::kStore)]);
+        break;
+      case LockKind::kMcs:
+        v = static_cast<double>(
+            t.ops_by_prim[static_cast<std::size_t>(Primitive::kSwap)]);
+        break;
+    }
+    shares.push_back(v);
+  }
+  return shares;
+}
+
+// ---------------------------------------------------------------------------
+// TAS
+// ---------------------------------------------------------------------------
+
+TasLockProgram::Core& TasLockProgram::core(sim::CoreId c) {
+  if (c >= cores_.size()) cores_.resize(c + 1);
+  return cores_[c];
+}
+
+std::optional<sim::IssueRequest> TasLockProgram::next_op(sim::CoreId c,
+                                                         Xoshiro256&) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kAcquire:
+      return make(Primitive::kTas, kLockLine, st.next_work);
+    case St::kCsData:
+      return make(Primitive::kFaa, kDataLine, 0);
+    case St::kRelease:
+      return make_store(kLockLine, 0, wl_.critical_work);
+  }
+  return std::nullopt;
+}
+
+void TasLockProgram::on_result(sim::CoreId c, const OpResult& r) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kAcquire:
+      if (r.success) {  // observed 0: lock acquired
+        st.cs_left = wl_.cs_data_ops;
+        st.state = st.cs_left > 0 ? St::kCsData : St::kRelease;
+      } else {
+        st.next_work = wl_.tas_retry_pause;
+      }
+      break;
+    case St::kCsData:
+      if (--st.cs_left == 0) st.state = St::kRelease;
+      break;
+    case St::kRelease:
+      st.state = St::kAcquire;
+      st.next_work = wl_.outside_work;
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TTAS
+// ---------------------------------------------------------------------------
+
+TtasLockProgram::Core& TtasLockProgram::core(sim::CoreId c) {
+  if (c >= cores_.size()) cores_.resize(c + 1);
+  return cores_[c];
+}
+
+std::optional<sim::IssueRequest> TtasLockProgram::next_op(sim::CoreId c,
+                                                          Xoshiro256&) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kSpinRead:
+      return make(Primitive::kLoad, kLockLine, st.next_work);
+    case St::kTryTas:
+      return make(Primitive::kTas, kLockLine, st.next_work);
+    case St::kCsData:
+      return make(Primitive::kFaa, kDataLine, 0);
+    case St::kRelease:
+      return make_store(kLockLine, 0, wl_.critical_work);
+  }
+  return std::nullopt;
+}
+
+void TtasLockProgram::on_result(sim::CoreId c, const OpResult& r) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kSpinRead:
+      if (r.observed == 0) {
+        st.state = St::kTryTas;
+        st.next_work = 0;
+      } else {
+        st.next_work = wl_.spin_pause;
+      }
+      break;
+    case St::kTryTas:
+      if (r.success) {
+        st.cs_left = wl_.cs_data_ops;
+        st.state = st.cs_left > 0 ? St::kCsData : St::kRelease;
+      } else {
+        st.state = St::kSpinRead;
+        st.next_work = wl_.spin_pause;
+      }
+      break;
+    case St::kCsData:
+      if (--st.cs_left == 0) st.state = St::kRelease;
+      break;
+    case St::kRelease:
+      st.state = St::kTryTas;
+      st.next_work = wl_.outside_work;
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ticket
+// ---------------------------------------------------------------------------
+
+TicketLockProgram::Core& TicketLockProgram::core(sim::CoreId c) {
+  if (c >= cores_.size()) cores_.resize(c + 1);
+  return cores_[c];
+}
+
+std::optional<sim::IssueRequest> TicketLockProgram::next_op(sim::CoreId c,
+                                                            Xoshiro256&) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kTakeTicket:
+      return make(Primitive::kFaa, kLockLine, st.next_work);
+    case St::kWaitTurn:
+      return make(Primitive::kLoad, kServingLine, st.next_work);
+    case St::kCsData:
+      return make(Primitive::kFaa, kDataLine, 0);
+    case St::kRelease:
+      return make_store(kServingLine, st.my_ticket + 1, wl_.critical_work);
+  }
+  return std::nullopt;
+}
+
+void TicketLockProgram::on_result(sim::CoreId c, const OpResult& r) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kTakeTicket:
+      st.my_ticket = r.observed;
+      st.state = St::kWaitTurn;
+      st.next_work = 0;
+      break;
+    case St::kWaitTurn:
+      if (r.observed == st.my_ticket) {
+        st.cs_left = wl_.cs_data_ops;
+        st.state = st.cs_left > 0 ? St::kCsData : St::kRelease;
+      } else {
+        st.next_work = wl_.spin_pause;
+      }
+      break;
+    case St::kCsData:
+      if (--st.cs_left == 0) st.state = St::kRelease;
+      break;
+    case St::kRelease:
+      st.state = St::kTakeTicket;
+      st.next_work = wl_.outside_work;
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MCS
+// ---------------------------------------------------------------------------
+
+McsLockProgram::Core& McsLockProgram::core(sim::CoreId c) {
+  if (c >= cores_.size()) cores_.resize(c + 1);
+  return cores_[c];
+}
+
+std::optional<sim::IssueRequest> McsLockProgram::next_op(sim::CoreId c,
+                                                         Xoshiro256&) {
+  Core& st = core(c);
+  const std::uint64_t me = c + 1;  // 0 encodes "no one"
+  switch (st.state) {
+    case St::kResetNext:
+      return make_store(kNextBase + c, 0, st.next_work);
+    case St::kSwapTail: {
+      sim::IssueRequest r = make(Primitive::kSwap, kLockLine, 0);
+      r.store_value = me;
+      return r;
+    }
+    case St::kLinkPred:
+      return make_store(kNextBase + (st.pred - 1), me, 0);
+    case St::kSpinFlag:
+      return make(Primitive::kLoad, kFlagBase + c, st.next_work);
+    case St::kClearFlag:
+      return make_store(kFlagBase + c, 0, 0);
+    case St::kCsData:
+      return make(Primitive::kFaa, kDataLine, 0);
+    case St::kReadNext:
+      return make(Primitive::kLoad, kNextBase + c, wl_.critical_work);
+    case St::kCasTail: {
+      sim::IssueRequest r = make(Primitive::kCas, kLockLine, 0);
+      r.cas_expected = me;
+      r.cas_desired = 0;
+      return r;
+    }
+    case St::kWaitNext:
+      return make(Primitive::kLoad, kNextBase + c, st.next_work);
+    case St::kWakeNext:
+      return make_store(kFlagBase + (st.successor - 1), 1, 0);
+  }
+  return std::nullopt;
+}
+
+void McsLockProgram::on_result(sim::CoreId c, const OpResult& r) {
+  Core& st = core(c);
+  switch (st.state) {
+    case St::kResetNext:
+      st.state = St::kSwapTail;
+      break;
+    case St::kSwapTail:
+      st.pred = r.observed;
+      if (st.pred == 0) {
+        st.cs_left = wl_.cs_data_ops;
+        st.state = st.cs_left > 0 ? St::kCsData : St::kReadNext;
+      } else {
+        st.state = St::kLinkPred;
+      }
+      break;
+    case St::kLinkPred:
+      st.state = St::kSpinFlag;
+      st.next_work = 0;
+      break;
+    case St::kSpinFlag:
+      if (r.observed == 1) {
+        st.state = St::kClearFlag;
+      } else {
+        st.next_work = wl_.spin_pause;
+      }
+      break;
+    case St::kClearFlag:
+      st.cs_left = wl_.cs_data_ops;
+      st.state = st.cs_left > 0 ? St::kCsData : St::kReadNext;
+      break;
+    case St::kCsData:
+      if (--st.cs_left == 0) st.state = St::kReadNext;
+      break;
+    case St::kReadNext:
+      st.successor = r.observed;
+      st.state = st.successor != 0 ? St::kWakeNext : St::kCasTail;
+      break;
+    case St::kCasTail:
+      if (r.success) {
+        st.state = St::kResetNext;
+        st.next_work = wl_.outside_work;
+      } else {
+        st.state = St::kWaitNext;
+        st.next_work = wl_.spin_pause;
+      }
+      break;
+    case St::kWaitNext:
+      if (r.observed != 0) {
+        st.successor = r.observed;
+        st.state = St::kWakeNext;
+      } else {
+        st.next_work = wl_.spin_pause;
+      }
+      break;
+    case St::kWakeNext:
+      st.state = St::kResetNext;
+      st.next_work = wl_.outside_work;
+      break;
+  }
+}
+
+}  // namespace am::locks

@@ -1,0 +1,154 @@
+// Lock protocols expressed as simulator thread programs.
+//
+// Each program drives the same coherence machine the primitive experiments
+// use, so lock behaviour emerges from line transfers rather than being
+// assumed: TAS hammers the lock line with exchanges, TTAS spins on Shared
+// copies, ticket is FIFO over two lines, MCS hands the lock point-to-point
+// through per-core node lines. The case-study bench (F7) compares these
+// against the advisor's closed-form predictions.
+//
+// Line-id layout (one coherent namespace per program instance):
+//   kLockLine    — TAS/TTAS flag, ticket's next-ticket, MCS tail
+//   kServingLine — ticket's now-serving counter
+//   kDataLine    — optional shared counter FAA'd inside the critical section
+//   kFlagBase+c  — MCS per-core "locked" flag
+//   kNextBase+c  — MCS per-core successor pointer (0 = none, core c = c+1)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace am::locks {
+
+/// Common shape of a lock-based workload: acquire, spend critical_work
+/// cycles (plus cs_data_ops FAA increments on a shared data line), release,
+/// spend outside_work cycles, repeat.
+struct LockWorkload {
+  sim::Cycles critical_work = 100;
+  sim::Cycles outside_work = 200;
+  std::uint32_t cs_data_ops = 0;   ///< FAA ops on the data line inside the CS
+  sim::Cycles spin_pause = 30;     ///< pause between spin polls (x86 pause)
+  sim::Cycles tas_retry_pause = 0; ///< extra backoff between failed TAS tries
+};
+
+enum class LockKind : std::uint8_t { kTas, kTtas, kTicket, kMcs };
+const char* to_string(LockKind k) noexcept;
+
+inline constexpr sim::LineId kLockLine = 0;
+inline constexpr sim::LineId kServingLine = 1;
+inline constexpr sim::LineId kDataLine = 2;
+inline constexpr sim::LineId kFlagBase = 16;
+inline constexpr sim::LineId kNextBase = 512;
+
+/// Base for the four protocols: owns per-core protocol state and the common
+/// critical-section / outside-section sequencing.
+class LockProgramBase : public sim::ThreadProgram {
+ public:
+  explicit LockProgramBase(LockWorkload workload) : wl_(workload) {}
+
+  /// Lock acquisitions completed by @p stats' threads under this protocol
+  /// (counted from the per-primitive success counters).
+  static std::uint64_t acquisitions(const sim::RunStats& stats, LockKind kind);
+  /// Per-core acquisition counts (fairness input).
+  static std::vector<double> acquisition_shares(const sim::RunStats& stats,
+                                                LockKind kind);
+
+ protected:
+  const LockWorkload wl_;
+};
+
+/// TAS: exchange(lock) until it returns 0; store 0 to release.
+class TasLockProgram final : public LockProgramBase {
+ public:
+  using LockProgramBase::LockProgramBase;
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256& rng) override;
+  void on_result(sim::CoreId core, const OpResult& r) override;
+
+ private:
+  enum class St : std::uint8_t { kAcquire, kCsData, kRelease };
+  struct Core {
+    St state = St::kAcquire;
+    sim::Cycles next_work = 0;
+    std::uint32_t cs_left = 0;
+  };
+  std::vector<Core> cores_;
+  Core& core(sim::CoreId c);
+};
+
+/// TTAS: read the lock until it looks free, then exchange; release stores 0.
+class TtasLockProgram final : public LockProgramBase {
+ public:
+  using LockProgramBase::LockProgramBase;
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256& rng) override;
+  void on_result(sim::CoreId core, const OpResult& r) override;
+
+ private:
+  enum class St : std::uint8_t { kSpinRead, kTryTas, kCsData, kRelease };
+  struct Core {
+    St state = St::kTryTas;
+    sim::Cycles next_work = 0;
+    std::uint32_t cs_left = 0;
+  };
+  std::vector<Core> cores_;
+  Core& core(sim::CoreId c);
+};
+
+/// Ticket: FAA takes a ticket; poll the serving line; store ticket+1 frees.
+class TicketLockProgram final : public LockProgramBase {
+ public:
+  using LockProgramBase::LockProgramBase;
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256& rng) override;
+  void on_result(sim::CoreId core, const OpResult& r) override;
+
+ private:
+  enum class St : std::uint8_t { kTakeTicket, kWaitTurn, kCsData, kRelease };
+  struct Core {
+    St state = St::kTakeTicket;
+    sim::Cycles next_work = 0;
+    std::uint64_t my_ticket = 0;
+    std::uint32_t cs_left = 0;
+  };
+  std::vector<Core> cores_;
+  Core& core(sim::CoreId c);
+};
+
+/// MCS queue lock over simulated lines; cores are encoded as core+1 so 0
+/// means "no one".
+class McsLockProgram final : public LockProgramBase {
+ public:
+  using LockProgramBase::LockProgramBase;
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256& rng) override;
+  void on_result(sim::CoreId core, const OpResult& r) override;
+
+ private:
+  enum class St : std::uint8_t {
+    kResetNext,   // next[me] := 0
+    kSwapTail,    // prev := SWP(tail, me+1)
+    kLinkPred,    // next[prev] := me+1
+    kSpinFlag,    // wait until flag[me] == 1
+    kClearFlag,   // flag[me] := 0
+    kCsData,      // optional FAA ops on the data line
+    kReadNext,    // successor := next[me] (carries the critical work)
+    kCasTail,     // CAS(tail, me+1 -> 0); fail => successor mid-enqueue
+    kWaitNext,    // poll next[me] until the link appears
+    kWakeNext,    // flag[successor] := 1
+  };
+  struct Core {
+    St state = St::kResetNext;
+    sim::Cycles next_work = 0;
+    std::uint64_t pred = 0;
+    std::uint64_t successor = 0;
+    std::uint32_t cs_left = 0;
+  };
+  std::vector<Core> cores_;
+  Core& core(sim::CoreId c);
+};
+
+}  // namespace am::locks

@@ -1,0 +1,162 @@
+// Spinlock implementations built on the studied primitives — the
+// "algorithmic design decisions" substrate of the case study (F7).
+//
+// Each lock's contention behaviour maps directly onto the bouncing model:
+//   TAS    — every failed exchange is a line acquisition: the lock line
+//            bounces continuously while held (worst case for the fabric).
+//   TTAS   — failed attempts spin on a Shared copy (local reads); the line
+//            only bounces on release/acquire bursts.
+//   Ticket — one FAA per acquisition on the ticket line plus a read-mostly
+//            serving line: bounded hand-offs and FIFO fairness.
+//   MCS    — queue lock: one SWP on the tail per acquisition, then purely
+//            local spinning on a per-thread node; point-to-point hand-off.
+// All locks satisfy the same informal Lockable concept (lock/try_lock/
+// unlock) so the counter and example code is lock-agnostic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "atomics/backoff.hpp"
+#include "common/cacheline.hpp"
+#include "common/cpu.hpp"
+
+namespace am::locks {
+
+/// Plain test-and-set lock: exchange until the previous value was 0.
+class TasLock {
+ public:
+  void lock() noexcept {
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      cpu_relax();
+    }
+  }
+  bool try_lock() noexcept {
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint32_t> flag_{0};
+};
+
+/// Test-and-test-and-set: spin reading (Shared copy) and only attempt the
+/// exchange when the lock looks free.
+class TtasLock {
+ public:
+  void lock() noexcept {
+    while (true) {
+      while (flag_.load(std::memory_order_relaxed) != 0) cpu_relax();
+      if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
+    }
+  }
+  bool try_lock() noexcept {
+    return flag_.load(std::memory_order_relaxed) == 0 &&
+           flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint32_t> flag_{0};
+};
+
+/// TTAS with bounded exponential backoff between attempts.
+class BackoffTtasLock {
+ public:
+  void lock() noexcept {
+    ExponentialBackoff backoff;
+    while (true) {
+      while (flag_.load(std::memory_order_relaxed) != 0) backoff.pause();
+      if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
+    }
+  }
+  bool try_lock() noexcept {
+    return flag_.load(std::memory_order_relaxed) == 0 &&
+           flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint32_t> flag_{0};
+};
+
+/// FIFO ticket lock: FAA takes a ticket, waiters poll the serving counter.
+class TicketLock {
+ public:
+  void lock() noexcept {
+    const std::uint64_t my = next_.fetch_add(1, std::memory_order_acq_rel);
+    while (serving_.load(std::memory_order_acquire) != my) cpu_relax();
+  }
+  bool try_lock() noexcept {
+    std::uint64_t serving = serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = serving;
+    // Take a ticket only if it would be served immediately.
+    return next_.compare_exchange_strong(expected, serving + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+  void unlock() noexcept {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint64_t> next_{0};
+  alignas(kNoFalseSharingAlign) std::atomic<std::uint64_t> serving_{0};
+};
+
+/// MCS queue lock. Each thread supplies its own node (usually on its stack
+/// or in thread-local storage); spinning happens on the node, not the lock.
+class McsLock {
+ public:
+  struct alignas(kNoFalseSharingAlign) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  void lock(Node& node) noexcept {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(true, std::memory_order_relaxed);
+    Node* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      prev->next.store(&node, std::memory_order_release);
+      while (node.locked.load(std::memory_order_acquire)) cpu_relax();
+    }
+  }
+
+  void unlock(Node& node) noexcept {
+    Node* successor = node.next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+      Node* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;  // no one queued behind us
+      }
+      // A successor is mid-enqueue; wait for the link to appear.
+      while ((successor = node.next.load(std::memory_order_acquire)) ==
+             nullptr) {
+        cpu_relax();
+      }
+    }
+    successor->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  alignas(kNoFalseSharingAlign) std::atomic<Node*> tail_{nullptr};
+};
+
+/// RAII guard for the lock()/unlock() style locks above.
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& lock) noexcept : lock_(lock) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace am::locks

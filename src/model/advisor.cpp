@@ -1,0 +1,159 @@
+#include "model/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace am::model {
+
+namespace {
+
+void finalize(Advice& advice) {
+  std::sort(advice.options.begin(), advice.options.end(),
+            [](const Option& a, const Option& b) {
+              return a.throughput_mops > b.throughput_mops;
+            });
+  advice.recommended = advice.options.front().name;
+}
+
+double mops_from_cycles_per_op(const ModelParams& p, double cycles_per_op,
+                               double concurrency = 1.0) {
+  if (cycles_per_op <= 0.0) return 0.0;
+  return concurrency * p.freq_ghz * 1e3 / cycles_per_op;
+}
+
+}  // namespace
+
+Advice advise_counter(const BouncingModel& model, std::uint32_t threads,
+                      double work) {
+  Advice advice;
+  advice.scenario = "shared counter, " + std::to_string(threads) +
+                    " threads, work=" + std::to_string(static_cast<long>(work));
+
+  const Prediction faa = model.predict(Primitive::kFaa, threads, work);
+  const Prediction casloop = model.predict(Primitive::kCasLoop, threads, work);
+  advice.options.push_back(
+      {"FAA", faa.throughput_mops, "one line acquisition per increment"});
+  advice.options.push_back(
+      {"CAS-loop", casloop.throughput_mops,
+       "~" + std::to_string(static_cast<int>(casloop.attempts_per_op + 0.5)) +
+           " acquisitions per increment under this contention"});
+
+  // Lock-protected increment, priced like advise_lock's TAS formula: the
+  // critical section is one FAA bounce on the data line, the release store
+  // queues behind ~n/2 failed exchanges on the lock line.
+  const double n = static_cast<double>(std::max(1u, threads));
+  const double T = model.mean_transfer(threads);
+  const double h_rmw = T + model.params().local_op_cycles(Primitive::kSwap);
+  const double h_store = T + model.params().local_op_cycles(Primitive::kStore);
+  const double cs = (threads >= 2 ? T : 0.0) +
+                    model.params().local_op_cycles(Primitive::kFaa);
+  const double lock_cycles =
+      threads >= 2 ? cs + h_store + (n / 2.0) * h_rmw
+                   : cs + 2.0 * model.params().local_op_cycles(Primitive::kSwap);
+  const double x_lock =
+      std::min(mops_from_cycles_per_op(model.params(), lock_cycles),
+               mops_from_cycles_per_op(model.params(), work + lock_cycles,
+                                       static_cast<double>(threads)));
+  advice.options.push_back(
+      {"lock+inc", x_lock, "serializes two lines instead of one"});
+
+  // Sharding sidesteps the bounce entirely once shards ~ threads.
+  const std::uint32_t k = std::max(1u, threads);
+  advice.options.push_back(
+      {"sharded", predict_sharded_counter_mops(model, threads, work, k),
+       "per-thread shards; reads must sum " + std::to_string(k) + " lines"});
+
+  finalize(advice);
+  std::ostringstream why;
+  why.precision(1);
+  why << std::fixed << "FAA completes one increment per line hand-off; a CAS "
+      << "loop needs ~" << casloop.attempts_per_op
+      << " hand-offs per increment at " << threads
+      << " threads (crossover work w* = " << faa.crossover_work
+      << " cycles).";
+  advice.rationale = why.str();
+  return advice;
+}
+
+Advice advise_lock(const BouncingModel& model, std::uint32_t threads,
+                   double critical_cycles, double outside_cycles) {
+  Advice advice;
+  advice.scenario = "spinlock, " + std::to_string(threads) + " threads, cs=" +
+                    std::to_string(static_cast<long>(critical_cycles));
+
+  const ModelParams& p = model.params();
+  const double n = static_cast<double>(std::max(1u, threads));
+  const double T = model.mean_transfer(threads);
+  const double h_rmw = T + p.local_op_cycles(Primitive::kSwap);
+  const double h_store = T + p.local_op_cycles(Primitive::kStore);
+
+  // Cost per lock hand-off (acquisition-to-acquisition), derived from the
+  // bouncing model; each formula states which line transfers it prices.
+  //
+  // TAS: while the lock is held, every contender keeps bouncing the lock
+  // line with failed exchanges, delaying the release store behind ~n/2
+  // queued exchanges on average.
+  const double tas = critical_cycles + h_store + (n / 2.0) * h_rmw;
+  // TTAS: contenders spin on Shared copies (local reads, no bouncing); a
+  // release triggers an invalidation burst — every spinner re-fetches a
+  // shared copy (serialized at the directory) and about half race an
+  // exchange before the winner's store is visible.
+  const double ttas = critical_cycles + h_store + h_rmw +
+                      (n / 2.0) * p.shared_supply;
+  // Ticket: one FAA on the ticket line per acquisition plus the release
+  // store and the next waiter's refill of the serving line. Perfectly fair.
+  const double ticket =
+      critical_cycles + (T + p.local_op_cycles(Primitive::kFaa)) + h_store +
+      p.shared_supply;
+  // MCS: one SWP on the tail plus a point-to-point store to the successor's
+  // node; spinning is entirely local.
+  const double mcs = critical_cycles + h_rmw + h_store;
+
+  const double total_demand = outside_cycles + critical_cycles;
+  auto price = [&](double handoff_cycles, const char* name, const char* note) {
+    // Saturated: one critical section per hand-off. Unsaturated: each
+    // thread loops at its own pace.
+    const double x = std::min(
+        mops_from_cycles_per_op(p, handoff_cycles),
+        mops_from_cycles_per_op(p, total_demand + handoff_cycles, n));
+    advice.options.push_back({name, x, note});
+  };
+  price(tas, "TAS", "lock line bounces on every failed attempt");
+  price(ttas, "TTAS", "spin on shared copies; burst on release");
+  price(ticket, "ticket", "fair; two lines but bounded hand-off");
+  price(mcs, "MCS", "local spinning; point-to-point hand-off");
+
+  finalize(advice);
+  std::ostringstream why;
+  why << "hand-off cost per acquisition at " << threads
+      << " threads: TAS=" << tas << " TTAS=" << ttas << " ticket=" << ticket
+      << " MCS=" << mcs << " cycles (T=" << T << ").";
+  advice.rationale = why.str();
+  return advice;
+}
+
+double predict_sharded_counter_mops(const BouncingModel& model,
+                                    std::uint32_t threads, double work,
+                                    std::uint32_t shards) {
+  if (threads == 0) return 0.0;
+  shards = std::max(1u, std::min(shards, threads));
+  // Threads per shard (ceil); each shard behaves like an independent
+  // high-contention cell with that many threads.
+  const std::uint32_t per_shard = (threads + shards - 1) / shards;
+  const Prediction p = model.predict(Primitive::kFaa, per_shard, work);
+  // Shards with fewer threads only raise the total; the floor is tight.
+  const double full_shards = static_cast<double>(threads) / per_shard;
+  return p.throughput_mops * full_shards;
+}
+
+double recommended_backoff_cycles(const BouncingModel& model,
+                                  std::uint32_t threads) {
+  // A paced CAS loop still needs ~2 acquisitions per op (stale first
+  // attempt + held retry), so leaving the saturated regime needs 2x the
+  // single-acquisition crossover, plus headroom — at exactly the boundary
+  // the queue never drains. 3x maximizes completed-op throughput in the
+  // backoff ablation (bench_a1_ablations).
+  return 3.0 * model.crossover_work(Primitive::kCasLoop, threads);
+}
+
+}  // namespace am::model

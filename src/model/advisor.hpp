@@ -1,0 +1,57 @@
+// Algorithmic-design advisor: the "facilitates design decisions" use of the
+// model the paper's abstract promises.
+//
+// Given a workload sketch (thread count, work between shared accesses) the
+// advisor prices the standard implementation options with the bouncing
+// model and recommends one:
+//   * shared counters — FAA vs CAS retry loop vs lock-protected increment;
+//   * spinlocks       — TAS vs TTAS vs ticket vs MCS (closed-form hand-off
+//     costs per lock algorithm, documented inline);
+//   * backoff         — the work a CAS loop should insert between retries
+//     to leave the high-contention regime (w* from the model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/bouncing_model.hpp"
+
+namespace am::model {
+
+struct Option {
+  std::string name;
+  double throughput_mops = 0.0;
+  std::string note;
+};
+
+struct Advice {
+  std::string scenario;
+  std::vector<Option> options;  ///< sorted best-first
+  std::string recommended;      ///< == options.front().name
+  std::string rationale;
+};
+
+/// Shared counter incremented by @p threads threads every @p work cycles.
+Advice advise_counter(const BouncingModel& model, std::uint32_t threads,
+                      double work);
+
+/// Sharded-counter throughput estimate: k independent shards, each shared
+/// by ceil(threads/k) threads, priced with the bouncing model. The read
+/// side pays k line fetches, which is why k stops helping past ~threads.
+double predict_sharded_counter_mops(const BouncingModel& model,
+                                    std::uint32_t threads, double work,
+                                    std::uint32_t shards);
+
+/// Spinlock with @p critical_cycles inside and @p outside_cycles between
+/// acquisitions, across @p threads threads.
+Advice advise_lock(const BouncingModel& model, std::uint32_t threads,
+                   double critical_cycles, double outside_cycles);
+
+/// Backoff a CAS loop should apply between retries so the line leaves the
+/// saturated regime: 3 * w* = 3 * (N-1) * h — 2x for the loop's ~2
+/// acquisitions per completed op plus drain headroom (0 for <= 1 thread).
+double recommended_backoff_cycles(const BouncingModel& model,
+                                  std::uint32_t threads);
+
+}  // namespace am::model

@@ -1,0 +1,174 @@
+#include "model/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "model/handoff.hpp"
+
+namespace am::model {
+
+namespace {
+
+/// Median of a few repeated probe measurements.
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::vector<std::uint32_t> default_sweep(std::uint32_t max_threads) {
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t n : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+    if (n <= max_threads) sweep.push_back(n);
+  }
+  if (sweep.empty()) sweep.push_back(std::max(2u, max_threads));
+  return sweep;
+}
+
+}  // namespace
+
+ModelParams Calibration::apply_to(ModelParams skeleton) const {
+  for (std::size_t p = 0; p < local_cost.size(); ++p) {
+    skeleton.exec_cost[p] = std::max(0.0, local_cost[p] - skeleton.l1_hit);
+  }
+  const std::uint32_t n = skeleton.cores;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::size_t idx = static_cast<std::size_t>(i) * n + j;
+      skeleton.transfer[idx] =
+          hop_fit ? std::max(0.0, t_base + t_per_hop * skeleton.hops[idx])
+                  : (skeleton.is_far[idx] ? t_far : t_near);
+    }
+  }
+  return skeleton;
+}
+
+Calibration calibrate(bench::ExecutionBackend& backend,
+                      const ModelParams& skeleton,
+                      const CalibrationOptions& options) {
+  Calibration cal;
+  cal.backend = backend.name() + ":" + backend.machine_name();
+  std::ostringstream log;
+
+  // --- Probe 1: local cost per primitive (1 thread, private line) ----------
+  for (Primitive p : all_primitives()) {
+    std::vector<double> samples;
+    for (std::uint32_t rep = 0; rep < std::max(1u, options.repetitions); ++rep) {
+      bench::WorkloadConfig w;
+      w.mode = bench::WorkloadMode::kLowContention;
+      w.prim = p;
+      w.threads = 1;
+      w.work = 0;
+      w.seed = 17 + rep;
+      const auto run = backend.run(w);
+      // Throughput is the robust estimator here (latency sampling has
+      // timer overhead on hardware): c = cycles per op.
+      if (run.total_ops() > 0) {
+        samples.push_back(run.duration_cycles /
+                          static_cast<double>(run.total_ops()));
+      }
+    }
+    const double c = median_of(std::move(samples));
+    cal.local_cost[static_cast<std::size_t>(p)] = c;
+    log << "local cost " << to_string(p) << " = " << c << " cy\n";
+  }
+
+  // --- Probe 2: transfer costs from a FAA high-contention sweep ------------
+  auto sweep = options.sweep_threads.empty()
+                   ? default_sweep(std::min(backend.max_threads(),
+                                            skeleton.cores))
+                   : options.sweep_threads;
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<double>> hop_rows;
+  std::vector<double> y;
+  const double c_faa = cal.local_cost[static_cast<std::size_t>(Primitive::kFaa)];
+  for (std::uint32_t n : sweep) {
+    if (n < 2 || n > backend.max_threads() || n > skeleton.cores) continue;
+    std::vector<double> samples;
+    for (std::uint32_t rep = 0; rep < std::max(1u, options.repetitions); ++rep) {
+      bench::WorkloadConfig w;
+      w.mode = bench::WorkloadMode::kHighContention;
+      w.prim = Primitive::kFaa;
+      w.threads = n;
+      w.work = 0;
+      w.seed = 23 + rep;
+      const auto run = backend.run(w);
+      const double x = run.throughput_ops_per_kcycle();
+      if (x > 0.0) samples.push_back(1000.0 / x);  // h(N), cycles
+    }
+    const double h = median_of(std::move(samples));
+    const double t = std::max(0.0, h - c_faa);
+
+    // The near/far mixture of the hand-off chain is structural: it depends
+    // on which pairs are far, not on the unknown costs.
+    const HandoffEstimate ho = estimate_handoff(skeleton, n, c_faa);
+    rows.push_back({1.0 - ho.far_fraction, ho.far_fraction});
+    hop_rows.push_back({1.0, ho.mean_hops});
+    y.push_back(t);
+    log << "h(" << n << ") = " << h << " cy -> T = " << t
+        << " cy (far fraction " << ho.far_fraction << ")\n";
+  }
+
+  if (rows.empty()) {
+    cal.log = log.str() + "no usable sweep points\n";
+    return cal;
+  }
+
+  bool any_far = false;
+  for (const auto& r : rows) any_far |= r[1] > 0.0;
+
+  if (!any_far) {
+    // Single-class machine (uniform/one socket): t_near is the mean, t_far
+    // is unidentifiable and copied from t_near.
+    double sum = 0.0;
+    for (double v : y) sum += v;
+    cal.t_near = sum / static_cast<double>(y.size());
+    cal.t_far = cal.t_near;
+    cal.fit_r_squared = 1.0;
+    cal.ok = true;
+    log << "single transfer class: t = " << cal.t_near << " cy\n";
+  } else {
+    const LeastSquaresFit fit = least_squares(rows, y);
+    if (fit.ok && fit.coefficients.size() == 2) {
+      cal.t_near = std::max(0.0, fit.coefficients[0]);
+      cal.t_far = std::max(0.0, fit.coefficients[1]);
+      cal.fit_r_squared = fit.r_squared;
+      cal.ok = true;
+      log << "fit: t_near = " << cal.t_near << " cy, t_far = " << cal.t_far
+          << " cy (r^2 = " << fit.r_squared << ")\n";
+    } else {
+      log << "least-squares fit failed\n";
+    }
+  }
+
+  // Distance-aware refinement for topologies whose hop counts vary (the
+  // mesh): t(n) = t_base + t_per_hop * mean_hops(n).
+  double min_hops = 1e300;
+  double max_hops = -1e300;
+  for (const auto& r : hop_rows) {
+    min_hops = std::min(min_hops, r[1]);
+    max_hops = std::max(max_hops, r[1]);
+  }
+  if (cal.ok && hop_rows.size() >= 2 && max_hops - min_hops > 0.05) {
+    const LeastSquaresFit fit = least_squares(hop_rows, y);
+    if (fit.ok && fit.coefficients.size() == 2 &&
+        fit.r_squared > cal.fit_r_squared) {
+      cal.hop_fit = true;
+      cal.t_base = std::max(0.0, fit.coefficients[0]);
+      cal.t_per_hop = std::max(0.0, fit.coefficients[1]);
+      cal.hop_fit_r_squared = fit.r_squared;
+      log << "hop fit: t = " << cal.t_base << " + " << cal.t_per_hop
+          << " * hops (r^2 = " << fit.r_squared
+          << ") — used instead of the two-class fit\n";
+    }
+  }
+
+  cal.log = log.str();
+  return cal;
+}
+
+}  // namespace am::model

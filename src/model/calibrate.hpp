@@ -1,0 +1,65 @@
+// Model calibration: instantiating the bouncing model from measurements.
+//
+// The paper's point is that the model is "very simple to be used in
+// practice": a handful of probe runs determine every parameter.
+//   1. One single-threaded run per primitive on a private line measures the
+//      local cost c_p (cache access + execute).
+//   2. A FAA thread sweep under high contention measures the hand-off time
+//      h(N) = 1/X(N); subtracting c_FAA leaves the mean transfer cost
+//      T(N), which is a known mixture of the near- and far-class transfer
+//      costs for the machine's topology — a least-squares fit over the
+//      sweep recovers t_near and t_far.
+// The same procedure runs unchanged against the simulator or real hardware
+// through the ExecutionBackend seam.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_core/backend.hpp"
+#include "model/params.hpp"
+
+namespace am::model {
+
+struct CalibrationOptions {
+  /// Thread counts for the transfer-cost sweep; empty = derived from the
+  /// backend's maximum (a spread of ~8 points).
+  std::vector<std::uint32_t> sweep_threads;
+  /// Repetitions per probe point (medians are taken); >1 only matters on
+  /// noisy hardware.
+  std::uint32_t repetitions = 1;
+};
+
+struct Calibration {
+  bool ok = false;
+  /// Measured local cost per primitive (l1 + exec combined), cycles.
+  std::array<double, 7> local_cost{};
+  double t_near = 0.0;
+  double t_far = 0.0;
+  double fit_r_squared = 0.0;
+  /// Distance-aware fit t(i,j) = t_base + t_per_hop * hops(i,j), used when
+  /// the topology's hop counts vary (the KNL mesh). Strictly better than
+  /// the two-class fit there; absent on two-class machines.
+  bool hop_fit = false;
+  double t_base = 0.0;
+  double t_per_hop = 0.0;
+  double hop_fit_r_squared = 0.0;
+  std::string backend;
+  std::string log;  ///< human-readable account of every probe
+
+  /// Returns @p skeleton with its cost parameters replaced by the calibrated
+  /// ones: every near-class pair gets t_near, far-class pairs t_far, and the
+  /// per-primitive exec costs are local_cost - skeleton.l1_hit. The skeleton
+  /// supplies structure only (which pairs are near/far, arbitration).
+  ModelParams apply_to(ModelParams skeleton) const;
+};
+
+/// Runs the probe suite on @p backend. @p skeleton provides the machine's
+/// structure (topology classes); its cost values are ignored.
+Calibration calibrate(bench::ExecutionBackend& backend,
+                      const ModelParams& skeleton,
+                      const CalibrationOptions& options = {});
+
+}  // namespace am::model

@@ -1,0 +1,39 @@
+#include "model/params.hpp"
+
+namespace am::model {
+
+ModelParams ModelParams::from_machine(const sim::MachineConfig& config) {
+  ModelParams p;
+  p.machine = config.name;
+  p.freq_ghz = config.freq_ghz;
+  p.cores = config.core_count();
+  p.l1_hit = static_cast<double>(config.l1_hit);
+  for (std::size_t i = 0; i < p.exec_cost.size(); ++i) {
+    p.exec_cost[i] = static_cast<double>(config.exec_cost[i]);
+  }
+  p.memory_fill = static_cast<double>(config.memory_fill);
+  p.shared_supply = static_cast<double>(config.shared_supply);
+  p.arbitration = config.arbitration;
+  p.aging_limit = static_cast<double>(config.arbitration_age_limit);
+  p.arbitration_bias = config.arbitration_bias;
+  p.energy = config.energy;
+
+  const auto ic = config.make_interconnect();
+  const std::uint32_t n = p.cores;
+  p.transfer.resize(static_cast<std::size_t>(n) * n);
+  p.hops.resize(static_cast<std::size_t>(n) * n);
+  p.is_far.resize(static_cast<std::size_t>(n) * n);
+  p.distance.resize(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i) * n + j;
+      p.transfer[idx] = static_cast<double>(ic->transfer_cycles(i, j));
+      p.hops[idx] = static_cast<double>(ic->hops(i, j));
+      p.is_far[idx] = ic->supply_class(i, j) == sim::Supply::kFar ? 1 : 0;
+      p.distance[idx] = static_cast<double>(ic->distance(i, j));
+    }
+  }
+  return p;
+}
+
+}  // namespace am::model

@@ -1,0 +1,74 @@
+// Parameters of the cache-line-bouncing performance model.
+//
+// The model (Section "The model" in DESIGN.md) is parameterized by
+//   * c_p   — execution cost of primitive p with the line already held,
+//   * t_ij  — cache-line transfer cost between cores i and j,
+//   * memory/shared-supply fill costs, and
+//   * the arbitration policy of the coherence fabric.
+// Parameters come either from a MachineConfig (analytic mode — we know the
+// simulated machine's constants) or from calibration probes run against an
+// ExecutionBackend (calibrated mode — how the model would be instantiated on
+// real hardware; see calibrate.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "sim/config.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/types.hpp"
+
+namespace am::model {
+
+struct ModelParams {
+  std::string machine = "unknown";
+  double freq_ghz = 1.0;
+  std::uint32_t cores = 0;
+
+  double l1_hit = 4.0;  ///< cycles to operate on a held line (cache access)
+  /// Execution cost per primitive (indexed by Primitive), excludes l1_hit.
+  std::array<double, 7> exec_cost{};
+  double memory_fill = 200.0;
+  double shared_supply = 40.0;
+
+  sim::Arbitration arbitration = sim::Arbitration::kFifo;
+  double aging_limit = 1500.0;
+  double arbitration_bias = 1.0;  ///< kProximityBiased temperature
+
+  /// Pairwise cache-to-cache transfer cost, row-major cores x cores.
+  std::vector<double> transfer;
+  /// Pairwise hop counts (energy model) and far-class flags.
+  std::vector<double> hops;
+  std::vector<std::uint8_t> is_far;
+  /// Pairwise arbitration distance (the fabric's proximity metric).
+  std::vector<double> distance;
+
+  sim::EnergyParams energy{};
+
+  double transfer_between(std::uint32_t from, std::uint32_t to) const {
+    return transfer.at(static_cast<std::size_t>(from) * cores + to);
+  }
+  double hops_between(std::uint32_t from, std::uint32_t to) const {
+    return hops.at(static_cast<std::size_t>(from) * cores + to);
+  }
+  bool far_between(std::uint32_t from, std::uint32_t to) const {
+    return is_far.at(static_cast<std::size_t>(from) * cores + to) != 0;
+  }
+  double distance_between(std::uint32_t from, std::uint32_t to) const {
+    return distance.at(static_cast<std::size_t>(from) * cores + to);
+  }
+
+  double exec_of(Primitive p) const {
+    return exec_cost[static_cast<std::size_t>(p)];
+  }
+  /// Cost of one completed primitive on a held line: cache access + execute.
+  double local_op_cycles(Primitive p) const { return l1_hit + exec_of(p); }
+
+  /// Builds analytic-mode parameters from a simulator machine description.
+  static ModelParams from_machine(const sim::MachineConfig& config);
+};
+
+}  // namespace am::model

@@ -1,0 +1,28 @@
+// Persistence for calibrated model parameters: calibrate a machine once,
+// save the parameters, and load them in later runs / on other hosts.
+//
+// Format: a self-describing line-oriented text file ("amp1" header), stable
+// across versions as long as fields are only appended. Matrices are stored
+// row-major; exact round-trip is covered by tests/model/params_io_test.cpp.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "model/params.hpp"
+
+namespace am::model {
+
+/// Serializes @p params into the amp1 text format.
+void save_params(const ModelParams& params, std::ostream& out);
+
+/// Parses an amp1 stream; returns nullopt on malformed input (wrong header,
+/// truncated matrices, non-numeric fields).
+std::optional<ModelParams> load_params(std::istream& in);
+
+/// Convenience file wrappers; false/nullopt on I/O failure.
+bool save_params_file(const ModelParams& params, const std::string& path);
+std::optional<ModelParams> load_params_file(const std::string& path);
+
+}  // namespace am::model

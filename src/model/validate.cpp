@@ -1,0 +1,66 @@
+#include "model/validate.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace am::model {
+
+double ValidationPoint::tput_error() const {
+  if (measured_tput == 0.0) return 0.0;
+  return std::fabs(predicted_tput - measured_tput) / measured_tput;
+}
+
+double ValidationPoint::latency_error() const {
+  if (measured_latency == 0.0) return 0.0;
+  return std::fabs(predicted_latency - measured_latency) / measured_latency;
+}
+
+ValidationReport validate(bench::ExecutionBackend& backend,
+                          const BouncingModel& model,
+                          const ValidationOptions& options) {
+  ValidationReport report;
+  for (Primitive prim : options.primitives) {
+    for (std::uint32_t n : options.thread_counts) {
+      if (n > backend.max_threads()) continue;
+      for (double w : options.work_values) {
+        bench::WorkloadConfig cfg;
+        cfg.mode = bench::WorkloadMode::kHighContention;
+        cfg.prim = prim;
+        cfg.threads = n;
+        cfg.work = static_cast<bench::Cycles>(w);
+        cfg.seed = 29;
+        const auto run = backend.run(cfg);
+
+        const Prediction pred = model.predict(prim, n, w);
+
+        ValidationPoint pt;
+        pt.prim = prim;
+        pt.threads = n;
+        pt.work = w;
+        pt.measured_tput = run.throughput_ops_per_kcycle();
+        pt.predicted_tput = pred.throughput_ops_per_kcycle;
+        pt.measured_latency = run.mean_latency_cycles();
+        pt.predicted_latency = pred.latency_cycles;
+        report.points.push_back(pt);
+      }
+    }
+  }
+
+  std::vector<double> mt;
+  std::vector<double> pt;
+  std::vector<double> ml;
+  std::vector<double> pl;
+  for (const auto& p : report.points) {
+    mt.push_back(p.measured_tput);
+    pt.push_back(p.predicted_tput);
+    ml.push_back(p.measured_latency);
+    pl.push_back(p.predicted_latency);
+  }
+  report.mape_throughput = mape(pt, mt);
+  report.mape_latency = mape(pl, ml);
+  report.max_rel_err_throughput = max_relative_error(pt, mt);
+  return report;
+}
+
+}  // namespace am::model

@@ -1,0 +1,48 @@
+// Model validation: predicted vs measured across the experiment grid
+// (Table 3 of the reproduction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_core/backend.hpp"
+#include "model/bouncing_model.hpp"
+
+namespace am::model {
+
+struct ValidationPoint {
+  Primitive prim = Primitive::kFaa;
+  std::uint32_t threads = 1;
+  double work = 0.0;
+
+  double measured_tput = 0.0;   ///< ops per kcycle
+  double predicted_tput = 0.0;
+  double measured_latency = 0.0;  ///< cycles
+  double predicted_latency = 0.0;
+
+  double tput_error() const;     ///< |pred-meas|/meas, fraction
+  double latency_error() const;
+};
+
+struct ValidationOptions {
+  std::vector<Primitive> primitives = {Primitive::kFaa, Primitive::kSwap,
+                                       Primitive::kCas, Primitive::kCasLoop,
+                                       Primitive::kLoad};
+  std::vector<std::uint32_t> thread_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<double> work_values = {0.0, 200.0, 1000.0, 4000.0};
+};
+
+struct ValidationReport {
+  std::vector<ValidationPoint> points;
+  double mape_throughput = 0.0;
+  double mape_latency = 0.0;
+  double max_rel_err_throughput = 0.0;
+};
+
+/// Measures every grid point on @p backend, predicts it with @p model, and
+/// aggregates the error metrics.
+ValidationReport validate(bench::ExecutionBackend& backend,
+                          const BouncingModel& model,
+                          const ValidationOptions& options = {});
+
+}  // namespace am::model

@@ -1,0 +1,71 @@
+#include "perfmon/rapl.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace am {
+
+EnergyReading EnergyReading::operator-(const EnergyReading& start) const noexcept {
+  EnergyReading d;
+  d.package_valid = package_valid && start.package_valid;
+  d.dram_valid = dram_valid && start.dram_valid;
+  // Counters are cumulative; a negative delta means the counter wrapped
+  // within the epoch. That takes hours on real hardware, so clamping to 0 is
+  // both safe and honest (the sample is then visibly bogus rather than huge).
+  d.package_j = package_j >= start.package_j ? package_j - start.package_j : 0.0;
+  d.dram_j = dram_j >= start.dram_j ? dram_j - start.dram_j : 0.0;
+  return d;
+}
+
+namespace {
+
+std::optional<std::string> read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Rapl::Rapl(std::string root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string dir = entry.path().string();
+    const auto name = read_line(dir + "/name");
+    if (!name) continue;
+    Zone z;
+    z.energy_path = dir + "/energy_uj";
+    if (const auto range = read_line(dir + "/max_energy_range_uj")) {
+      z.max_range_uj = std::strtoull(range->c_str(), nullptr, 10);
+    }
+    // Top-level package zones are named "package-N"; DRAM subzones "dram".
+    if (name->rfind("package", 0) == 0 || *name == "psys") {
+      if (read_line(z.energy_path)) package_zones_.push_back(z);
+    } else if (*name == "dram") {
+      if (read_line(z.energy_path)) dram_zones_.push_back(z);
+    }
+  }
+}
+
+double Rapl::read_zones(const std::vector<Zone>& zones, bool& valid) {
+  double total_uj = 0.0;
+  valid = false;
+  for (const auto& z : zones) {
+    const auto line = read_line(z.energy_path);
+    if (!line) continue;
+    total_uj += static_cast<double>(std::strtoull(line->c_str(), nullptr, 10));
+    valid = true;
+  }
+  return total_uj * 1e-6;
+}
+
+EnergyReading Rapl::read() const {
+  EnergyReading r;
+  r.package_j = read_zones(package_zones_, r.package_valid);
+  r.dram_j = read_zones(dram_zones_, r.dram_valid);
+  return r;
+}
+
+}  // namespace am

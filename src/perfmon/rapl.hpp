@@ -1,0 +1,55 @@
+// RAPL (Running Average Power Limit) energy readings via the Linux powercap
+// interface.
+//
+// The paper's energy figures read the package and DRAM RAPL domains before
+// and after each measurement epoch and divide by the number of completed
+// operations. On machines (or containers) where powercap is not exposed the
+// reader reports unavailable and the energy experiments fall back to the
+// simulator's event-based energy model (see sim/energy_model.hpp), which is
+// the documented hardware substitution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace am {
+
+/// Energy snapshot across RAPL domains, in joules.
+struct EnergyReading {
+  double package_j = 0.0;  ///< sum over all package domains
+  double dram_j = 0.0;     ///< sum over all DRAM subdomains
+  bool package_valid = false;
+  bool dram_valid = false;
+
+  EnergyReading operator-(const EnergyReading& start) const noexcept;
+};
+
+class Rapl {
+ public:
+  /// Scans /sys/class/powercap for intel-rapl zones.
+  /// @param root overrides the sysfs root (used by tests with a fake tree).
+  explicit Rapl(std::string root = "/sys/class/powercap");
+
+  bool available() const noexcept { return !package_zones_.empty(); }
+  std::size_t package_zone_count() const noexcept { return package_zones_.size(); }
+  std::size_t dram_zone_count() const noexcept { return dram_zones_.size(); }
+
+  /// Reads current cumulative counters. Wraparound between two readings is
+  /// corrected by the caller-facing delta in EnergyReading::operator- as
+  /// long as at most one wrap occurred (counters wrap on the order of hours).
+  EnergyReading read() const;
+
+ private:
+  struct Zone {
+    std::string energy_path;
+    std::uint64_t max_range_uj = 0;
+  };
+  std::vector<Zone> package_zones_;
+  std::vector<Zone> dram_zones_;
+
+  static double read_zones(const std::vector<Zone>& zones, bool& valid);
+};
+
+}  // namespace am

@@ -1,0 +1,123 @@
+#include "sim/config.hpp"
+
+namespace am::sim {
+
+std::unique_ptr<Interconnect> MachineConfig::make_interconnect() const {
+  auto base = [this]() -> std::unique_ptr<Interconnect> {
+    switch (interconnect) {
+    case InterconnectKind::kTwoSocket:
+      return std::make_unique<TwoSocketInterconnect>(cores / 2, same_socket_xfer,
+                                                     cross_socket_xfer);
+    case InterconnectKind::kMesh:
+      return std::make_unique<MeshInterconnect>(mesh_width, mesh_height,
+                                                mesh_base_xfer, mesh_per_hop,
+                                                mesh_near_hops);
+      case InterconnectKind::kUniform:
+        return std::make_unique<UniformInterconnect>(cores, uniform_xfer);
+    }
+    return nullptr;
+  }();
+  if (placement.empty() || !base) return base;
+  return std::make_unique<PermutedInterconnect>(std::move(base), placement);
+}
+
+std::vector<CoreId> placement_for(CoreId cores, bool scatter) {
+  std::vector<CoreId> perm;
+  perm.reserve(cores);
+  if (!scatter) {
+    for (CoreId c = 0; c < cores; ++c) perm.push_back(c);
+    return perm;
+  }
+  const CoreId half = cores / 2;
+  for (CoreId i = 0; i < half; ++i) {
+    perm.push_back(i);
+    perm.push_back(half + i);
+  }
+  if (cores % 2 != 0) perm.push_back(cores - 1);
+  return perm;
+}
+
+CoreId MachineConfig::core_count() const noexcept {
+  if (interconnect == InterconnectKind::kMesh) return mesh_width * mesh_height;
+  return cores;
+}
+
+MachineConfig xeon_e5_2x18() {
+  MachineConfig c;
+  c.name = "xeon-e5-2x18";
+  c.freq_ghz = 2.3;
+  c.interconnect = InterconnectKind::kTwoSocket;
+  c.cores = 36;
+  c.l1_hit = 4;
+  c.same_socket_xfer = 70;
+  c.cross_socket_xfer = 180;
+  c.memory_fill = 230;
+  c.shared_supply = 40;
+  // LOAD, STORE, SWP, TAS, FAA, CAS, CASLOOP-attempt
+  c.exec_cost = {1, 1, 19, 19, 19, 24, 24};
+  c.arbitration = Arbitration::kProximityBiased;  // Xeon fabrics favour locality
+  c.arbitration_bias = 0.5;  // same-socket requesters win ~7x more races
+  c.energy.freq_ghz = 2.3;
+  c.energy.core_active_watts = 4.5;
+  c.energy.core_spin_watts = 1.8;
+  c.energy.transfer_nj_base = 2.0;
+  c.energy.transfer_nj_per_hop = 1.0;
+  c.energy.cross_link_nj = 8.0;
+  c.energy.memory_nj = 20.0;
+  return c;
+}
+
+MachineConfig knl_64() {
+  MachineConfig c;
+  c.name = "knl-64";
+  c.freq_ghz = 1.4;
+  c.interconnect = InterconnectKind::kMesh;
+  c.mesh_width = 8;
+  c.mesh_height = 8;
+  c.cores = 64;
+  c.l1_hit = 5;
+  c.mesh_base_xfer = 150;  // KNL cache-to-cache is much slower than Xeon's
+  c.mesh_per_hop = 6;
+  c.mesh_near_hops = 4;
+  c.memory_fill = 300;     // DDR side; MCDRAM would be ~170
+  c.shared_supply = 60;
+  c.exec_cost = {2, 2, 28, 28, 28, 34, 34};  // silvermont-derived cores
+  c.arbitration = Arbitration::kProximityBiased;
+  c.arbitration_bias = 3.0;  // bias decays over mesh hops
+  c.energy.freq_ghz = 1.4;
+  c.energy.core_active_watts = 2.8;  // many simple cores, lower per-core power
+  c.energy.core_spin_watts = 1.0;
+  c.energy.transfer_nj_base = 1.5;
+  c.energy.transfer_nj_per_hop = 0.8;
+  c.energy.cross_link_nj = 0.0;  // no socket crossing on die
+  c.energy.memory_nj = 22.0;
+  return c;
+}
+
+MachineConfig test_machine(CoreId cores, Cycles xfer, Cycles l1, Cycles mem) {
+  MachineConfig c;
+  c.name = "test-uniform";
+  c.freq_ghz = 1.0;
+  c.interconnect = InterconnectKind::kUniform;
+  c.cores = cores;
+  c.uniform_xfer = xfer;
+  c.l1_hit = l1;
+  c.memory_fill = mem;
+  c.shared_supply = xfer / 2;
+  c.exec_cost = {1, 1, 10, 10, 10, 10, 10};
+  c.arbitration = Arbitration::kFifo;
+  c.energy.freq_ghz = 1.0;
+  return c;
+}
+
+MachineConfig preset_by_name(const std::string& name) {
+  if (name == "xeon" || name == "xeon-e5-2x18" || name == "e5") {
+    return xeon_e5_2x18();
+  }
+  if (name == "knl" || name == "knl-64" || name == "phi") {
+    return knl_64();
+  }
+  return test_machine(4);
+}
+
+}  // namespace am::sim

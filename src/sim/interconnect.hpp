@@ -1,0 +1,132 @@
+// Interconnect topologies: transfer latencies between cores.
+//
+// The paper's model is parameterized entirely by the cost of moving a cache
+// line between two cores, which depends on where the cores sit. Two
+// topologies cover the two machines studied:
+//   * TwoSocketInterconnect — Xeon E5 style: a ring within each socket
+//     (flat intra-socket cost) and a QPI link between sockets.
+//   * MeshInterconnect — Xeon Phi KNL style: cores on a 2D mesh, XY
+//     routing, latency growing with Manhattan distance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  /// Cache-to-cache transfer latency (cycles) from the cache of @p from to
+  /// the cache of @p to, inclusive of the request/snoop round trip.
+  virtual Cycles transfer_cycles(CoreId from, CoreId to) const = 0;
+
+  /// Latency/energy class of that transfer.
+  virtual Supply supply_class(CoreId from, CoreId to) const = 0;
+
+  /// Abstract distance used by the NearestFirst arbitration policy
+  /// (smaller == closer). Hop count on the mesh, socket match on E5.
+  virtual std::uint32_t distance(CoreId from, CoreId to) const = 0;
+
+  /// Number of link traversals for the energy model.
+  virtual std::uint32_t hops(CoreId from, CoreId to) const = 0;
+
+  virtual CoreId core_count() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// Dual-socket machine: cores [0, per_socket) on socket 0, the rest on
+/// socket 1 (matching Topology::synthetic compact order for packages=2).
+class TwoSocketInterconnect final : public Interconnect {
+ public:
+  TwoSocketInterconnect(CoreId cores_per_socket, Cycles same_socket,
+                        Cycles cross_socket);
+
+  Cycles transfer_cycles(CoreId from, CoreId to) const override;
+  Supply supply_class(CoreId from, CoreId to) const override;
+  std::uint32_t distance(CoreId from, CoreId to) const override;
+  std::uint32_t hops(CoreId from, CoreId to) const override;
+  CoreId core_count() const override { return 2 * per_socket_; }
+  std::string describe() const override;
+
+  int socket_of(CoreId c) const noexcept {
+    return c < per_socket_ ? 0 : 1;
+  }
+
+ private:
+  CoreId per_socket_;
+  Cycles same_socket_;
+  Cycles cross_socket_;
+};
+
+/// 2D mesh: core c sits at (c % width, c / width); latency = base +
+/// per_hop * manhattan(from, to). Transfers within `near_hops` hops are
+/// classed kNear, beyond that kFar.
+class MeshInterconnect final : public Interconnect {
+ public:
+  MeshInterconnect(std::uint32_t width, std::uint32_t height, Cycles base,
+                   Cycles per_hop, std::uint32_t near_hops);
+
+  Cycles transfer_cycles(CoreId from, CoreId to) const override;
+  Supply supply_class(CoreId from, CoreId to) const override;
+  std::uint32_t distance(CoreId from, CoreId to) const override;
+  std::uint32_t hops(CoreId from, CoreId to) const override;
+  CoreId core_count() const override { return width_ * height_; }
+  std::string describe() const override;
+
+  std::uint32_t manhattan(CoreId from, CoreId to) const noexcept;
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+  Cycles base_;
+  Cycles per_hop_;
+  std::uint32_t near_hops_;
+};
+
+/// Remaps core ids through a placement permutation: logical core i of the
+/// workload occupies physical core perm[i]. This is how the backend models
+/// pinning policies (compact fills a socket first; scatter alternates
+/// sockets and maximises cross-socket hand-offs).
+class PermutedInterconnect final : public Interconnect {
+ public:
+  PermutedInterconnect(std::unique_ptr<Interconnect> inner,
+                       std::vector<CoreId> perm);
+
+  Cycles transfer_cycles(CoreId from, CoreId to) const override;
+  Supply supply_class(CoreId from, CoreId to) const override;
+  std::uint32_t distance(CoreId from, CoreId to) const override;
+  std::uint32_t hops(CoreId from, CoreId to) const override;
+  CoreId core_count() const override;
+  std::string describe() const override;
+
+ private:
+  CoreId map(CoreId c) const { return c < perm_.size() ? perm_[c] : c; }
+  std::unique_ptr<Interconnect> inner_;
+  std::vector<CoreId> perm_;
+};
+
+/// Uniform latency between all distinct cores — the degenerate topology unit
+/// tests use so expectations are exact.
+class UniformInterconnect final : public Interconnect {
+ public:
+  UniformInterconnect(CoreId cores, Cycles latency);
+
+  Cycles transfer_cycles(CoreId from, CoreId to) const override;
+  Supply supply_class(CoreId from, CoreId to) const override;
+  std::uint32_t distance(CoreId from, CoreId to) const override;
+  std::uint32_t hops(CoreId from, CoreId to) const override;
+  CoreId core_count() const override { return cores_; }
+  std::string describe() const override;
+
+ private:
+  CoreId cores_;
+  Cycles latency_;
+};
+
+}  // namespace am::sim

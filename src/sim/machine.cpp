@@ -1,0 +1,585 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace am::sim {
+
+Machine::Machine(MachineConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      interconnect_(config_.make_interconnect()),
+      cores_(config_.core_count()) {
+  if (!interconnect_) throw std::invalid_argument("Machine: bad interconnect");
+  if (config_.cache_capacity_lines == 0) config_.cache_capacity_lines = 1;
+  core_states_.resize(cores_);
+  residency_.resize(cores_);
+  rngs_.reserve(cores_);
+  SplitMix64 sm(seed);
+  for (CoreId c = 0; c < cores_; ++c) rngs_.emplace_back(sm.next());
+  arb_rng_ = Xoshiro256(sm.next());
+}
+
+void Machine::prime_line(LineId id, Mesi state, CoreId owner,
+                         std::uint64_t value) {
+  LineState& ls = line(id);
+  for (CoreId c = 0; c < cores_; ++c) forget_resident(c, id);
+  ls = LineState{};
+  ls.value = value;
+  switch (state) {
+    case Mesi::kInvalid:
+      break;  // memory-only
+    case Mesi::kShared:
+      ls.sharers.push_back(owner);
+      break;
+    case Mesi::kExclusive:
+      ls.owner = owner;
+      ls.owner_state = Mesi::kExclusive;
+      break;
+    case Mesi::kModified:
+      ls.owner = owner;
+      ls.owner_state = Mesi::kModified;
+      break;
+  }
+  if (state != Mesi::kInvalid) touch_resident(owner, id);
+}
+
+std::uint64_t Machine::line_value(LineId id) const {
+  const auto it = lines_.find(id);
+  return it == lines_.end() ? 0 : it->second.value;
+}
+
+Mesi Machine::state_of(const LineState& ls, CoreId core) const {
+  if (ls.owner == core) return ls.owner_state;
+  if (std::find(ls.sharers.begin(), ls.sharers.end(), core) != ls.sharers.end()) {
+    return Mesi::kShared;
+  }
+  return Mesi::kInvalid;
+}
+
+Mesi Machine::line_state(LineId id, CoreId core) const {
+  const auto it = lines_.find(id);
+  return it == lines_.end() ? Mesi::kInvalid : state_of(it->second, core);
+}
+
+void Machine::schedule(Cycles time, EventKind kind, CoreId core) {
+  events_.push(Event{time, next_seq_++, kind, core});
+}
+
+RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
+                      Cycles warmup, Cycles measure) {
+  if (active_cores > cores_) {
+    throw std::invalid_argument("Machine::run: more active cores than exist");
+  }
+  // Per-run reset: cores restart with fresh contexts; lines (and any primed
+  // state) persist. Any stale busy flags would wedge the directory, so a
+  // previous run must have drained — the event loop below guarantees that.
+  now_ = 0;
+  for (auto& cs : core_states_) cs = CoreState{};
+
+  RunStats stats;
+  stats.freq_ghz = config_.freq_ghz;
+  stats.threads.assign(active_cores, ThreadStats{});
+  stats.measured_cycles = measure;
+  EnergyAccounting energy(config_.energy);
+
+  program_ = &program;
+  active_cores_ = active_cores;
+  warmup_end_ = warmup;
+  end_time_ = warmup + measure;
+  stats_ = &stats;
+  energy_ = &energy;
+
+  for (CoreId c = 0; c < active_cores; ++c) schedule(0, EventKind::kFetchNext, c);
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    switch (ev.kind) {
+      case EventKind::kFetchNext: handle_fetch_next(ev); break;
+      case EventKind::kIssue: handle_issue(ev); break;
+      case EventKind::kOpDone: handle_op_done(ev); break;
+    }
+  }
+
+  energy.add_static(measure);
+  stats.energy = energy.breakdown();
+  program_ = nullptr;
+  stats_ = nullptr;
+  energy_ = nullptr;
+  return stats;
+}
+
+void Machine::handle_fetch_next(const Event& ev) {
+  CoreState& cs = core_states_[ev.core];
+  if (cs.done || now_ >= end_time_) {
+    cs.done = true;
+    return;
+  }
+  auto next = program_->next_op(ev.core, rngs_[ev.core]);
+  if (!next) {
+    cs.done = true;
+    return;
+  }
+  cs.pending = *next;
+  cs.has_pending = true;
+  cs.attempts_this_op = 0;
+  if (in_measure_window(now_) && ev.core < stats_->threads.size()) {
+    stats_->threads[ev.core].work_cycles += next->work_before;
+    energy_->add_active_cycles(next->work_before);
+  }
+  schedule(now_ + next->work_before, EventKind::kIssue, ev.core);
+}
+
+void Machine::handle_issue(const Event& ev) {
+  CoreState& cs = core_states_[ev.core];
+  cs.issue_time = now_;
+  submit_request(ev.core);
+}
+
+void Machine::submit_request(CoreId core) {
+  CoreState& cs = core_states_[core];
+  cs.attempt_start = now_;
+  const Primitive prim = cs.pending.prim;
+  LineState& ls = line(cs.pending.line);
+  const Mesi st = state_of(ls, core);
+
+  // Pure read on any valid copy: an L1 hit that needs no directory slot and
+  // can proceed concurrently with other readers.
+  if (prim == Primitive::kLoad && st != Mesi::kInvalid) {
+    touch_resident(core, cs.pending.line);
+    cs.last_supply = Supply::kLocalHit;
+    cs.last_xfer = 0;
+    cs.holds_token = false;
+    schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
+             EventKind::kOpDone, core);
+    return;
+  }
+
+  // Writer that already owns the line exclusively: take the line slot
+  // without a transfer (an uncontended lock-prefixed op on a hot line).
+  if (needs_exclusive(prim) && ls.owner == core && !ls.busy &&
+      (st == Mesi::kExclusive || st == Mesi::kModified)) {
+    touch_resident(core, cs.pending.line);
+    ls.busy = true;
+    cs.holds_token = true;
+    cs.last_supply = Supply::kLocalHit;
+    cs.last_xfer = 0;
+    schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
+             EventKind::kOpDone, core);
+    return;
+  }
+
+  ls.queue.push_back(PendingRequest{core, needs_exclusive(prim), now_});
+  try_grant(cs.pending.line);
+}
+
+std::size_t Machine::arbitrate(const LineState& ls, LineId id) {
+  assert(!ls.queue.empty());
+  if (config_.arbitration == Arbitration::kFifo) {
+    // Requests are queued in arrival order.
+    return 0;
+  }
+
+  if (config_.arbitration == Arbitration::kNearestFirst) {
+    if (ls.owner == kNoCore) return 0;
+    // Anti-starvation: a sufficiently aged request is served first
+    // regardless of distance (queue index 0 holds the oldest request).
+    if (config_.arbitration_age_limit > 0 &&
+        now_ - ls.queue.front().arrival > config_.arbitration_age_limit) {
+      return 0;
+    }
+    // Deterministic nearest-first: the requester closest to the data wins.
+    std::size_t best = 0;
+    std::uint32_t best_d = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t i = 0; i < ls.queue.size(); ++i) {
+      const std::uint32_t d =
+          interconnect_->distance(ls.owner, ls.queue[i].core);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  // Proximity-biased race: requests race to the line's *home agent* (the
+  // directory slice that serializes them); a requester closer to the home
+  // wins with probability proportional to exp(-distance/bias). Because the
+  // home is fixed per line, the advantage is persistent — the mechanism
+  // behind the paper's long-run unfairness.
+  const CoreId home = static_cast<CoreId>(id % cores_);
+  double total = 0.0;
+  std::vector<double> weight(ls.queue.size());
+  for (std::size_t i = 0; i < ls.queue.size(); ++i) {
+    const std::uint32_t d = interconnect_->distance(home, ls.queue[i].core);
+    weight[i] = std::exp(-static_cast<double>(d) / config_.arbitration_bias);
+    total += weight[i];
+  }
+  double pick = arb_rng_.next_double() * total;
+  for (std::size_t i = 0; i < ls.queue.size(); ++i) {
+    pick -= weight[i];
+    if (pick <= 0.0) return i;
+  }
+  return ls.queue.size() - 1;
+}
+
+void Machine::touch_resident(CoreId core, LineId id) {
+  Residency& res = residency_[core];
+  const auto it = res.index.find(id);
+  if (it != res.index.end()) {
+    res.lru.splice(res.lru.begin(), res.lru, it->second);
+    return;
+  }
+  res.lru.push_front(id);
+  res.index[id] = res.lru.begin();
+  if (res.lru.size() > config_.cache_capacity_lines) evict_one(core);
+}
+
+void Machine::forget_resident(CoreId core, LineId id) {
+  Residency& res = residency_[core];
+  const auto it = res.index.find(id);
+  if (it == res.index.end()) return;
+  res.lru.erase(it->second);
+  res.index.erase(it);
+}
+
+void Machine::evict_one(CoreId core) {
+  Residency& res = residency_[core];
+  // Evict the least-recently-used line whose transaction slot is free
+  // (an in-flight line cannot leave the cache mid-transaction).
+  for (auto it = res.lru.rbegin(); it != res.lru.rend(); ++it) {
+    const LineId victim = *it;
+    LineState& ls = line(victim);
+    if (ls.busy) continue;
+    // Drop this core's copy; a Modified line writes back (the directory
+    // value is already authoritative, so only the energy/stat is charged).
+    const bool was_dirty =
+        ls.owner == core && ls.owner_state == Mesi::kModified;
+    if (ls.owner == core) {
+      ls.owner = kNoCore;
+      ls.owner_state = Mesi::kInvalid;
+    } else {
+      const auto sit = std::find(ls.sharers.begin(), ls.sharers.end(), core);
+      if (sit != ls.sharers.end()) ls.sharers.erase(sit);
+    }
+    if (stats_ != nullptr && in_measure_window(now_)) {
+      ++stats_->evictions;
+      if (was_dirty && energy_ != nullptr) energy_->add_memory_fetch();
+    }
+    forget_resident(core, victim);
+    return;
+  }
+}
+
+void Machine::check_line_invariants(const LineState& ls, LineId id) const {
+  // Single-writer: an E/M owner excludes any Shared copy.
+  if (ls.owner != kNoCore) {
+    if (ls.owner_state != Mesi::kExclusive && ls.owner_state != Mesi::kModified) {
+      throw std::logic_error("MESI violation: owner without E/M state, line " +
+                             std::to_string(id));
+    }
+    if (!ls.sharers.empty()) {
+      throw std::logic_error(
+          "MESI violation: sharers coexist with an exclusive owner, line " +
+          std::to_string(id));
+    }
+    if (ls.owner >= cores_) {
+      throw std::logic_error("MESI violation: owner out of range, line " +
+                             std::to_string(id));
+    }
+  } else if (ls.owner_state != Mesi::kInvalid) {
+    throw std::logic_error("MESI violation: ownerless E/M state, line " +
+                           std::to_string(id));
+  }
+  // Sharer list is a set of valid cores.
+  for (std::size_t i = 0; i < ls.sharers.size(); ++i) {
+    if (ls.sharers[i] >= cores_) {
+      throw std::logic_error("MESI violation: sharer out of range, line " +
+                             std::to_string(id));
+    }
+    for (std::size_t j = i + 1; j < ls.sharers.size(); ++j) {
+      if (ls.sharers[i] == ls.sharers[j]) {
+        throw std::logic_error("MESI violation: duplicate sharer, line " +
+                               std::to_string(id));
+      }
+    }
+  }
+  // Each core has at most one pending request for this line.
+  for (std::size_t i = 0; i < ls.queue.size(); ++i) {
+    for (std::size_t j = i + 1; j < ls.queue.size(); ++j) {
+      if (ls.queue[i].core == ls.queue[j].core) {
+        throw std::logic_error(
+            "protocol violation: duplicate request from one core, line " +
+            std::to_string(id));
+      }
+    }
+  }
+}
+
+void Machine::invalidate_copy(LineState& ls, LineId id, CoreId core) {
+  bool had_copy = false;
+  forget_resident(core, id);
+  if (ls.owner == core) {
+    ls.owner = kNoCore;
+    ls.owner_state = Mesi::kInvalid;
+    had_copy = true;
+  }
+  const auto it = std::find(ls.sharers.begin(), ls.sharers.end(), core);
+  if (it != ls.sharers.end()) {
+    ls.sharers.erase(it);
+    had_copy = true;
+  }
+  if (had_copy && stats_ != nullptr && in_measure_window(now_)) {
+    ++stats_->invalidations;
+  }
+}
+
+std::pair<Cycles, Supply> Machine::apply_grant(LineState& ls, LineId id,
+                                               const PendingRequest& req) {
+  const CoreId requester = req.core;
+  Cycles xfer = 0;
+  Supply supply = Supply::kLocalHit;
+
+  const bool charge = in_measure_window(now_);
+  if (ls.owner != kNoCore && ls.owner != requester) {
+    // Dirty/exclusive copy elsewhere: cache-to-cache transfer.
+    xfer = interconnect_->transfer_cycles(ls.owner, requester);
+    supply = interconnect_->supply_class(ls.owner, requester);
+    if (charge) {
+      energy_->add_transfer(interconnect_->hops(ls.owner, requester),
+                            supply == Supply::kFar);
+    }
+    if (req.exclusive) {
+      const CoreId old_owner = ls.owner;
+      invalidate_copy(ls, id, old_owner);
+      for (const CoreId s : std::vector<CoreId>(ls.sharers)) {
+        invalidate_copy(ls, id, s);
+      }
+      ls.owner = requester;
+      ls.owner_state = Mesi::kModified;  // RFO: arrives ready-to-write
+    } else {
+      // Read request downgrades the owner to Shared; both keep copies.
+      ls.sharers.push_back(ls.owner);
+      ls.owner = kNoCore;
+      ls.owner_state = Mesi::kInvalid;
+      ls.sharers.push_back(requester);
+    }
+  } else if (ls.owner == requester) {
+    // Requester queued behind other transactions but still owns the copy.
+    xfer = 0;
+    supply = Supply::kLocalHit;
+  } else if (!ls.sharers.empty()) {
+    xfer = config_.shared_supply;
+    supply = Supply::kNear;
+    if (charge) energy_->add_transfer(1, false);
+    if (req.exclusive) {
+      for (const CoreId s : std::vector<CoreId>(ls.sharers)) {
+        if (s != requester) invalidate_copy(ls, id, s);
+      }
+      // Upgrade: drop our own shared copy record and take ownership.
+      const auto self = std::find(ls.sharers.begin(), ls.sharers.end(), requester);
+      if (self != ls.sharers.end()) ls.sharers.erase(self);
+      ls.owner = requester;
+      ls.owner_state = Mesi::kModified;
+    } else {
+      ls.sharers.push_back(requester);
+    }
+  } else {
+    // No cached copy anywhere: fill from memory.
+    xfer = config_.memory_fill;
+    supply = Supply::kMemory;
+    if (charge) energy_->add_memory_fetch();
+    if (stats_ != nullptr && in_measure_window(now_)) ++stats_->memory_fetches;
+    if (req.exclusive) {
+      ls.owner = requester;
+      ls.owner_state = Mesi::kModified;
+    } else {
+      // Sole reader: MESI grants Exclusive-clean.
+      ls.owner = requester;
+      ls.owner_state = Mesi::kExclusive;
+    }
+  }
+  return {xfer, supply};
+}
+
+void Machine::try_grant(LineId id) {
+  LineState& ls = line(id);
+  if (ls.busy || ls.queue.empty()) return;
+
+  const std::size_t idx = arbitrate(ls, id);
+  const PendingRequest req = ls.queue[idx];
+  ls.queue.erase(ls.queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  if (in_measure_window(now_)) energy_->add_directory_lookup();
+  const auto [xfer, supply] = apply_grant(ls, id, req);
+  if (stats_ != nullptr && in_measure_window(now_) &&
+      req.core < stats_->threads.size()) {
+    ++stats_->transfers[static_cast<std::size_t>(supply)];
+  }
+
+  if (config_.paranoid_checks) check_line_invariants(ls, id);
+  if (trace_ != nullptr) {
+    *trace_ << now_ << " grant line=" << id << " -> core" << req.core << ' '
+            << to_string(supply) << " xfer=" << xfer << '\n';
+  }
+  touch_resident(req.core, id);
+  CoreState& cs = core_states_[req.core];
+  cs.last_supply = supply;
+  cs.last_xfer = xfer;
+  cs.holds_token = true;
+  ls.busy = true;
+  schedule(now_ + xfer + config_.l1_hit +
+               config_.exec_cost_of(cs.pending.prim),
+           EventKind::kOpDone, req.core);
+}
+
+OpResult Machine::apply_op(Primitive prim, LineState& ls, OpContext& ctx) {
+  // Mirrors am::execute() over std::atomic so both backends share value
+  // semantics; equivalence is asserted by tests/sim/semantics_test.cpp.
+  OpResult r;
+  const std::uint64_t old = ls.value;
+  switch (prim) {
+    case Primitive::kLoad:
+      r.observed = old;
+      ctx.expected = old;
+      break;
+    case Primitive::kStore:
+      ls.value = ctx.store_value;
+      r.observed = ctx.store_value;
+      break;
+    case Primitive::kSwap:
+      r.observed = old;
+      ls.value = ctx.store_value;
+      ctx.expected = ctx.store_value;
+      break;
+    case Primitive::kTas:
+      r.observed = old;
+      ls.value = 1;
+      r.success = (old == 0);
+      ctx.expected = 1;
+      break;
+    case Primitive::kFaa:
+      r.observed = old;
+      ls.value = old + 1;
+      ctx.expected = old + 1;
+      break;
+    case Primitive::kCas:
+    case Primitive::kCasLoop:
+      if (old == ctx.expected) {
+        ls.value = ctx.cas_desired.value_or(old + 1);
+        ctx.expected = ls.value;
+        r.observed = old;
+        r.success = true;
+      } else {
+        ctx.expected = old;  // refresh, exactly like compare_exchange
+        r.observed = old;
+        r.success = false;
+      }
+      break;
+  }
+  return r;
+}
+
+void Machine::record_completion(CoreId core, const OpResult& r, Cycles latency) {
+  if (core >= stats_->threads.size()) return;
+  ThreadStats& ts = stats_->threads[core];
+  const auto prim_idx =
+      static_cast<std::size_t>(core_states_[core].pending.prim);
+  ++ts.ops;
+  ++ts.ops_by_prim[prim_idx];
+  if (r.success) {
+    ++ts.successes;
+    ++ts.successes_by_prim[prim_idx];
+  } else {
+    ++ts.failures;
+  }
+  ts.latency_sum += static_cast<double>(latency);
+  ts.latency_hist.add(std::max<double>(1.0, static_cast<double>(latency)));
+  if (ts.ops == 1) {
+    ts.latency_min = ts.latency_max = latency;
+  } else {
+    ts.latency_min = std::min(ts.latency_min, latency);
+    ts.latency_max = std::max(ts.latency_max, latency);
+  }
+}
+
+void Machine::handle_op_done(const Event& ev) {
+  CoreState& cs = core_states_[ev.core];
+  LineState& ls = line(cs.pending.line);
+  const Primitive prim = cs.pending.prim;
+
+  ++cs.attempts_this_op;
+  if (cs.pending.store_value) cs.ctx.store_value = *cs.pending.store_value;
+  if (cs.pending.cas_expected && cs.attempts_this_op == 1) {
+    cs.ctx.expected = *cs.pending.cas_expected;
+  }
+  cs.ctx.cas_desired = cs.pending.cas_desired;
+  OpResult result = apply_op(prim, ls, cs.ctx);
+  if (trace_ != nullptr) {
+    *trace_ << now_ << " done  core" << ev.core << ' ' << to_string(prim)
+            << " line=" << cs.pending.line << " ok=" << result.success
+            << " val=" << ls.value << '\n';
+  }
+
+  const Cycles exec = config_.l1_hit + config_.exec_cost_of(prim);
+  const Cycles latency = now_ - cs.issue_time;
+  // Queue + transfer stall of *this acquisition* (a CAS loop's failed
+  // attempts each stall separately; charging per attempt keeps losing
+  // cores' spin energy accounted even when their op never completes).
+  const Cycles attempt_span = now_ - cs.attempt_start;
+  const Cycles waited = attempt_span > exec ? attempt_span - exec : 0;
+
+  const bool in_window = in_measure_window(now_);
+  if (in_window && ev.core < stats_->threads.size()) {
+    ThreadStats& ts = stats_->threads[ev.core];
+    ts.exec_cycles += exec;
+    ts.wait_cycles += waited;
+    // Attempts (line acquisitions) are charged when they happen so that a
+    // CAS loop's failed acquisitions count even if the op never completes
+    // inside the window.
+    ++ts.attempts;
+    energy_->add_active_cycles(exec);
+    energy_->add_spin_cycles(waited);
+  }
+
+  // Release the line slot before anything else so queued requesters are
+  // served ahead of our own retry — the hardware behaviour that makes
+  // CAS loops lose their line between attempts.
+  if (cs.holds_token) {
+    cs.holds_token = false;
+    ls.busy = false;
+  }
+
+  if (prim == Primitive::kCasLoop && !result.success) {
+    try_grant(cs.pending.line);
+    submit_request(ev.core);  // retry; issue_time (and thus latency) persists
+    return;
+  }
+
+  if (in_window && ev.core < stats_->threads.size()) {
+    record_completion(ev.core, result, latency);
+  }
+  cs.has_pending = false;
+  program_->on_result(ev.core, result);
+  try_grant(cs.pending.line);
+  schedule(now_, EventKind::kFetchNext, ev.core);
+}
+
+Cycles Machine::measure_single_op(CoreId core, Primitive prim, LineId id) {
+  IssueRequest req;
+  req.prim = prim;
+  req.line = id;
+  ScriptProgram script(core, {req});
+  const RunStats st = run(script, core + 1, 0, std::numeric_limits<Cycles>::max() / 2);
+  if (core < st.threads.size() && st.threads[core].ops == 1) {
+    return static_cast<Cycles>(st.threads[core].latency_sum);
+  }
+  return 0;
+}
+
+}  // namespace am::sim

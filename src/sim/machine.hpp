@@ -1,0 +1,190 @@
+// The discrete-event cache-coherence machine.
+//
+// Simulates N cores executing atomic-operation streams over MESI-coherent
+// cache lines with a home directory per line. Event granularity is one
+// coherence transaction: a core issues an operation, the directory
+// serializes ownership of the target line, the line travels to the
+// requester (latency from the interconnect), the primitive executes
+// functionally (value semantics identical to the std::atomic backend, so
+// CAS success/failure *emerges* rather than being assumed), and the line is
+// released to the next arbitrated waiter.
+//
+// This is the machinery the paper's model abstracts: the model predicts the
+// steady-state of exactly this hand-off process; the simulator provides the
+// ground truth the model is validated against (and the stand-in for the
+// 36/64-core testbeds this environment lacks).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "common/random.hpp"
+#include "sim/config.hpp"
+#include "sim/program.hpp"
+#include "sim/sim_stats.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config, std::uint64_t seed = 1);
+
+  const MachineConfig& config() const noexcept { return config_; }
+  const Interconnect& interconnect() const noexcept { return *interconnect_; }
+  CoreId core_count() const noexcept { return cores_; }
+
+  /// Forces a line into a given coherence state before a run — used by the
+  /// state-conditioned latency probes (Table 2). @p owner is the core
+  /// receiving the copy for S/E/M; ignored for kInvalid (memory-only).
+  void prime_line(LineId line, Mesi state, CoreId owner, std::uint64_t value = 0);
+
+  /// Current value of a line (authoritative directory copy).
+  std::uint64_t line_value(LineId line) const;
+  /// Coherence state of @p line in @p core's cache.
+  Mesi line_state(LineId line, CoreId core) const;
+
+  /// Runs @p program on cores [0, active_cores) for @p warmup + @p measure
+  /// cycles; statistics cover operations completing inside the measurement
+  /// window only. The machine's caches/directory persist across calls, so a
+  /// prime_line() before a run is honoured.
+  RunStats run(ThreadProgram& program, CoreId active_cores, Cycles warmup,
+               Cycles measure);
+
+  /// Latency (cycles) of a single @p prim by @p core on @p line given the
+  /// current primed machine state. Leaves the machine in the post-op state.
+  Cycles measure_single_op(CoreId core, Primitive prim, LineId line);
+
+  /// Optional event trace for protocol debugging: one line per grant and
+  /// completion is streamed to @p sink (nullptr disables). Format:
+  ///   <time> grant line=<id> -> core<c> <supply> xfer=<cy>
+  ///   <time> done  core<c> <prim> line=<id> ok=<0|1> val=<v>
+  void set_trace(std::ostream* sink) noexcept { trace_ = sink; }
+
+ private:
+  // --- event machinery -----------------------------------------------------
+  enum class EventKind : std::uint8_t { kFetchNext, kIssue, kOpDone };
+
+  struct Event {
+    Cycles time;
+    std::uint64_t seq;  ///< tie-break: deterministic FIFO at equal times
+    EventKind kind;
+    CoreId core;
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  struct PendingRequest {
+    CoreId core;
+    bool exclusive;
+    Cycles arrival;
+  };
+
+  struct LineState {
+    CoreId owner = kNoCore;       ///< E/M holder
+    Mesi owner_state = Mesi::kInvalid;
+    std::vector<CoreId> sharers;  ///< S holders (excludes owner)
+    std::uint64_t value = 0;
+    bool busy = false;            ///< a transaction is in flight
+    std::vector<PendingRequest> queue;
+
+    bool cached_anywhere() const noexcept {
+      return owner != kNoCore || !sharers.empty();
+    }
+  };
+
+  struct CoreState {
+    OpContext ctx;
+    bool done = false;
+    bool has_pending = false;
+    IssueRequest pending;
+    Cycles issue_time = 0;
+    Cycles attempt_start = 0;  ///< submit time of the current acquisition
+    std::uint32_t attempts_this_op = 0;
+    bool holds_token = false;  ///< this core's transaction owns the line slot
+    Supply last_supply = Supply::kLocalHit;
+    Cycles last_xfer = 0;
+  };
+
+  void schedule(Cycles time, EventKind kind, CoreId core);
+  void handle_fetch_next(const Event& ev);
+  void handle_issue(const Event& ev);
+  void handle_op_done(const Event& ev);
+  /// Queues the core's pending request at the line's directory (or serves it
+  /// locally when the cached state suffices). Shared by issue and CAS retry.
+  void submit_request(CoreId core);
+
+  /// Grants the line to the next arbitrated waiter if it is free.
+  void try_grant(LineId line);
+  /// Chooses the next request index per the arbitration policy. @p id is
+  /// the line (its home agent anchors the proximity bias).
+  std::size_t arbitrate(const LineState& ls, LineId id);
+  /// Applies ownership/sharer updates for a grant and returns the transfer
+  /// latency + supply class.
+  std::pair<Cycles, Supply> apply_grant(LineState& ls, LineId id,
+                                        const PendingRequest& req);
+
+  /// Executes the primitive's value semantics against the line.
+  OpResult apply_op(Primitive prim, LineState& ls, OpContext& ctx);
+
+  /// Removes core's copy (if any) from a line record. Counts invalidations.
+  void invalidate_copy(LineState& ls, LineId id, CoreId core);
+
+  /// MESI single-writer / sharer-consistency checker (paranoid_checks).
+  /// Aborts the run via std::logic_error on violation.
+  void check_line_invariants(const LineState& ls, LineId id) const;
+
+  /// LRU residency tracking per core (capacity = config.cache_capacity_lines).
+  /// touch() marks a line most-recently-used and evicts the LRU line when
+  /// over capacity; forget() drops bookkeeping when a copy is invalidated.
+  void touch_resident(CoreId core, LineId id);
+  void forget_resident(CoreId core, LineId id);
+  void evict_one(CoreId core);
+
+  LineState& line(LineId id) { return lines_[id]; }
+  Mesi state_of(const LineState& ls, CoreId core) const;
+
+  void record_completion(CoreId core, const OpResult& r, Cycles latency);
+  bool in_measure_window(Cycles t) const noexcept {
+    return t >= warmup_end_ && t < end_time_;
+  }
+
+  MachineConfig config_;
+  std::unique_ptr<Interconnect> interconnect_;
+  CoreId cores_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  Cycles now_ = 0;
+
+  std::unordered_map<LineId, LineState> lines_;
+
+  struct Residency {
+    std::list<LineId> lru;  ///< front = most recently used
+    std::unordered_map<LineId, std::list<LineId>::iterator> index;
+  };
+  std::vector<Residency> residency_;
+
+  std::vector<CoreState> core_states_;
+  std::vector<Xoshiro256> rngs_;
+  Xoshiro256 arb_rng_{0x9d2c5680};  ///< arbitration races (kProximityBiased)
+
+  std::ostream* trace_ = nullptr;
+
+  // Per-run context.
+  ThreadProgram* program_ = nullptr;
+  CoreId active_cores_ = 0;
+  Cycles warmup_end_ = 0;
+  Cycles end_time_ = 0;
+  RunStats* stats_ = nullptr;
+  EnergyAccounting* energy_ = nullptr;
+};
+
+}  // namespace am::sim

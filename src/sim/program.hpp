@@ -1,0 +1,234 @@
+// Thread programs: the per-core operation streams the simulator executes.
+//
+// A program answers "what does core c do next?" — which primitive, on which
+// line, after how much local work. The standard programs mirror the paper's
+// two execution settings (high contention, low contention) plus a
+// skewed-sharing stream used in the extension experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "common/random.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+/// One operation a core asks the machine to perform.
+struct IssueRequest {
+  Primitive prim = Primitive::kFaa;
+  LineId line = 0;
+  Cycles work_before = 0;  ///< local (non-shared) work preceding the op
+  /// Value written by STORE/SWP (defaults to the context's store_value, 1).
+  /// Lock programs use this to release locks / publish tickets.
+  std::optional<std::uint64_t> store_value;
+  /// Expectation override for CAS (defaults to the context's running
+  /// expectation). Lock programs use this for pointer-style CAS.
+  std::optional<std::uint64_t> cas_expected;
+  /// Value a successful CAS writes (defaults to expected + 1, the counter
+  /// semantics shared with am::execute). Pointer-style CAS sets this.
+  std::optional<std::uint64_t> cas_desired;
+};
+
+class ThreadProgram {
+ public:
+  virtual ~ThreadProgram() = default;
+
+  /// Next operation for @p core, or nullopt when that core is finished.
+  /// Called once per completed operation; the machine stops calling after
+  /// the configured end time regardless.
+  virtual std::optional<IssueRequest> next_op(CoreId core, Xoshiro256& rng) = 0;
+
+  /// Completion callback (success/failure, observed value).
+  virtual void on_result(CoreId core, const OpResult& result) {
+    (void)core;
+    (void)result;
+  }
+};
+
+/// High-contention setting: every core applies @p prim to one shared line,
+/// with @p work cycles of local work between operations. work == 0 is the
+/// maximum-contention point of the paper's figures.
+class HighContentionProgram final : public ThreadProgram {
+ public:
+  /// @param jitter uniform work randomization fraction in [0,1]; non-zero
+  /// jitter desynchronizes cores (how randomized backoff works in practice).
+  HighContentionProgram(Primitive prim, Cycles work, LineId line = 0,
+                        double jitter = 0.0)
+      : prim_(prim), work_(work), line_(line), jitter_(jitter) {}
+
+  std::optional<IssueRequest> next_op(CoreId, Xoshiro256& rng) override {
+    IssueRequest r;
+    r.prim = prim_;
+    r.line = line_;
+    r.work_before = work_;
+    if (jitter_ > 0.0 && work_ > 0) {
+      const double w = static_cast<double>(work_);
+      const double lo = w * (1.0 - jitter_);
+      const double span = 2.0 * w * jitter_;
+      r.work_before = static_cast<Cycles>(lo + rng.next_double() * span);
+    }
+    return r;
+  }
+
+ private:
+  Primitive prim_;
+  Cycles work_;
+  LineId line_;
+  double jitter_;
+};
+
+/// Low-contention setting: core c applies @p prim to its own private line.
+/// Measures the intrinsic cost of the primitive with a warm, exclusive line.
+class LowContentionProgram final : public ThreadProgram {
+ public:
+  LowContentionProgram(Primitive prim, Cycles work, LineId base = 1000)
+      : prim_(prim), work_(work), base_(base) {}
+
+  std::optional<IssueRequest> next_op(CoreId core, Xoshiro256&) override {
+    IssueRequest r;
+    r.prim = prim_;
+    r.line = base_ + core;
+    r.work_before = work_;
+    return r;
+  }
+
+ private:
+  Primitive prim_;
+  Cycles work_;
+  LineId base_;
+};
+
+/// Skewed sharing: each op picks a line from a Zipf distribution over
+/// @p n_lines lines. s == 0 is uniform (mostly uncontended for large
+/// n_lines); larger s concentrates traffic on a hot set.
+class ZipfSharingProgram final : public ThreadProgram {
+ public:
+  ZipfSharingProgram(Primitive prim, Cycles work, std::size_t n_lines,
+                     double s, LineId base = 0)
+      : prim_(prim), work_(work), sampler_(n_lines, s), base_(base) {}
+
+  std::optional<IssueRequest> next_op(CoreId, Xoshiro256& rng) override {
+    IssueRequest r;
+    r.prim = prim_;
+    r.line = base_ + sampler_.sample(rng);
+    r.work_before = work_;
+    return r;
+  }
+
+ private:
+  Primitive prim_;
+  Cycles work_;
+  ZipfSampler sampler_;
+  LineId base_;
+};
+
+/// Read-mostly mix: LOAD with probability (1 - write_fraction), otherwise
+/// the configured RMW, all on one shared line. Models the reader/writer
+/// mixes the paper's low-contention application context discusses.
+class MixedReadWriteProgram final : public ThreadProgram {
+ public:
+  MixedReadWriteProgram(Primitive write_prim, double write_fraction,
+                        Cycles work, LineId line = 0)
+      : write_prim_(write_prim),
+        write_fraction_(write_fraction),
+        work_(work),
+        line_(line) {}
+
+  std::optional<IssueRequest> next_op(CoreId, Xoshiro256& rng) override {
+    IssueRequest r;
+    r.prim = rng.next_double() < write_fraction_ ? write_prim_
+                                                 : Primitive::kLoad;
+    r.line = line_;
+    r.work_before = work_;
+    return r;
+  }
+
+ private:
+  Primitive write_prim_;
+  double write_fraction_;
+  Cycles work_;
+  LineId line_;
+};
+
+/// Sharded counter: cores are grouped into contiguous blocks of
+/// @p group_size, each block sharing one shard line. Grouping *adjacent*
+/// cores keeps each shard's bouncing socket-local — the locality-aware
+/// sharding the model prices (a core%k mapping would pair distant cores
+/// and pay far transfers on every shard). group_size == cores degenerates
+/// to the high-contention setting, group_size == 1 to private lines.
+class ShardedProgram final : public ThreadProgram {
+ public:
+  ShardedProgram(Primitive prim, Cycles work, std::uint32_t group_size,
+                 LineId base = 0)
+      : prim_(prim), work_(work),
+        group_size_(group_size == 0 ? 1 : group_size), base_(base) {}
+
+  std::optional<IssueRequest> next_op(CoreId core, Xoshiro256&) override {
+    IssueRequest r;
+    r.prim = prim_;
+    r.line = base_ + core / group_size_;
+    r.work_before = work_;
+    return r;
+  }
+
+ private:
+  Primitive prim_;
+  Cycles work_;
+  std::uint32_t group_size_;
+  LineId base_;
+};
+
+/// Private working-set walk: core c cycles through its own set of
+/// @p lines_per_core lines. With the walk larger than the private cache
+/// capacity every access misses to memory — the capacity cliff experiment.
+class PrivateWalkProgram final : public ThreadProgram {
+ public:
+  PrivateWalkProgram(Primitive prim, Cycles work, std::uint64_t lines_per_core,
+                     LineId base = 1u << 20)
+      : prim_(prim), work_(work),
+        lines_per_core_(lines_per_core == 0 ? 1 : lines_per_core),
+        base_(base) {}
+
+  std::optional<IssueRequest> next_op(CoreId core, Xoshiro256&) override {
+    if (core >= cursor_.size()) cursor_.resize(core + 1, 0);
+    IssueRequest r;
+    r.prim = prim_;
+    r.line = base_ + core * lines_per_core_ + cursor_[core];
+    cursor_[core] = (cursor_[core] + 1) % lines_per_core_;
+    r.work_before = work_;
+    return r;
+  }
+
+ private:
+  Primitive prim_;
+  Cycles work_;
+  std::uint64_t lines_per_core_;
+  LineId base_;
+  std::vector<std::uint64_t> cursor_;
+};
+
+/// Fixed finite schedule for one core; every other core idles. Used by the
+/// state-priming latency probes (Table 2) and unit tests.
+class ScriptProgram final : public ThreadProgram {
+ public:
+  ScriptProgram(CoreId core, std::vector<IssueRequest> script)
+      : core_(core), script_(std::move(script)) {}
+
+  std::optional<IssueRequest> next_op(CoreId core, Xoshiro256&) override {
+    if (core != core_ || next_ >= script_.size()) return std::nullopt;
+    return script_[next_++];
+  }
+
+  std::size_t executed() const noexcept { return next_; }
+
+ private:
+  CoreId core_;
+  std::vector<IssueRequest> script_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace am::sim

@@ -1,0 +1,77 @@
+#include "sim/sim_stats.hpp"
+
+namespace am::sim {
+
+std::uint64_t RunStats::total_ops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : threads) n += t.ops;
+  return n;
+}
+
+std::uint64_t RunStats::total_successes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : threads) n += t.successes;
+  return n;
+}
+
+std::uint64_t RunStats::total_attempts() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& t : threads) n += t.attempts;
+  return n;
+}
+
+double RunStats::throughput_ops_per_kcycle() const noexcept {
+  if (measured_cycles == 0) return 0.0;
+  return static_cast<double>(total_ops()) * 1000.0 /
+         static_cast<double>(measured_cycles);
+}
+
+double RunStats::throughput_mops() const noexcept {
+  // ops/cycle * cycles/second = ops/second; scale to millions.
+  if (measured_cycles == 0) return 0.0;
+  const double ops_per_cycle = static_cast<double>(total_ops()) /
+                               static_cast<double>(measured_cycles);
+  return ops_per_cycle * freq_ghz * 1e9 / 1e6;
+}
+
+double RunStats::mean_latency_cycles() const noexcept {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& t : threads) {
+    sum += t.latency_sum;
+    n += t.ops;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RunStats::success_rate() const noexcept {
+  const std::uint64_t ops = total_ops();
+  return ops == 0 ? 1.0
+                  : static_cast<double>(total_successes()) /
+                        static_cast<double>(ops);
+}
+
+std::vector<double> RunStats::per_thread_ops() const {
+  std::vector<double> shares;
+  shares.reserve(threads.size());
+  for (const auto& t : threads) shares.push_back(static_cast<double>(t.ops));
+  return shares;
+}
+
+double RunStats::jain_fairness_ops() const {
+  const auto shares = per_thread_ops();
+  return jain_fairness(shares);
+}
+
+double RunStats::min_max_ops_ratio() const {
+  const auto shares = per_thread_ops();
+  return min_max_ratio(shares);
+}
+
+double RunStats::energy_per_op_nj() const noexcept {
+  const std::uint64_t ops = total_ops();
+  if (ops == 0) return 0.0;
+  return energy.total_j() * 1e9 / static_cast<double>(ops);
+}
+
+}  // namespace am::sim

@@ -1,0 +1,78 @@
+// Result records produced by a simulation run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "common/stats.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+/// Per-core measurement-window counters.
+struct ThreadStats {
+  std::uint64_t ops = 0;        ///< completed operations (CASLOOP counts once)
+  std::uint64_t successes = 0;  ///< ops whose primitive reported success
+  std::uint64_t failures = 0;   ///< failed single-shot CAS / TAS-already-set
+  /// Per-primitive completion/success counts (indexed by Primitive) — lets
+  /// composite workloads (lock protocols) separate acquisitions from spins.
+  std::array<std::uint64_t, 7> ops_by_prim{};
+  std::array<std::uint64_t, 7> successes_by_prim{};
+  std::uint64_t attempts = 0;   ///< line acquisitions (CASLOOP retries add up)
+  Cycles exec_cycles = 0;       ///< cycles executing primitives
+  Cycles wait_cycles = 0;       ///< cycles stalled on queueing + transfer
+  Cycles work_cycles = 0;       ///< cycles of configured local work
+  double latency_sum = 0.0;     ///< sum of per-op latencies (cycles)
+  Cycles latency_min = 0;
+  Cycles latency_max = 0;
+  /// Log-spaced latency histogram (1 cycle .. 100M cycles) for tail
+  /// percentiles; always collected (completions are rare next to events).
+  LogHistogram latency_hist{1.0, 1e8, 8};
+
+  double mean_latency() const noexcept {
+    return ops == 0 ? 0.0 : latency_sum / static_cast<double>(ops);
+  }
+};
+
+/// Whole-run results over the measurement window.
+struct RunStats {
+  Cycles measured_cycles = 0;  ///< length of the measurement window
+  double freq_ghz = 1.0;
+  std::vector<ThreadStats> threads;
+
+  /// Line transfers by supply class (index == Supply).
+  std::array<std::uint64_t, kSupplyClasses> transfers{};
+  std::uint64_t invalidations = 0;
+  std::uint64_t memory_fetches = 0;
+  std::uint64_t evictions = 0;
+
+  EnergyBreakdown energy;
+
+  // --- derived -------------------------------------------------------------
+  std::uint64_t total_ops() const noexcept;
+  std::uint64_t total_successes() const noexcept;
+  std::uint64_t total_attempts() const noexcept;
+
+  /// System throughput in operations per 1000 cycles.
+  double throughput_ops_per_kcycle() const noexcept;
+  /// System throughput in million operations per second (uses freq_ghz).
+  double throughput_mops() const noexcept;
+  /// Mean per-op latency across all threads, cycles.
+  double mean_latency_cycles() const noexcept;
+  /// Success fraction (successes / ops); 1.0 for primitives that cannot fail.
+  double success_rate() const noexcept;
+  /// Jain fairness index over per-thread completed ops.
+  double jain_fairness_ops() const;
+  /// min/max per-thread ops ratio.
+  double min_max_ops_ratio() const;
+  /// Energy per completed operation, nanojoules.
+  double energy_per_op_nj() const noexcept;
+
+  /// Per-thread op counts as doubles (fairness helpers).
+  std::vector<double> per_thread_ops() const;
+};
+
+}  // namespace am::sim

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "atomics/backoff.hpp"
+
+namespace am {
+namespace {
+
+TEST(ExponentialBackoff, DoublesUpToCap) {
+  ExponentialBackoff b(4, 32);
+  EXPECT_EQ(b.current_spins(), 4u);
+  b.pause();
+  EXPECT_EQ(b.current_spins(), 8u);
+  b.pause();
+  b.pause();
+  EXPECT_EQ(b.current_spins(), 32u);
+  b.pause();
+  EXPECT_EQ(b.current_spins(), 32u);  // capped
+}
+
+TEST(ExponentialBackoff, ResetReturnsToMin) {
+  ExponentialBackoff b(2, 64);
+  b.pause();
+  b.pause();
+  b.reset();
+  EXPECT_EQ(b.current_spins(), 2u);
+}
+
+TEST(Backoff, NamesForAblationTables) {
+  EXPECT_STREQ(NoBackoff::name(), "none");
+  EXPECT_STREQ(ExponentialBackoff::name(), "exp");
+}
+
+TEST(NoBackoff, PauseIsCallable) {
+  NoBackoff b;
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace am

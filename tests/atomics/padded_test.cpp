@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "atomics/padded.hpp"
+
+namespace am {
+namespace {
+
+TEST(PaddedAtomic, OnePerDoubleLine) {
+  EXPECT_EQ(sizeof(PaddedAtomic), kNoFalseSharingAlign);
+  EXPECT_EQ(alignof(PaddedAtomic), kNoFalseSharingAlign);
+}
+
+TEST(CellArray, CellsDoNotShareLines) {
+  CellArray cells(8);
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&cells[i]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&cells[i + 1]);
+    EXPECT_GE(b - a, kNoFalseSharingAlign);
+  }
+}
+
+TEST(CellArray, FillResetsEverything) {
+  CellArray cells(4);
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i].store(i + 1);
+  cells.fill(7);
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].load(), 7u);
+}
+
+TEST(CellArray, SizeReported) {
+  CellArray cells(5);
+  EXPECT_EQ(cells.size(), 5u);
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "bench_core/result.hpp"
+#include "bench_core/workload.hpp"
+
+namespace am::bench {
+namespace {
+
+MeasuredRun sample_run() {
+  MeasuredRun r;
+  r.duration_cycles = 1000.0;
+  r.freq_ghz = 2.0;
+  ThreadResult a;
+  a.ops = 100;
+  a.successes = 80;
+  a.failures = 20;
+  a.attempts = 150;
+  a.mean_latency_cycles = 50.0;
+  ThreadResult b;
+  b.ops = 50;
+  b.successes = 50;
+  b.attempts = 50;
+  b.mean_latency_cycles = 100.0;
+  r.threads = {a, b};
+  return r;
+}
+
+TEST(MeasuredRun, Totals) {
+  const MeasuredRun r = sample_run();
+  EXPECT_EQ(r.total_ops(), 150u);
+  EXPECT_EQ(r.total_successes(), 130u);
+  EXPECT_EQ(r.total_attempts(), 200u);
+}
+
+TEST(MeasuredRun, Throughput) {
+  const MeasuredRun r = sample_run();
+  EXPECT_DOUBLE_EQ(r.throughput_ops_per_kcycle(), 150.0);
+  // 0.15 ops/cycle * 2e9 cycles/s = 300 Mops.
+  EXPECT_DOUBLE_EQ(r.throughput_mops(), 300.0);
+}
+
+TEST(MeasuredRun, OpsWeightedLatency) {
+  const MeasuredRun r = sample_run();
+  EXPECT_NEAR(r.mean_latency_cycles(), (100 * 50.0 + 50 * 100.0) / 150.0,
+              1e-12);
+}
+
+TEST(MeasuredRun, Ratios) {
+  const MeasuredRun r = sample_run();
+  EXPECT_NEAR(r.success_rate(), 130.0 / 150.0, 1e-12);
+  EXPECT_NEAR(r.attempts_per_op(), 200.0 / 150.0, 1e-12);
+}
+
+TEST(MeasuredRun, Fairness) {
+  const MeasuredRun r = sample_run();
+  EXPECT_NEAR(r.min_max_ratio(), 0.5, 1e-12);
+  EXPECT_LT(r.jain_fairness(), 1.0);
+  EXPECT_GT(r.jain_fairness(), 0.5);
+}
+
+TEST(MeasuredRun, EnergyPerOp) {
+  MeasuredRun r = sample_run();
+  EXPECT_DOUBLE_EQ(r.energy_per_op_nj(), 0.0);  // invalid energy
+  r.energy_valid = true;
+  r.energy_package_j = 1.5e-6;
+  r.energy_dram_j = 0.0;
+  EXPECT_NEAR(r.energy_per_op_nj(), 1500.0 / 150.0, 1e-9);
+}
+
+TEST(MeasuredRun, EmptyRunDefaults) {
+  MeasuredRun r;
+  EXPECT_EQ(r.total_ops(), 0u);
+  EXPECT_DOUBLE_EQ(r.throughput_ops_per_kcycle(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_latency_cycles(), 0.0);
+  EXPECT_DOUBLE_EQ(r.success_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(r.attempts_per_op(), 1.0);
+}
+
+TEST(Workload, Describe) {
+  WorkloadConfig w;
+  w.mode = WorkloadMode::kZipf;
+  w.prim = Primitive::kCas;
+  w.threads = 4;
+  const std::string d = w.describe();
+  EXPECT_NE(d.find("CAS"), std::string::npos);
+  EXPECT_NE(d.find("zipf"), std::string::npos);
+  EXPECT_NE(d.find("threads=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace am::bench

@@ -1,0 +1,108 @@
+// The extended workload modes (sharded, private-walk) and latency
+// percentiles through the backend seam.
+#include <gtest/gtest.h>
+
+#include "bench_core/sim_backend.hpp"
+#include "sim/config.hpp"
+
+namespace am::bench {
+namespace {
+
+TEST(ShardedWorkload, OneShardEqualsHighContention) {
+  SimBackend backend(sim::test_machine(8));
+  WorkloadConfig shared;
+  shared.mode = WorkloadMode::kHighContention;
+  shared.prim = Primitive::kFaa;
+  shared.threads = 8;
+  WorkloadConfig sharded = shared;
+  sharded.mode = WorkloadMode::kSharded;
+  sharded.shards = 1;
+  const auto a = backend.run(shared);
+  const auto b = backend.run(sharded);
+  EXPECT_NEAR(a.throughput_ops_per_kcycle(), b.throughput_ops_per_kcycle(),
+              a.throughput_ops_per_kcycle() * 0.02);
+}
+
+TEST(ShardedWorkload, PerThreadShardsEqualPrivateLines) {
+  SimBackend backend(sim::test_machine(8));
+  WorkloadConfig priv;
+  priv.mode = WorkloadMode::kLowContention;
+  priv.prim = Primitive::kFaa;
+  priv.threads = 8;
+  WorkloadConfig sharded = priv;
+  sharded.mode = WorkloadMode::kSharded;
+  sharded.shards = 8;
+  const auto a = backend.run(priv);
+  const auto b = backend.run(sharded);
+  EXPECT_NEAR(a.throughput_ops_per_kcycle(), b.throughput_ops_per_kcycle(),
+              a.throughput_ops_per_kcycle() * 0.02);
+}
+
+TEST(ShardedWorkload, ThroughputScalesWithShards) {
+  SimBackend backend(sim::test_machine(8));
+  double prev = 0.0;
+  for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    WorkloadConfig w;
+    w.mode = WorkloadMode::kSharded;
+    w.prim = Primitive::kFaa;
+    w.threads = 8;
+    w.shards = shards;
+    const double x = backend.run(w).throughput_ops_per_kcycle();
+    EXPECT_GT(x, prev) << "shards=" << shards;
+    prev = x;
+  }
+}
+
+TEST(PrivateWalk, RunsAndScalesWithThreads) {
+  SimBackend backend(sim::test_machine(4));
+  WorkloadConfig w;
+  w.mode = WorkloadMode::kPrivateWalk;
+  w.prim = Primitive::kFaa;
+  w.lines_per_thread = 4;
+  w.threads = 1;
+  const auto one = backend.run(w);
+  w.threads = 4;
+  const auto four = backend.run(w);
+  EXPECT_NEAR(four.throughput_ops_per_kcycle(),
+              4.0 * one.throughput_ops_per_kcycle(),
+              one.throughput_ops_per_kcycle() * 0.1);
+}
+
+TEST(LatencyPercentiles, P99AtLeastMeanUnderContention) {
+  SimBackend backend(sim::xeon_e5_2x18());
+  WorkloadConfig w;
+  w.mode = WorkloadMode::kHighContention;
+  w.prim = Primitive::kFaa;
+  w.threads = 16;
+  const auto r = backend.run(w);
+  for (const auto& t : r.threads) {
+    if (t.ops == 0) continue;
+    EXPECT_GT(t.p99_latency_cycles, 0.0);
+    // Log-bucketed percentile: allow the bucket's relative width.
+    EXPECT_GE(t.p99_latency_cycles, t.mean_latency_cycles * 0.6);
+  }
+}
+
+TEST(WorkJitter, PreservesMeanRate) {
+  SimBackend backend(sim::test_machine(4));
+  WorkloadConfig w;
+  w.mode = WorkloadMode::kHighContention;
+  w.prim = Primitive::kFaa;
+  w.threads = 1;
+  w.work = 2000;
+  const auto plain = backend.run(w);
+  w.work_jitter = 0.5;
+  const auto jittered = backend.run(w);
+  // Uniform jitter keeps the mean work identical: ~same throughput.
+  EXPECT_NEAR(jittered.throughput_ops_per_kcycle(),
+              plain.throughput_ops_per_kcycle(),
+              plain.throughput_ops_per_kcycle() * 0.05);
+}
+
+TEST(ModeNames, NewModesPrint) {
+  EXPECT_STREQ(to_string(WorkloadMode::kSharded), "sharded");
+  EXPECT_STREQ(to_string(WorkloadMode::kPrivateWalk), "private-walk");
+}
+
+}  // namespace
+}  // namespace am::bench

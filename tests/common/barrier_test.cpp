@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+
+namespace am {
+namespace {
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  SpinBarrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  // Each thread increments a phase counter; nobody may observe a phase more
+  // than one step away from its own thanks to the barrier.
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counts[kPhases];
+  for (auto& c : counts) c.store(0);
+  std::atomic<bool> violation{false};
+
+  auto worker = [&] {
+    for (int phase = 0; phase < kPhases; ++phase) {
+      counts[phase].fetch_add(1, std::memory_order_acq_rel);
+      barrier.arrive_and_wait();
+      // After the barrier every thread must have bumped this phase.
+      if (counts[phase].load(std::memory_order_acquire) != kThreads) {
+        violation.store(true);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(SpinBarrier, ReusableAcrossManyRounds) {
+  constexpr int kThreads = 2;
+  SpinBarrier barrier(kThreads);
+  std::atomic<long> total{0};
+  auto worker = [&] {
+    for (int i = 0; i < 1000; ++i) {
+      total.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait();
+    }
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(SpinBarrier, ReportsParties) {
+  SpinBarrier b(3);
+  EXPECT_EQ(b.parties(), 3u);
+}
+
+}  // namespace
+}  // namespace am

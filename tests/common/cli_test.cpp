@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+namespace am {
+namespace {
+
+CliParser make_parser() {
+  CliParser p("test tool");
+  p.add_flag("threads", "thread count", "4");
+  p.add_flag("rate", "a double", "1.5");
+  p.add_flag("verbose", "boolean flag", "false");
+  p.add_flag("list", "comma list", "1,2,3");
+  p.add_flag("name", "a string", "foo");
+  return p;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("threads"), 4);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.5);
+  EXPECT_FALSE(p.get_bool("verbose"));
+  EXPECT_FALSE(p.has("threads"));
+}
+
+TEST(Cli, EqualsForm) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--threads=16", "--rate=2.25"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("threads"), 16);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 2.25);
+  EXPECT_TRUE(p.has("threads"));
+}
+
+TEST(Cli, SpaceForm) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--name", "bar"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get("name"), "bar");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--verbose", "--threads=2"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get_int("threads"), 2);
+}
+
+TEST(Cli, IntList) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--list=2,4,8,16"};
+  ASSERT_TRUE(p.parse(2, argv));
+  const auto list = p.get_int_list("list");
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[3], 16);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, PositionalRejected) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser p("x");
+  p.add_flag("a", "first");
+  EXPECT_THROW(p.add_flag("a", "again"), std::logic_error);
+}
+
+TEST(Cli, UnregisteredGetThrows) {
+  CliParser p("x");
+  EXPECT_THROW(p.get("nope"), std::logic_error);
+}
+
+TEST(Cli, UsageMentionsFlags) {
+  CliParser p = make_parser();
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--threads"), std::string::npos);
+  EXPECT_NE(usage.find("thread count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace am {
+namespace {
+
+TEST(SplitMix, DeterministicAndDistinct) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  SplitMix64 c(43);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(x, c.next());
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, NextBelowBounds) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(3);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler z(10, 0.0);
+  Xoshiro256 rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Zipf, SkewPrefersSmallIndices) {
+  ZipfSampler z(100, 1.2);
+  Xoshiro256 rng(13);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_GT(counts[0], 10'000);
+}
+
+TEST(Zipf, SamplesAlwaysInRange) {
+  ZipfSampler z(7, 0.99);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(Zipf, RejectsDegenerate) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(5, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/table.hpp"
+
+namespace am {
+namespace {
+
+TEST(Table, AsciiAlignment) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.50  |"), std::string::npos);
+}
+
+TEST(Table, RowsPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"x"});
+  t.add_row({"7"});
+  const std::string path = "/tmp/am_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x");
+  EXPECT_EQ(row, "7");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/foo.csv"));
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lockfree/ms_queue.hpp"
+
+namespace am::lockfree {
+namespace {
+
+TEST(MsQueue, FifoSingleThread) {
+  MichaelScottQueue<int> q(8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.enqueue(1));
+  EXPECT_TRUE(q.enqueue(2));
+  EXPECT_TRUE(q.enqueue(3));
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_TRUE(q.enqueue(4));
+  EXPECT_EQ(q.dequeue(), 3);
+  EXPECT_EQ(q.dequeue(), 4);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, CapacityAndRecycling) {
+  MichaelScottQueue<int> q(2);
+  EXPECT_TRUE(q.enqueue(1));
+  EXPECT_TRUE(q.enqueue(2));
+  EXPECT_FALSE(q.enqueue(3));  // pool exhausted
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_TRUE(q.enqueue(4));   // dummy recycled
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_EQ(q.dequeue(), 4);
+}
+
+TEST(MsQueue, SingleProducerSingleConsumerOrder) {
+  MichaelScottQueue<int> q(64);
+  constexpr int kItems = 50'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!q.enqueue(i)) {
+      }
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = q.dequeue()) {
+      ASSERT_EQ(*v, expected);  // FIFO order for a single producer
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+TEST(MsQueue, ElementConservationManyProducersManyConsumers) {
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 10'000;
+  MichaelScottQueue<int> q(256);
+  std::atomic<int> consumed{0};
+  std::set<int> seen;
+  std::mutex seen_mu;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int v = t * kPerThread + i;
+        while (!q.enqueue(v)) {
+        }
+      }
+    });
+    workers.emplace_back([&] {
+      std::set<int> local;
+      while (consumed.load(std::memory_order_relaxed) <
+             kThreads * kPerThread) {
+        if (auto v = q.dequeue()) {
+          local.insert(*v);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(seen_mu);
+      seen.merge(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace am::lockfree

@@ -1,0 +1,87 @@
+// The Treiber stack protocol on the coherence machine: structural
+// correctness (the head word and node links stay consistent) and the
+// expected contention behaviour.
+#include <gtest/gtest.h>
+
+#include "lockfree/stack_program.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+
+namespace am::lockfree {
+namespace {
+
+TEST(StackProgram, SingleCoreAlternatesPushPop) {
+  sim::MachineConfig cfg = sim::test_machine(2);
+  cfg.paranoid_checks = true;
+  sim::Machine m(cfg);
+  TreiberStackProgram prog(/*work=*/50);
+  const sim::RunStats st = m.run(prog, 1, 0, 100'000);
+  const std::uint64_t ops = TreiberStackProgram::completed_ops(st);
+  EXPECT_GT(ops, 100u);
+  // Alternating push/pop from one core: the stack ends empty or holding
+  // exactly the in-flight node; head index is 0 or the core's node.
+  const std::uint64_t head = m.line_value(TreiberStackProgram::kHeadLine);
+  EXPECT_LE(TreiberStackProgram::index_of(head), 1u);
+  // Tag counts successful CASes on the head.
+  EXPECT_EQ(TreiberStackProgram::tag_of(head), ops);
+}
+
+TEST(StackProgram, ManyCoresConserveNodes) {
+  sim::MachineConfig cfg = sim::test_machine(8);
+  cfg.paranoid_checks = true;
+  sim::Machine m(cfg, 3);
+  TreiberStackProgram prog(0);
+  const sim::RunStats st = m.run(prog, 8, 0, 200'000);
+  EXPECT_GT(TreiberStackProgram::completed_ops(st), 100u);
+
+  // Walk the stack from the head: every linked node index is one of the 8
+  // per-core nodes, with no cycles (ABA tags prevent them).
+  std::uint64_t head = m.line_value(TreiberStackProgram::kHeadLine);
+  std::set<std::uint64_t> visited;
+  std::uint64_t idx = TreiberStackProgram::index_of(head);
+  while (idx != 0) {
+    ASSERT_LE(idx, 8u) << "corrupt node index";
+    ASSERT_TRUE(visited.insert(idx).second) << "cycle in stack links";
+    const std::uint64_t next =
+        m.line_value(TreiberStackProgram::kNodeBase + idx);
+    idx = TreiberStackProgram::index_of(next);
+  }
+  EXPECT_LE(visited.size(), 8u);
+}
+
+TEST(StackProgram, ThroughputDegradesWithCoresLikeCasLoop) {
+  // The stack's hot head makes it a CAS-loop workload: completed ops/cycle
+  // must *fall* as cores are added (the paper's design lesson).
+  double prev = 1e300;
+  for (sim::CoreId n : {1u, 2u, 4u, 8u}) {
+    sim::Machine m(sim::test_machine(8), 7);
+    TreiberStackProgram prog(0);
+    const sim::RunStats st = m.run(prog, n, 20'000, 200'000);
+    const double x = static_cast<double>(TreiberStackProgram::completed_ops(st)) /
+                     static_cast<double>(st.measured_cycles);
+    if (n > 1) {
+      EXPECT_LT(x, prev * 1.05) << "n=" << n;
+    }
+    prev = x;
+  }
+}
+
+TEST(StackProgram, WorkRelievesHeadContention) {
+  sim::MachineConfig cfg = sim::test_machine(8);
+  auto run_with_work = [&](sim::Cycles w) {
+    sim::Machine m(cfg, 11);
+    TreiberStackProgram prog(w);
+    const sim::RunStats st = m.run(prog, 8, 20'000, 200'000);
+    const double ops = static_cast<double>(TreiberStackProgram::completed_ops(st));
+    // Attempt efficiency: completed CAS / all CAS.
+    std::uint64_t cas_ops = 0;
+    for (const auto& t : st.threads) {
+      cas_ops += t.ops_by_prim[static_cast<std::size_t>(Primitive::kCas)];
+    }
+    return ops / static_cast<double>(cas_ops);
+  };
+  EXPECT_GT(run_with_work(4'000), run_with_work(0));
+}
+
+}  // namespace
+}  // namespace am::lockfree

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lockfree/treiber_stack.hpp"
+
+namespace am::lockfree {
+namespace {
+
+TEST(Tagged, PackingRoundTrips) {
+  const TaggedIndex t = make_tagged(42, 7);
+  EXPECT_EQ(index_of(t), 42u);
+  EXPECT_EQ(tag_of(t), 7u);
+  EXPECT_FALSE(is_null(t));
+  EXPECT_TRUE(is_null(kNullTagged));
+  const TaggedIndex r = retag(t, 13);
+  EXPECT_EQ(index_of(r), 13u);
+  EXPECT_EQ(tag_of(r), 8u);
+}
+
+TEST(TreiberStack, LifoSingleThread) {
+  TreiberStack<int> s(8);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.push(1));
+  EXPECT_TRUE(s.push(2));
+  EXPECT_TRUE(s.push(3));
+  EXPECT_EQ(s.pop(), 3);
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_TRUE(s.push(4));
+  EXPECT_EQ(s.pop(), 4);
+  EXPECT_EQ(s.pop(), 1);
+  EXPECT_EQ(s.pop(), std::nullopt);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TreiberStack, PoolExhaustionAndReuse) {
+  TreiberStack<int> s(2);
+  EXPECT_TRUE(s.push(1));
+  EXPECT_TRUE(s.push(2));
+  EXPECT_FALSE(s.push(3));  // pool exhausted
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_TRUE(s.push(4));   // node recycled
+  EXPECT_EQ(s.pop(), 4);
+  EXPECT_EQ(s.pop(), 1);
+}
+
+TEST(TreiberStack, ZeroCapacity) {
+  TreiberStack<int> s(0);
+  EXPECT_FALSE(s.push(1));
+  EXPECT_EQ(s.pop(), std::nullopt);
+}
+
+TEST(TreiberStack, ElementConservationUnderConcurrency) {
+  // Each thread pushes a disjoint range, then everything is popped; the
+  // multiset of popped values must equal the multiset pushed.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5'000;
+  TreiberStack<int> s(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(s.push(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<int> seen;
+  while (auto v = s.pop()) {
+    EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(TreiberStack, ConcurrentPushPopKeepsBalance) {
+  // Mixed pushers/poppers: total pushes == total pops + residue.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10'000;
+  TreiberStack<long> s(kThreads * 4);
+  std::atomic<long> pushed{0};
+  std::atomic<long> popped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (s.push(i)) pushed.fetch_add(1, std::memory_order_relaxed);
+        if (s.pop()) popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  long residue = 0;
+  while (s.pop()) ++residue;
+  EXPECT_EQ(pushed.load(), popped.load() + residue);
+}
+
+}  // namespace
+}  // namespace am::lockfree

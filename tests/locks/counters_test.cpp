@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "locks/counters.hpp"
+
+namespace am::locks {
+namespace {
+
+template <typename Counter>
+void exercise_counter() {
+  Counter counter;
+  constexpr int kThreads = 4;
+  // Lock-based counters cost a scheduler quantum per hand-off when
+  // oversubscribed; scale to the host.
+  const int kIters =
+      std::thread::hardware_concurrency() >= 4 ? 20'000 : 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) counter.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.read(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(FaaCounter, ExactUnderConcurrency) { exercise_counter<FaaCounter>(); }
+TEST(CasLoopCounter, ExactUnderConcurrency) {
+  exercise_counter<CasLoopCounter>();
+}
+TEST(LockedCounterTas, ExactUnderConcurrency) {
+  exercise_counter<LockedCounter<TasLock>>();
+}
+TEST(LockedCounterTicket, ExactUnderConcurrency) {
+  exercise_counter<LockedCounter<TicketLock>>();
+}
+
+TEST(Counters, IncrementReturnsPreviousValue) {
+  FaaCounter faa;
+  EXPECT_EQ(faa.increment(), 0u);
+  EXPECT_EQ(faa.increment(), 1u);
+  CasLoopCounter loop;
+  EXPECT_EQ(loop.increment(), 0u);
+  EXPECT_EQ(loop.increment(), 1u);
+  LockedCounter<TasLock> locked;
+  EXPECT_EQ(locked.increment(), 0u);
+  EXPECT_EQ(locked.increment(), 1u);
+}
+
+TEST(ShardedCounter, ExactUnderConcurrency) {
+  ShardedCounter counter(4);
+  constexpr int kThreads = 4;
+  const int kIters =
+      std::thread::hardware_concurrency() >= 4 ? 20'000 : 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.increment(static_cast<std::size_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.read(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ShardedCounter, SlotWrapsAroundShardCount) {
+  ShardedCounter counter(2);
+  counter.increment(0);
+  counter.increment(2);  // same shard as slot 0
+  counter.increment(5);  // shard 1
+  EXPECT_EQ(counter.read(), 3u);
+  EXPECT_EQ(counter.shards(), 2u);
+}
+
+TEST(ShardedCounter, ZeroShardsClampedToOne) {
+  ShardedCounter counter(0);
+  counter.increment(7);
+  EXPECT_EQ(counter.read(), 1u);
+  EXPECT_EQ(counter.shards(), 1u);
+}
+
+TEST(Counters, Names) {
+  EXPECT_STREQ(FaaCounter::name(), "faa");
+  EXPECT_STREQ(CasLoopCounter::name(), "cas-loop");
+  EXPECT_STREQ(LockedCounter<>::name(), "locked");
+}
+
+}  // namespace
+}  // namespace am::locks

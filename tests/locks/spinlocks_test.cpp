@@ -1,0 +1,103 @@
+// Mutual-exclusion correctness of the hardware lock implementations under
+// real threads (oversubscribed on small hosts, which only makes the test
+// harsher).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "locks/spinlocks.hpp"
+
+namespace am::locks {
+namespace {
+
+/// Oversubscribed spinlocks cost a scheduler quantum per hand-off, so the
+/// iteration count scales with the cores actually available.
+inline int scaled_iters() {
+  return std::thread::hardware_concurrency() >= 4 ? 20'000 : 500;
+}
+
+template <typename Lock>
+void exercise_mutual_exclusion() {
+  Lock lock;
+  constexpr int kThreads = 4;
+  const int kIters = scaled_iters();
+  // Non-atomic counter: only mutual exclusion keeps this race-free.
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard<Lock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(TasLock, MutualExclusion) { exercise_mutual_exclusion<TasLock>(); }
+TEST(TtasLock, MutualExclusion) { exercise_mutual_exclusion<TtasLock>(); }
+TEST(BackoffTtasLock, MutualExclusion) {
+  exercise_mutual_exclusion<BackoffTtasLock>();
+}
+TEST(TicketLock, MutualExclusion) { exercise_mutual_exclusion<TicketLock>(); }
+
+TEST(McsLock, MutualExclusion) {
+  McsLock lock;
+  constexpr int kThreads = 4;
+  const int kIters = scaled_iters();
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      McsLock::Node node;
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock(node);
+        ++counter;
+        lock.unlock(node);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(TasLock, TryLockSemantics) {
+  TasLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(TtasLock, TryLockSemantics) {
+  TtasLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(TicketLock, TryLockSemantics) {
+  TicketLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(McsLock, UncontendedLockUnlock) {
+  McsLock lock;
+  McsLock::Node node;
+  lock.lock(node);
+  lock.unlock(node);
+  lock.lock(node);
+  lock.unlock(node);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace am::locks

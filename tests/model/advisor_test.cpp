@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "model/advisor.hpp"
+#include "sim/config.hpp"
+
+namespace am::model {
+namespace {
+
+BouncingModel xeon_model() {
+  return BouncingModel(ModelParams::from_machine(sim::xeon_e5_2x18()));
+}
+
+TEST(CounterAdvice, ShardingWinsThenFaaUnderContention) {
+  const Advice a = advise_counter(xeon_model(), 32, 0.0);
+  // Sharding sidesteps the bounce entirely, so it tops the ranking; among
+  // the single-cell options FAA must beat the CAS loop and the lock.
+  EXPECT_EQ(a.recommended, "sharded");
+  ASSERT_EQ(a.options.size(), 4u);
+  for (std::size_t i = 0; i + 1 < a.options.size(); ++i) {
+    EXPECT_GE(a.options[i].throughput_mops, a.options[i + 1].throughput_mops);
+  }
+  double faa = 0.0;
+  double loop = 0.0;
+  double lock = 0.0;
+  for (const auto& o : a.options) {
+    if (o.name == "FAA") faa = o.throughput_mops;
+    if (o.name == "CAS-loop") loop = o.throughput_mops;
+    if (o.name == "lock+inc") lock = o.throughput_mops;
+  }
+  EXPECT_GT(faa, loop);
+  EXPECT_GT(faa, lock);
+  EXPECT_FALSE(a.rationale.empty());
+}
+
+TEST(CounterAdvice, ShardedPredictionScalesWithShards) {
+  const BouncingModel m = xeon_model();
+  const double k1 = predict_sharded_counter_mops(m, 32, 0.0, 1);
+  const double k8 = predict_sharded_counter_mops(m, 32, 0.0, 8);
+  const double k32 = predict_sharded_counter_mops(m, 32, 0.0, 32);
+  EXPECT_GT(k8, 2.0 * k1);   // sharding relieves the bounce
+  EXPECT_GT(k32, k8);        // per-thread shards eliminate it
+  // One shard == the plain FAA prediction.
+  EXPECT_NEAR(k1, m.predict(Primitive::kFaa, 32, 0.0).throughput_mops, 1e-9);
+}
+
+TEST(CounterAdvice, GapGrowsWithThreads) {
+  const BouncingModel m = xeon_model();
+  const Advice few = advise_counter(m, 4, 0.0);
+  const Advice many = advise_counter(m, 32, 0.0);
+  auto gap = [](const Advice& a) {
+    double faa = 0.0;
+    double loop = 0.0;
+    for (const auto& o : a.options) {
+      if (o.name == "FAA") faa = o.throughput_mops;
+      if (o.name == "CAS-loop") loop = o.throughput_mops;
+    }
+    return faa / loop;
+  };
+  EXPECT_GT(gap(many), gap(few));
+}
+
+TEST(CounterAdvice, OptionsConvergeWhenUncontended) {
+  // With huge work between increments every implementation is work-bound.
+  const Advice a = advise_counter(xeon_model(), 8, 200'000.0);
+  const double best = a.options.front().throughput_mops;
+  const double worst = a.options.back().throughput_mops;
+  EXPECT_GT(worst, best * 0.9);
+}
+
+TEST(LockAdvice, ScalableLocksWinAtHighThreadCounts) {
+  const Advice a = advise_lock(xeon_model(), 36, 200.0, 400.0);
+  // TAS must not win a 36-thread contest.
+  EXPECT_NE(a.recommended, "TAS");
+  ASSERT_EQ(a.options.size(), 4u);
+}
+
+TEST(LockAdvice, TasCompetitiveWhenAlone) {
+  const Advice a = advise_lock(xeon_model(), 1, 100.0, 100.0);
+  // Uncontended, every lock costs about the same; TAS must be within 2x of
+  // the winner.
+  double tas = 0.0;
+  for (const auto& o : a.options) {
+    if (o.name == "TAS") tas = o.throughput_mops;
+  }
+  EXPECT_GT(tas, a.options.front().throughput_mops * 0.5);
+}
+
+TEST(Backoff, RecommendationIsCrossover) {
+  const BouncingModel m = xeon_model();
+  EXPECT_DOUBLE_EQ(recommended_backoff_cycles(m, 16),
+                   3.0 * m.crossover_work(Primitive::kCasLoop, 16));
+  EXPECT_DOUBLE_EQ(recommended_backoff_cycles(m, 1), 0.0);
+  EXPECT_GT(recommended_backoff_cycles(m, 32),
+            recommended_backoff_cycles(m, 8));
+}
+
+}  // namespace
+}  // namespace am::model

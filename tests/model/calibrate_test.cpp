@@ -1,0 +1,131 @@
+// Calibration must recover the simulated machine's configured parameters
+// from black-box measurements alone.
+#include <gtest/gtest.h>
+
+#include "bench_core/sim_backend.hpp"
+#include "model/bouncing_model.hpp"
+#include "model/calibrate.hpp"
+#include "sim/config.hpp"
+
+namespace am::model {
+namespace {
+
+TEST(Calibrate, RecoversUniformMachineCosts) {
+  sim::MachineConfig cfg = sim::test_machine(8, 100, 4, 200);
+  bench::SimBackend backend(cfg);
+  const ModelParams skeleton = ModelParams::from_machine(cfg);
+  const Calibration cal = calibrate(backend, skeleton);
+  ASSERT_TRUE(cal.ok) << cal.log;
+
+  // Local costs: l1 + exec (4 + 10 for RMWs, 4 + 1 for load/store).
+  EXPECT_NEAR(cal.local_cost[static_cast<int>(Primitive::kFaa)], 14.0, 1.0);
+  EXPECT_NEAR(cal.local_cost[static_cast<int>(Primitive::kLoad)], 5.0, 1.0);
+  // Transfer cost: 100 cycles, single class.
+  EXPECT_NEAR(cal.t_near, 100.0, 5.0);
+  EXPECT_DOUBLE_EQ(cal.t_near, cal.t_far);
+}
+
+TEST(Calibrate, RecoversTwoSocketCosts) {
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.arbitration = sim::Arbitration::kFifo;  // identifiable mixture
+  bench::SimBackend backend(cfg);
+  const ModelParams skeleton = ModelParams::from_machine(cfg);
+  const Calibration cal = calibrate(backend, skeleton);
+  ASSERT_TRUE(cal.ok) << cal.log;
+  EXPECT_NEAR(cal.t_near, 70.0, 8.0) << cal.log;
+  EXPECT_NEAR(cal.t_far, 180.0, 40.0) << cal.log;
+  EXPECT_GT(cal.fit_r_squared, 0.95);
+}
+
+TEST(Calibrate, AppliedParamsPredictWell) {
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.arbitration = sim::Arbitration::kFifo;
+  bench::SimBackend backend(cfg);
+  const ModelParams skeleton = ModelParams::from_machine(cfg);
+  const Calibration cal = calibrate(backend, skeleton);
+  ASSERT_TRUE(cal.ok);
+
+  const BouncingModel model(cal.apply_to(skeleton));
+  bench::WorkloadConfig w;
+  w.mode = bench::WorkloadMode::kHighContention;
+  w.prim = Primitive::kSwap;  // a primitive the transfer fit did not use
+  w.threads = 24;
+  const auto run = backend.run(w);
+  const Prediction pred = model.predict(Primitive::kSwap, 24, 0.0);
+  const double err = std::fabs(pred.throughput_ops_per_kcycle -
+                               run.throughput_ops_per_kcycle()) /
+                     run.throughput_ops_per_kcycle();
+  EXPECT_LT(err, 0.15) << cal.log;
+}
+
+TEST(Calibrate, ApplyToOverwritesCostsKeepsStructure) {
+  const ModelParams skeleton =
+      ModelParams::from_machine(sim::xeon_e5_2x18());
+  Calibration cal;
+  cal.ok = true;
+  cal.t_near = 50.0;
+  cal.t_far = 500.0;
+  cal.local_cost.fill(10.0);
+  const ModelParams applied = cal.apply_to(skeleton);
+  EXPECT_DOUBLE_EQ(applied.transfer_between(0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(applied.transfer_between(0, 20), 500.0);
+  EXPECT_DOUBLE_EQ(applied.transfer_between(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(applied.exec_cost[0], 10.0 - skeleton.l1_hit);
+  EXPECT_EQ(applied.arbitration, skeleton.arbitration);
+}
+
+TEST(Calibrate, MeshHopFitBeatsTwoClassFit) {
+  sim::MachineConfig cfg = sim::knl_64();
+  cfg.arbitration = sim::Arbitration::kFifo;
+  bench::SimBackend backend(cfg);
+  const ModelParams skeleton = ModelParams::from_machine(cfg);
+  const Calibration cal = calibrate(backend, skeleton);
+  ASSERT_TRUE(cal.ok) << cal.log;
+  ASSERT_TRUE(cal.hop_fit) << cal.log;
+  EXPECT_GT(cal.hop_fit_r_squared, cal.fit_r_squared);
+  EXPECT_GT(cal.t_per_hop, 0.0);
+
+  // The hop-fitted model must predict an unseen workload tightly.
+  const BouncingModel model(cal.apply_to(skeleton));
+  bench::WorkloadConfig w;
+  w.mode = bench::WorkloadMode::kHighContention;
+  w.prim = Primitive::kSwap;
+  w.threads = 40;
+  const auto run = backend.run(w);
+  const Prediction pred = model.predict(Primitive::kSwap, 40, 0.0);
+  const double err = std::fabs(pred.throughput_ops_per_kcycle -
+                               run.throughput_ops_per_kcycle()) /
+                     run.throughput_ops_per_kcycle();
+  EXPECT_LT(err, 0.1) << cal.log;
+}
+
+TEST(Calibrate, NoHopFitOnTwoSocketMachines) {
+  // The two-socket topology has essentially constant hop counts in the
+  // rotation; the two-class fit is already exact and must be kept.
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.arbitration = sim::Arbitration::kFifo;
+  bench::SimBackend backend(cfg);
+  const ModelParams skeleton = ModelParams::from_machine(cfg);
+  const Calibration cal = calibrate(backend, skeleton);
+  ASSERT_TRUE(cal.ok);
+  // Either no hop fit, or one that did not displace a near-perfect fit.
+  if (cal.hop_fit) {
+    EXPECT_GT(cal.hop_fit_r_squared, 0.99);
+  } else {
+    EXPECT_GT(cal.fit_r_squared, 0.99);
+  }
+}
+
+TEST(Calibrate, CustomSweepHonoured) {
+  sim::MachineConfig cfg = sim::test_machine(4, 80);
+  bench::SimBackend backend(cfg);
+  CalibrationOptions opts;
+  opts.sweep_threads = {2, 4};
+  const Calibration cal =
+      calibrate(backend, ModelParams::from_machine(cfg), opts);
+  ASSERT_TRUE(cal.ok);
+  EXPECT_NEAR(cal.t_near, 80.0, 5.0);
+}
+
+}  // namespace
+}  // namespace am::model

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "model/handoff.hpp"
+#include "sim/config.hpp"
+
+namespace am::model {
+namespace {
+
+TEST(RoundRobin, UniformMachineMeanIsTheLatency) {
+  const ModelParams p = ModelParams::from_machine(sim::test_machine(4, 100));
+  const HandoffEstimate e = round_robin_handoff(p, 4);
+  EXPECT_DOUBLE_EQ(e.mean_transfer_cycles, 100.0);
+  EXPECT_DOUBLE_EQ(e.far_fraction, 0.0);
+  ASSERT_EQ(e.grant_shares.size(), 4u);
+  EXPECT_DOUBLE_EQ(e.grant_shares[0], 0.25);
+}
+
+TEST(RoundRobin, SingleCoreNeverTransfers) {
+  const ModelParams p = ModelParams::from_machine(sim::test_machine(4, 100));
+  const HandoffEstimate e = round_robin_handoff(p, 1);
+  EXPECT_DOUBLE_EQ(e.mean_transfer_cycles, 0.0);
+}
+
+TEST(RoundRobin, TwoSocketMixture) {
+  // Compact order on two sockets: the rotation crosses the socket boundary
+  // exactly twice per cycle once both sockets participate.
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.arbitration = sim::Arbitration::kFifo;
+  const ModelParams p = ModelParams::from_machine(cfg);
+
+  const HandoffEstimate within = round_robin_handoff(p, 18);
+  EXPECT_DOUBLE_EQ(within.mean_transfer_cycles, 70.0);
+  EXPECT_DOUBLE_EQ(within.far_fraction, 0.0);
+
+  const HandoffEstimate both = round_robin_handoff(p, 36);
+  EXPECT_DOUBLE_EQ(both.far_fraction, 2.0 / 36.0);
+  EXPECT_DOUBLE_EQ(both.mean_transfer_cycles,
+                   (34.0 * 70.0 + 2.0 * 180.0) / 36.0);
+}
+
+TEST(TokenPassing, FifoMatchesClosedForm) {
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.arbitration = sim::Arbitration::kFifo;
+  const ModelParams p = ModelParams::from_machine(cfg);
+  const HandoffEstimate closed = round_robin_handoff(p, 24);
+  const HandoffEstimate sim = simulate_handoff(p, 24, 25.0, 24 * 500);
+  EXPECT_NEAR(sim.mean_transfer_cycles, closed.mean_transfer_cycles, 1.0);
+  EXPECT_NEAR(jain_fairness(sim.grant_shares), 1.0, 0.001);
+}
+
+TEST(TokenPassing, ProximityBiasKeepsLineNearOwner) {
+  const ModelParams p = ModelParams::from_machine(sim::xeon_e5_2x18());
+  const HandoffEstimate e = simulate_handoff(p, 36, 25.0, 36 * 500);
+  // Biased arbitration crosses sockets less often than round robin would
+  // given random placement, and shares are visibly uneven.
+  EXPECT_LT(jain_fairness(e.grant_shares), 0.999);
+  EXPECT_GT(e.mean_transfer_cycles, 0.0);
+}
+
+TEST(TokenPassing, SharesSumToOne) {
+  const ModelParams p = ModelParams::from_machine(sim::knl_64());
+  const HandoffEstimate e = simulate_handoff(p, 32, 30.0, 32 * 400);
+  double sum = 0.0;
+  for (double s : e.grant_shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TokenPassing, RejectsBadCoreCount) {
+  const ModelParams p = ModelParams::from_machine(sim::test_machine(4));
+  EXPECT_THROW(simulate_handoff(p, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(simulate_handoff(p, 5, 10.0), std::invalid_argument);
+}
+
+TEST(Dispatch, EstimateUsesClosedFormForFifo) {
+  sim::MachineConfig cfg = sim::test_machine(8, 50);
+  const ModelParams p = ModelParams::from_machine(cfg);
+  const HandoffEstimate e = estimate_handoff(p, 8, 20.0);
+  EXPECT_DOUBLE_EQ(e.mean_transfer_cycles, 50.0);
+}
+
+}  // namespace
+}  // namespace am::model

@@ -1,0 +1,132 @@
+// The reproduction's central property test: the closed-form model must
+// track the discrete-event machine across primitives, thread counts and
+// work levels (this is Table 3 in miniature, enforced in CI).
+#include <gtest/gtest.h>
+
+#include "bench_core/sim_backend.hpp"
+#include "model/bouncing_model.hpp"
+#include "model/validate.hpp"
+#include "sim/config.hpp"
+
+namespace am::model {
+namespace {
+
+struct GridCase {
+  Primitive prim;
+  std::uint32_t threads;
+  double work;
+};
+
+class ModelTracksSim : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ModelTracksSim, ThroughputWithin15Percent) {
+  const GridCase c = GetParam();
+  sim::MachineConfig cfg = sim::test_machine(16);
+  bench::SimBackend backend(cfg);
+  const BouncingModel model(ModelParams::from_machine(cfg));
+
+  bench::WorkloadConfig w;
+  w.mode = bench::WorkloadMode::kHighContention;
+  w.prim = c.prim;
+  w.threads = c.threads;
+  w.work = static_cast<bench::Cycles>(c.work);
+  const auto run = backend.run(w);
+  const Prediction pred = model.predict(c.prim, c.threads, c.work);
+
+  ASSERT_GT(run.throughput_ops_per_kcycle(), 0.0);
+  const double err = std::fabs(pred.throughput_ops_per_kcycle -
+                               run.throughput_ops_per_kcycle()) /
+                     run.throughput_ops_per_kcycle();
+  EXPECT_LT(err, 0.15) << "measured=" << run.throughput_ops_per_kcycle()
+                       << " predicted=" << pred.throughput_ops_per_kcycle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelTracksSim,
+    ::testing::Values(
+        GridCase{Primitive::kFaa, 1, 0}, GridCase{Primitive::kFaa, 2, 0},
+        GridCase{Primitive::kFaa, 4, 0}, GridCase{Primitive::kFaa, 8, 0},
+        GridCase{Primitive::kFaa, 16, 0}, GridCase{Primitive::kFaa, 4, 200},
+        GridCase{Primitive::kFaa, 4, 2000}, GridCase{Primitive::kFaa, 8, 8000},
+        GridCase{Primitive::kSwap, 8, 0}, GridCase{Primitive::kTas, 8, 0},
+        GridCase{Primitive::kStore, 8, 0}, GridCase{Primitive::kCas, 8, 0},
+        GridCase{Primitive::kCasLoop, 4, 0},
+        GridCase{Primitive::kCasLoop, 8, 0},
+        GridCase{Primitive::kLoad, 8, 0}, GridCase{Primitive::kLoad, 16, 100}),
+    [](const auto& info) {
+      const GridCase& c = info.param;
+      return std::string(to_string(c.prim)) + "_n" +
+             std::to_string(c.threads) + "_w" +
+             std::to_string(static_cast<int>(c.work));
+    });
+
+TEST(ModelVsSim, LatencyTracksWithinTwentyPercent) {
+  sim::MachineConfig cfg = sim::test_machine(16);
+  bench::SimBackend backend(cfg);
+  const BouncingModel model(ModelParams::from_machine(cfg));
+  for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+    bench::WorkloadConfig w;
+    w.mode = bench::WorkloadMode::kHighContention;
+    w.prim = Primitive::kFaa;
+    w.threads = n;
+    const auto run = backend.run(w);
+    const Prediction pred = model.predict(Primitive::kFaa, n, 0.0);
+    const double err =
+        std::fabs(pred.latency_cycles - run.mean_latency_cycles()) /
+        run.mean_latency_cycles();
+    EXPECT_LT(err, 0.2) << "n=" << n << " measured=" << run.mean_latency_cycles()
+                        << " predicted=" << pred.latency_cycles;
+  }
+}
+
+TEST(ModelVsSim, CasSuccessRateMatches) {
+  sim::MachineConfig cfg = sim::test_machine(16);
+  bench::SimBackend backend(cfg);
+  const BouncingModel model(ModelParams::from_machine(cfg));
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    bench::WorkloadConfig w;
+    w.mode = bench::WorkloadMode::kHighContention;
+    w.prim = Primitive::kCas;
+    w.threads = n;
+    const auto run = backend.run(w);
+    const Prediction pred = model.predict(Primitive::kCas, n, 0.0);
+    EXPECT_NEAR(run.success_rate(), pred.success_rate, 0.03) << "n=" << n;
+  }
+}
+
+TEST(ModelVsSim, ValidationReportAggregatesSanely) {
+  sim::MachineConfig cfg = sim::test_machine(8);
+  bench::SimBackend backend(cfg);
+  const BouncingModel model(ModelParams::from_machine(cfg));
+  ValidationOptions opts;
+  opts.primitives = {Primitive::kFaa, Primitive::kCasLoop};
+  opts.thread_counts = {2, 4, 8};
+  opts.work_values = {0.0, 500.0};
+  const ValidationReport report = validate(backend, model, opts);
+  EXPECT_EQ(report.points.size(), 2u * 3u * 2u);
+  EXPECT_LT(report.mape_throughput, 0.15);
+  EXPECT_GT(report.max_rel_err_throughput, 0.0);
+}
+
+TEST(ModelVsSim, XeonPresetThroughputWithinTolerance) {
+  // On the proximity-biased preset the hand-off mixture comes from the
+  // token-passing evaluation; agreement is looser but must hold.
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  bench::SimBackend backend(cfg);
+  const BouncingModel model(ModelParams::from_machine(cfg));
+  for (std::uint32_t n : {8u, 18u, 36u}) {
+    bench::WorkloadConfig w;
+    w.mode = bench::WorkloadMode::kHighContention;
+    w.prim = Primitive::kFaa;
+    w.threads = n;
+    const auto run = backend.run(w);
+    const Prediction pred = model.predict(Primitive::kFaa, n, 0.0);
+    const double err = std::fabs(pred.throughput_ops_per_kcycle -
+                                 run.throughput_ops_per_kcycle()) /
+                       run.throughput_ops_per_kcycle();
+    EXPECT_LT(err, 0.25) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace am::model

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "model/bouncing_model.hpp"
+#include "model/params_io.hpp"
+#include "sim/config.hpp"
+
+namespace am::model {
+namespace {
+
+TEST(ParamsIo, RoundTripsExactly) {
+  const ModelParams orig = ModelParams::from_machine(sim::knl_64());
+  std::stringstream buffer;
+  save_params(orig, buffer);
+  const auto loaded = load_params(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->machine, orig.machine);
+  EXPECT_EQ(loaded->cores, orig.cores);
+  EXPECT_DOUBLE_EQ(loaded->freq_ghz, orig.freq_ghz);
+  EXPECT_DOUBLE_EQ(loaded->l1_hit, orig.l1_hit);
+  EXPECT_EQ(loaded->exec_cost, orig.exec_cost);
+  EXPECT_EQ(loaded->transfer, orig.transfer);
+  EXPECT_EQ(loaded->hops, orig.hops);
+  EXPECT_EQ(loaded->is_far, orig.is_far);
+  EXPECT_EQ(loaded->distance, orig.distance);
+  EXPECT_EQ(loaded->arbitration, orig.arbitration);
+  EXPECT_DOUBLE_EQ(loaded->arbitration_bias, orig.arbitration_bias);
+  EXPECT_DOUBLE_EQ(loaded->energy.memory_nj, orig.energy.memory_nj);
+}
+
+TEST(ParamsIo, LoadedModelPredictsIdentically) {
+  const ModelParams orig = ModelParams::from_machine(sim::xeon_e5_2x18());
+  std::stringstream buffer;
+  save_params(orig, buffer);
+  const auto loaded = load_params(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  const BouncingModel a(orig);
+  const BouncingModel b(*loaded);
+  for (std::uint32_t n : {1u, 8u, 36u}) {
+    const Prediction pa = a.predict(Primitive::kCasLoop, n, 500.0);
+    const Prediction pb = b.predict(Primitive::kCasLoop, n, 500.0);
+    EXPECT_DOUBLE_EQ(pa.throughput_ops_per_kcycle,
+                     pb.throughput_ops_per_kcycle);
+    EXPECT_DOUBLE_EQ(pa.fairness_jain, pb.fairness_jain);
+    EXPECT_DOUBLE_EQ(pa.energy_per_op_nj, pb.energy_per_op_nj);
+  }
+}
+
+TEST(ParamsIo, RejectsGarbage) {
+  std::stringstream bad("not-a-params-file at all");
+  EXPECT_EQ(load_params(bad), std::nullopt);
+  std::stringstream empty;
+  EXPECT_EQ(load_params(empty), std::nullopt);
+}
+
+TEST(ParamsIo, RejectsTruncation) {
+  const ModelParams orig = ModelParams::from_machine(sim::test_machine(4));
+  std::stringstream buffer;
+  save_params(orig, buffer);
+  const std::string full = buffer.str();
+  // Chop the file at several points; every prefix must be rejected.
+  for (std::size_t cut : {full.size() / 4, full.size() / 2,
+                          full.size() - 10}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_EQ(load_params(truncated), std::nullopt) << "cut=" << cut;
+  }
+}
+
+TEST(ParamsIo, RejectsInconsistentMatrixSizes) {
+  const ModelParams orig = ModelParams::from_machine(sim::test_machine(4));
+  std::stringstream buffer;
+  save_params(orig, buffer);
+  std::string text = buffer.str();
+  // Claim more cores than the matrices carry.
+  const auto pos = text.find("cores 4");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "cores 9");
+  std::stringstream corrupted(text);
+  EXPECT_EQ(load_params(corrupted), std::nullopt);
+}
+
+TEST(ParamsIo, FileHelpers) {
+  const std::string path = "/tmp/am_params_io_test.amp";
+  const ModelParams orig = ModelParams::from_machine(sim::test_machine(8));
+  ASSERT_TRUE(save_params_file(orig, path));
+  const auto loaded = load_params_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cores, 8u);
+  std::remove(path.c_str());
+  EXPECT_EQ(load_params_file("/nonexistent/params.amp"), std::nullopt);
+  EXPECT_FALSE(save_params_file(orig, "/nonexistent-dir/params.amp"));
+}
+
+}  // namespace
+}  // namespace am::model

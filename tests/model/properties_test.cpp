@@ -1,0 +1,200 @@
+// Property sweep over the model: structural guarantees of the closed forms
+// for every (primitive, machine, thread count).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bench_core/sim_backend.hpp"
+#include "model/bouncing_model.hpp"
+#include "sim/config.hpp"
+
+namespace am::model {
+namespace {
+
+sim::MachineConfig machine_by_index(int i) {
+  switch (i) {
+    case 0: return sim::xeon_e5_2x18();
+    case 1: return sim::knl_64();
+    default: return sim::test_machine(16);
+  }
+}
+
+using Case = std::tuple<Primitive, int /*machine*/, std::uint32_t /*threads*/>;
+
+const char* machine_name_by_index(int i) {
+  return i == 0 ? "xeon" : (i == 1 ? "knl" : "test");
+}
+
+class ModelInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ModelInvariants, PredictionsAreWellFormed) {
+  const auto [prim, machine_idx, threads] = GetParam();
+  const sim::MachineConfig cfg = machine_by_index(machine_idx);
+  if (threads > cfg.core_count()) GTEST_SKIP();
+  const BouncingModel m(ModelParams::from_machine(cfg));
+
+  for (double w : {0.0, 500.0, 5000.0}) {
+    const Prediction p = m.predict(prim, threads, w);
+    SCOPED_TRACE(std::string(to_string(prim)) + " n=" +
+                 std::to_string(threads) + " w=" + std::to_string(w));
+    EXPECT_GT(p.throughput_ops_per_kcycle, 0.0);
+    EXPECT_GT(p.throughput_mops, 0.0);
+    EXPECT_GE(p.latency_cycles, m.params().local_op_cycles(prim) - 1e-9);
+    EXPECT_GE(p.success_rate, 0.0);
+    EXPECT_LE(p.success_rate, 1.0);
+    EXPECT_GE(p.attempts_per_op, 1.0);
+    EXPECT_GT(p.fairness_jain, 0.0);
+    EXPECT_LE(p.fairness_jain, 1.0 + 1e-9);
+    EXPECT_GT(p.energy_per_op_nj, 0.0);
+    // Mops consistency with ops/kcycle and the clock.
+    EXPECT_NEAR(p.throughput_mops,
+                p.throughput_ops_per_kcycle * m.params().freq_ghz, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelInvariants,
+    ::testing::Combine(::testing::Values(Primitive::kLoad, Primitive::kStore,
+                                         Primitive::kSwap, Primitive::kTas,
+                                         Primitive::kFaa, Primitive::kCas,
+                                         Primitive::kCasLoop),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values<std::uint32_t>(1, 2, 9, 36)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             machine_name_by_index(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ModelMonotonicity, ThroughputNonIncreasingInWork) {
+  const BouncingModel m(ModelParams::from_machine(sim::xeon_e5_2x18()));
+  double prev = 1e300;
+  for (double w = 0.0; w <= 20'000.0; w += 500.0) {
+    const double x = m.predict(Primitive::kFaa, 16, w).throughput_ops_per_kcycle;
+    EXPECT_LE(x, prev + 1e-9) << "w=" << w;
+    prev = x;
+  }
+}
+
+TEST(ModelMonotonicity, CasLoopBenefitsFromBackoff) {
+  // The CAS loop's completed-op throughput *rises* past the crossover —
+  // backoff trades acquisitions for completions (ablation A1.2). The model
+  // must reproduce that non-monotonicity.
+  const BouncingModel m(ModelParams::from_machine(sim::xeon_e5_2x18()));
+  const double wstar = m.crossover_work(Primitive::kCasLoop, 16);
+  const double saturated =
+      m.predict(Primitive::kCasLoop, 16, wstar * 0.9).throughput_ops_per_kcycle;
+  const double paced =
+      m.predict(Primitive::kCasLoop, 16, wstar * 1.1).throughput_ops_per_kcycle;
+  EXPECT_GT(paced, saturated);
+}
+
+TEST(ModelMonotonicity, LatencyNonDecreasingInThreads) {
+  const BouncingModel m(ModelParams::from_machine(sim::xeon_e5_2x18()));
+  double prev = 0.0;
+  for (std::uint32_t n = 1; n <= 36; ++n) {
+    const double l = m.predict(Primitive::kFaa, n, 0.0).latency_cycles;
+    EXPECT_GE(l, prev - 1e-9) << "n=" << n;
+    prev = l;
+  }
+}
+
+TEST(ModelMonotonicity, CrossoverNonDecreasingInThreads) {
+  const BouncingModel m(ModelParams::from_machine(sim::knl_64()));
+  double prev = 0.0;
+  for (std::uint32_t n = 1; n <= 64; n += 3) {
+    const double w = m.crossover_work(Primitive::kFaa, n);
+    EXPECT_GE(w, prev - 1e-9) << "n=" << n;
+    prev = w;
+  }
+}
+
+TEST(ModelContinuity, ThroughputContinuousAtCrossover) {
+  const BouncingModel m(ModelParams::from_machine(sim::test_machine(8)));
+  const double wstar = m.crossover_work(Primitive::kFaa, 8);
+  const double below =
+      m.predict(Primitive::kFaa, 8, wstar * 0.999).throughput_ops_per_kcycle;
+  const double above =
+      m.predict(Primitive::kFaa, 8, wstar * 1.001).throughput_ops_per_kcycle;
+  EXPECT_NEAR(below, above, below * 0.01);
+}
+
+TEST(ModelMixed, EndpointsMatchPureWorkloads) {
+  const BouncingModel m(ModelParams::from_machine(sim::xeon_e5_2x18()));
+  // f == 1: every op is the write primitive on a shared line.
+  const Prediction mixed = m.predict_mixed(Primitive::kFaa, 1.0, 8, 0.0);
+  const Prediction pure = m.predict(Primitive::kFaa, 8, 0.0);
+  EXPECT_NEAR(mixed.throughput_ops_per_kcycle, pure.throughput_ops_per_kcycle,
+              pure.throughput_ops_per_kcycle * 0.02);
+  // f == 0: loads scale.
+  const Prediction reads = m.predict_mixed(Primitive::kFaa, 0.0, 8, 0.0);
+  const Prediction loads = m.predict(Primitive::kLoad, 8, 0.0);
+  EXPECT_NEAR(reads.throughput_ops_per_kcycle, loads.throughput_ops_per_kcycle,
+              loads.throughput_ops_per_kcycle * 0.01);
+}
+
+TEST(ModelMixed, MonotoneInWriteFraction) {
+  const BouncingModel m(ModelParams::from_machine(sim::xeon_e5_2x18()));
+  double prev = 1e300;
+  for (double f : {0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    const double x =
+        m.predict_mixed(Primitive::kFaa, f, 16, 0.0).throughput_ops_per_kcycle;
+    EXPECT_LE(x, prev + 1e-9) << "f=" << f;
+    prev = x;
+  }
+}
+
+TEST(ModelZipf, TracksSimulatorAcrossSkew) {
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  bench::SimBackend backend(cfg);
+  const BouncingModel m(ModelParams::from_machine(cfg));
+  for (double s : {0.0, 0.6, 0.99, 1.5}) {
+    for (std::size_t lines : {std::size_t{8}, std::size_t{64}}) {
+      bench::WorkloadConfig w;
+      w.mode = bench::WorkloadMode::kZipf;
+      w.prim = Primitive::kFaa;
+      w.threads = 16;
+      w.zipf_lines = lines;
+      w.zipf_s = s;
+      const auto run = backend.run(w);
+      const Prediction p = m.predict_zipf(Primitive::kFaa, 16, 0.0, lines, s);
+      const double err = std::fabs(p.throughput_ops_per_kcycle -
+                                   run.throughput_ops_per_kcycle()) /
+                         run.throughput_ops_per_kcycle();
+      EXPECT_LT(err, 0.2) << "s=" << s << " lines=" << lines << " measured="
+                          << run.throughput_ops_per_kcycle()
+                          << " model=" << p.throughput_ops_per_kcycle;
+    }
+  }
+}
+
+TEST(ModelZipf, LimitsAreExact) {
+  const BouncingModel m(ModelParams::from_machine(sim::test_machine(16)));
+  // One line == the plain high-contention prediction.
+  const Prediction one = m.predict_zipf(Primitive::kFaa, 16, 0.0, 1, 0.0);
+  const Prediction plain = m.predict(Primitive::kFaa, 16, 0.0);
+  EXPECT_NEAR(one.throughput_ops_per_kcycle, plain.throughput_ops_per_kcycle,
+              plain.throughput_ops_per_kcycle * 0.01);
+  // Skew monotonically hurts throughput.
+  double prev = 1e300;
+  for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    const double x =
+        m.predict_zipf(Primitive::kFaa, 16, 0.0, 64, s).throughput_ops_per_kcycle;
+    EXPECT_LE(x, prev + 1e-9) << "s=" << s;
+    prev = x;
+  }
+}
+
+TEST(ModelPrivate, AlwaysBeatsSharedForExclusivePrims) {
+  const BouncingModel m(ModelParams::from_machine(sim::knl_64()));
+  for (std::uint32_t n : {2u, 8u, 32u, 64u}) {
+    const double priv =
+        m.predict_private(Primitive::kFaa, n, 0.0).throughput_ops_per_kcycle;
+    const double shared =
+        m.predict(Primitive::kFaa, n, 0.0).throughput_ops_per_kcycle;
+    EXPECT_GT(priv, shared) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace am::model

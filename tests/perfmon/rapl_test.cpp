@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "perfmon/rapl.hpp"
+
+namespace am {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a fake powercap sysfs tree so the reader can be tested without
+/// RAPL hardware (which this environment lacks).
+class FakePowercap : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "am_rapl_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "intel-rapl:0");
+    fs::create_directories(root_ / "intel-rapl:0:0");
+    write(root_ / "intel-rapl:0" / "name", "package-0");
+    write(root_ / "intel-rapl:0" / "energy_uj", "1000000");  // 1 J
+    write(root_ / "intel-rapl:0" / "max_energy_range_uj", "262143328850");
+    write(root_ / "intel-rapl:0:0" / "name", "dram");
+    write(root_ / "intel-rapl:0:0" / "energy_uj", "500000");  // 0.5 J
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const fs::path& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content << "\n";
+  }
+  void set_energy(const std::string& zone, const std::string& uj) {
+    write(root_ / zone / "energy_uj", uj);
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FakePowercap, DiscoversZones) {
+  Rapl rapl(root_.string());
+  EXPECT_TRUE(rapl.available());
+  EXPECT_EQ(rapl.package_zone_count(), 1u);
+  EXPECT_EQ(rapl.dram_zone_count(), 1u);
+}
+
+TEST_F(FakePowercap, ReadsJoules) {
+  Rapl rapl(root_.string());
+  const EnergyReading r = rapl.read();
+  EXPECT_TRUE(r.package_valid);
+  EXPECT_TRUE(r.dram_valid);
+  EXPECT_NEAR(r.package_j, 1.0, 1e-9);
+  EXPECT_NEAR(r.dram_j, 0.5, 1e-9);
+}
+
+TEST_F(FakePowercap, DeltaBetweenReadings) {
+  Rapl rapl(root_.string());
+  const EnergyReading before = rapl.read();
+  set_energy("intel-rapl:0", "1250000");
+  set_energy("intel-rapl:0:0", "600000");
+  const EnergyReading after = rapl.read();
+  const EnergyReading delta = after - before;
+  EXPECT_NEAR(delta.package_j, 0.25, 1e-9);
+  EXPECT_NEAR(delta.dram_j, 0.1, 1e-9);
+}
+
+TEST_F(FakePowercap, WraparoundClampsToZero) {
+  Rapl rapl(root_.string());
+  const EnergyReading before = rapl.read();
+  set_energy("intel-rapl:0", "100");  // counter wrapped
+  const EnergyReading after = rapl.read();
+  const EnergyReading delta = after - before;
+  EXPECT_DOUBLE_EQ(delta.package_j, 0.0);
+}
+
+TEST(RaplMissing, UnavailableWithoutSysfs) {
+  Rapl rapl("/nonexistent/powercap");
+  EXPECT_FALSE(rapl.available());
+  const EnergyReading r = rapl.read();
+  EXPECT_FALSE(r.package_valid);
+  EXPECT_FALSE(r.dram_valid);
+}
+
+TEST(EnergyReadingOps, ValidityPropagates) {
+  EnergyReading a;
+  a.package_valid = true;
+  a.package_j = 2.0;
+  EnergyReading b;
+  b.package_valid = false;
+  const EnergyReading d = a - b;
+  EXPECT_FALSE(d.package_valid);
+}
+
+}  // namespace
+}  // namespace am

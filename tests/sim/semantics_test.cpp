@@ -1,0 +1,117 @@
+// Equivalence of the simulator's functional op semantics with the real
+// std::atomic execution path: the same op sequence applied through
+// am::execute and through the machine must produce identical observations,
+// success flags and final values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "common/random.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/program.hpp"
+
+namespace am {
+namespace {
+
+struct Step {
+  Primitive prim;
+  OpResult hw;
+};
+
+/// Runs a random single-threaded op sequence on a real atomic.
+std::vector<Step> run_hw(const std::vector<Primitive>& prims) {
+  std::atomic<std::uint64_t> cell{0};
+  OpContext ctx;
+  std::vector<Step> steps;
+  for (Primitive p : prims) {
+    steps.push_back({p, execute(p, cell, ctx)});
+  }
+  steps.push_back({Primitive::kLoad, execute(Primitive::kLoad, cell, ctx)});
+  return steps;
+}
+
+/// Collects per-op results from the machine via a recording program.
+class Recorder final : public sim::ThreadProgram {
+ public:
+  explicit Recorder(std::vector<Primitive> prims) : prims_(std::move(prims)) {}
+
+  std::optional<sim::IssueRequest> next_op(sim::CoreId core,
+                                           Xoshiro256&) override {
+    if (core != 0 || next_ >= prims_.size()) return std::nullopt;
+    sim::IssueRequest r;
+    r.prim = prims_[next_++];
+    r.line = 0;
+    return r;
+  }
+  void on_result(sim::CoreId, const OpResult& r) override {
+    results.push_back(r);
+  }
+
+  std::vector<OpResult> results;
+
+ private:
+  std::vector<Primitive> prims_;
+  std::size_t next_ = 0;
+};
+
+std::vector<Primitive> random_sequence(std::uint64_t seed, std::size_t len) {
+  Xoshiro256 rng(seed);
+  std::vector<Primitive> prims;
+  for (std::size_t i = 0; i < len; ++i) {
+    prims.push_back(kAllPrimitives[rng.next_below(std::size(kAllPrimitives))]);
+  }
+  prims.push_back(Primitive::kLoad);  // final observation
+  return prims;
+}
+
+class SemanticsEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SemanticsEquivalence, SimMatchesStdAtomic) {
+  const auto prims = random_sequence(GetParam(), 64);
+  // Hardware reference (drop the extra trailing load run_hw adds itself).
+  std::vector<Primitive> hw_prims(prims.begin(), prims.end() - 1);
+  const auto hw = run_hw(hw_prims);
+
+  sim::Machine machine(sim::test_machine(1));
+  Recorder rec(prims);
+  machine.run(rec, 1, 0, ~sim::Cycles{0} / 2);
+
+  ASSERT_EQ(rec.results.size(), hw.size());
+  for (std::size_t i = 0; i < hw.size(); ++i) {
+    SCOPED_TRACE("op " + std::to_string(i) + " " +
+                 std::string(to_string(hw[i].prim)));
+    EXPECT_EQ(rec.results[i].success, hw[i].hw.success);
+    EXPECT_EQ(rec.results[i].observed, hw[i].hw.observed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSequences, SemanticsEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+TEST(Semantics, CasLoopAttemptsMatchSingleThread) {
+  // Uncontended CASLOOP: exactly one attempt, both backends.
+  std::atomic<std::uint64_t> cell{0};
+  OpContext ctx;
+  const OpResult hw = execute(Primitive::kCasLoop, cell, ctx);
+  EXPECT_EQ(hw.attempts, 1u);
+  EXPECT_TRUE(hw.success);
+
+  sim::Machine machine(sim::test_machine(1));
+  Recorder rec({Primitive::kCasLoop});
+  const auto st = machine.run(rec, 1, 0, ~sim::Cycles{0} / 2);
+  EXPECT_EQ(st.threads[0].attempts, 1u);
+}
+
+TEST(Semantics, TasReportsAcquisitionOnlyWhenClear) {
+  std::atomic<std::uint64_t> cell{0};
+  OpContext ctx;
+  EXPECT_TRUE(execute(Primitive::kTas, cell, ctx).success);
+  EXPECT_FALSE(execute(Primitive::kTas, cell, ctx).success);
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/program.hpp"
+
+namespace am::sim {
+namespace {
+
+TEST(Trace, EmitsGrantAndDoneLines) {
+  Machine m(test_machine(2));
+  std::ostringstream trace;
+  m.set_trace(&trace);
+  HighContentionProgram prog(Primitive::kFaa, 0);
+  m.run(prog, 2, 0, 2'000);
+  const std::string out = trace.str();
+  EXPECT_NE(out.find("grant line=0"), std::string::npos);
+  EXPECT_NE(out.find("done  core0 FAA line=0 ok=1"), std::string::npos);
+  EXPECT_NE(out.find("done  core1 FAA"), std::string::npos);
+  EXPECT_NE(out.find("near"), std::string::npos);  // a transfer happened
+}
+
+TEST(Trace, DisabledByDefaultAndDetachable) {
+  Machine m(test_machine(2));
+  std::ostringstream trace;
+  m.set_trace(&trace);
+  m.set_trace(nullptr);
+  HighContentionProgram prog(Primitive::kFaa, 0);
+  m.run(prog, 2, 0, 2'000);
+  EXPECT_TRUE(trace.str().empty());
+}
+
+TEST(Trace, ValuesInTraceAreMonotoneForFaa) {
+  Machine m(test_machine(1));
+  std::ostringstream trace;
+  m.set_trace(&trace);
+  HighContentionProgram prog(Primitive::kFaa, 0);
+  m.run(prog, 1, 0, 1'000);
+  // Each "done ... val=k" line increments k.
+  std::istringstream in(trace.str());
+  std::string line;
+  long prev = 0;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("val=");
+    if (pos == std::string::npos) continue;
+    const long v = std::strtol(line.c_str() + pos + 4, nullptr, 10);
+    EXPECT_EQ(v, prev + 1);
+    prev = v;
+  }
+  EXPECT_GT(prev, 10);
+}
+
+}  // namespace
+}  // namespace am::sim
