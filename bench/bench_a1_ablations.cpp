@@ -36,6 +36,7 @@ int run(int argc, const char* const* argv) {
     sim::MachineConfig cfg = base;
     cfg.arbitration = arb;
     bench::SimBackend backend(cfg);
+    bench_util::apply_obs(cli, backend);
     for (Primitive prim : {Primitive::kFaa, Primitive::kCasLoop}) {
       bench::WorkloadConfig w;
       w.mode = bench::WorkloadMode::kHighContention;
@@ -55,6 +56,7 @@ int run(int argc, const char* const* argv) {
 
   // --- 2. backoff multiple sweep ---------------------------------------------
   bench::SimBackend backend(base);
+  bench_util::apply_obs(cli, backend);
   const model::BouncingModel model(model::ModelParams::from_machine(base));
   const double wstar = model.crossover_work(Primitive::kCasLoop, n);
 

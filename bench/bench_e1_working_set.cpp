@@ -25,6 +25,7 @@ int run(int argc, const char* const* argv) {
   const auto capacity = static_cast<std::uint32_t>(cli.get_int("capacity"));
   cfg.cache_capacity_lines = capacity;
   bench::SimBackend backend(cfg);
+  bench_util::apply_obs(cli, backend);
   const model::BouncingModel model(model::ModelParams::from_machine(cfg));
 
   Table table({"machine", "capacity", "lines/thread", "cycles/op",

@@ -23,6 +23,7 @@ int run(int argc, const char* const* argv) {
 
   const sim::MachineConfig cfg = sim::preset_by_name(cli.get("machine"));
   bench::SimBackend backend(cfg);
+  bench_util::apply_obs(cli, backend);
   const model::BouncingModel model(model::ModelParams::from_machine(cfg));
   const auto threads =
       std::min<std::uint32_t>(static_cast<std::uint32_t>(cli.get_int("writer-threads")),

@@ -33,12 +33,16 @@ int run(int argc, const char* const* argv) {
       const bench::MeasuredRun run = backend->run(w);
       const model::Prediction pred = model.predict(prim, n, 0.0);
       double max_lat = 0.0;
+      bool tail_valid = false;  // p99 of 0 means "not sampled", not "instant"
       for (const auto& t : run.threads) {
+        if (!t.latency_tail_valid) continue;
+        tail_valid = true;
         max_lat = std::max(max_lat, t.p99_latency_cycles);
       }
       table.add_row(
           {backend->machine_name(), to_string(prim), Table::num(std::size_t{n}),
-           Table::num(run.mean_latency_cycles(), 1), Table::num(max_lat, 1),
+           Table::num(run.mean_latency_cycles(), 1),
+           tail_valid ? Table::num(max_lat, 1) : "n/a",
            Table::num(pred.latency_cycles, 1),
            Table::num(run.mean_latency_cycles() / backend->freq_ghz(), 1)});
     }

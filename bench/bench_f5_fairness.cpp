@@ -32,6 +32,7 @@ int run(int argc, const char* const* argv) {
     sim::MachineConfig cfg = base;
     cfg.arbitration = arb;
     bench::SimBackend backend(cfg);
+    bench_util::apply_obs(cli, backend);
     const model::BouncingModel model(model::ModelParams::from_machine(cfg));
     const auto sweep = bench_util::thread_sweep(cli, backend.max_threads());
 

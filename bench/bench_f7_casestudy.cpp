@@ -28,6 +28,7 @@ int run(int argc, const char* const* argv) {
 
   const sim::MachineConfig cfg = sim::preset_by_name(cli.get("machine"));
   bench::SimBackend backend(cfg);
+  bench_util::apply_obs(cli, backend);
   const model::BouncingModel model(model::ModelParams::from_machine(cfg));
   const auto critical = static_cast<sim::Cycles>(cli.get_int("critical"));
   const auto outside = static_cast<sim::Cycles>(cli.get_int("outside"));

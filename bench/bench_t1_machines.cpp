@@ -29,6 +29,7 @@ int run(int argc, const char* const* argv) {
     sim::MachineConfig fifo = cfg;
     fifo.arbitration = sim::Arbitration::kFifo;
     bench::SimBackend backend(fifo);
+    bench_util::apply_obs(cli, backend);
     const model::ModelParams skeleton = model::ModelParams::from_machine(fifo);
     const model::Calibration cal = model::calibrate(backend, skeleton);
 

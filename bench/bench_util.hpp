@@ -3,12 +3,15 @@
 // table, and mirrors it to a CSV file for offline plotting.
 #pragma once
 
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_core/backend.hpp"
+#include "bench_core/report.hpp"
+#include "bench_core/sim_backend.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "model/bouncing_model.hpp"
@@ -16,6 +19,13 @@
 #include "sim/config.hpp"
 
 namespace am::bench_util {
+
+/// Wall clock of the bench run, pinned when add_common_flags() runs (i.e. at
+/// program start); emit() reads it back for the report's wall_time_s.
+inline std::chrono::steady_clock::time_point& start_time() {
+  static auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
 
 /// Registers the flags every experiment binary shares.
 inline void add_common_flags(CliParser& cli) {
@@ -26,12 +36,53 @@ inline void add_common_flags(CliParser& cli) {
                "");
   cli.add_flag("threads", "comma-separated thread counts (empty = default sweep)",
                "");
+  cli.add_flag("json-out",
+               "write a JSON run report (schema am-run-report/1) with "
+               "per-thread stats, hot lines and epoch time-series to this path",
+               "");
+  cli.add_flag("trace-out",
+               "stream a Chrome trace-event JSON file (load in Perfetto / "
+               "chrome://tracing) covering every simulated run; sim backends "
+               "only",
+               "");
+  cli.add_flag("epoch-cycles",
+               "epoch sampler window in cycles; 0 = off (--json-out defaults "
+               "it to measure/32)",
+               "0");
+  start_time();
 }
 
-/// Builds the backend named by --backend.
+/// Applies --trace-out / --epoch-cycles / --json-out instrumentation to a
+/// backend. Observability is a simulator feature: on the hardware backend
+/// only the report itself applies, and a requested trace warns.
+inline void apply_obs(const CliParser& cli, bench::ExecutionBackend& backend) {
+  const bool want_report = !cli.get("json-out").empty();
+  const std::string trace_path = cli.get("trace-out");
+  auto* sim = dynamic_cast<bench::SimBackend*>(&backend);
+  if (sim == nullptr) {
+    if (!trace_path.empty()) {
+      std::cerr << "--trace-out: the hardware backend has no coherence "
+                   "trace; ignored\n";
+    }
+    return;
+  }
+  auto window = static_cast<sim::Cycles>(cli.get_int("epoch-cycles"));
+  if (window == 0 && want_report) {
+    window = sim->options().measure_cycles / 32;
+  }
+  sim->set_epoch_cycles(window);
+  sim->set_line_profiling(want_report);
+  if (!trace_path.empty() && !sim->set_trace_file(trace_path)) {
+    std::cerr << "failed to open trace file " << trace_path << "\n";
+  }
+}
+
+/// Builds the backend named by --backend, instrumented per the obs flags.
 inline std::unique_ptr<bench::ExecutionBackend> backend_from(
     const CliParser& cli) {
-  return bench::make_backend(cli.get("backend"));
+  auto backend = bench::make_backend(cli.get("backend"));
+  apply_obs(cli, *backend);
+  return backend;
 }
 
 /// Analytic model parameters for a sim backend spec; for "hw" this returns
@@ -68,7 +119,10 @@ inline std::vector<std::uint32_t> thread_sweep(const CliParser& cli,
   return sweep.empty() ? default_thread_sweep(max) : sweep;
 }
 
-/// Prints the table and mirrors it to --csv when requested.
+/// Prints the table, mirrors it to --csv, and writes the --json-out run
+/// report. The report serializes every workload the binary executed through
+/// the backend seam (bench::run_log()) alongside the rendered table, so no
+/// bench needs to thread its measurements here explicitly.
 inline void emit(const CliParser& cli, const std::string& title,
                  const Table& table) {
   std::cout << "\n== " << title << " ==\n" << table;
@@ -78,6 +132,25 @@ inline void emit(const CliParser& cli, const std::string& title,
       std::cout << "(csv written to " << path << ")\n";
     } else {
       std::cerr << "failed to write csv to " << path << "\n";
+    }
+  }
+  const std::string json_path = cli.get("json-out");
+  if (!json_path.empty()) {
+    const auto& runs = bench::run_log();
+    bench::ReportMeta meta;
+    meta.bench = cli.program_name();
+    meta.title = title;
+    meta.backend = cli.get("backend");
+    meta.machine = runs.empty() ? "" : runs.back().run.machine;
+    meta.command = cli.command_line();
+    meta.wall_time_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_time())
+                           .count();
+    if (bench::write_run_report_file(json_path, meta, &table, runs)) {
+      std::cout << "(json report written to " << json_path << ", "
+                << runs.size() << " runs)\n";
+    } else {
+      std::cerr << "failed to write json report to " << json_path << "\n";
     }
   }
 }

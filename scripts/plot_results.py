@@ -1,19 +1,51 @@
 #!/usr/bin/env python3
-"""Plots the CSVs produced by run_all_experiments.sh.
+"""Plots the outputs produced by run_all_experiments.sh.
 
 Usage: scripts/plot_results.py [results-dir]
 
-Requires matplotlib; falls back to printing a summary when it is missing
-(this repo's CI environment is offline)."""
+Two input kinds live in the results directory:
+  *.csv  — the rendered result tables (one per bench binary);
+  *.json — am-run-report/1 run reports carrying the full per-run payload
+           (per-thread stats, per-line hot-line profiles, epoch
+           time-series), written by the benches' --json-out flag.
+
+The figure series comes from the CSVs; the epoch time-series and hot-line
+heatmap figures need the JSON reports. Requires matplotlib; falls back to
+printing a summary when it is missing (this repo's CI environment is
+offline)."""
 import csv
+import json
 import os
 import sys
+
+SCHEMA = "am-run-report/1"
 
 
 def read_csv(path):
     with open(path, newline="") as f:
         rows = list(csv.DictReader(f))
     return rows
+
+
+def read_report(path):
+    """Loads one am-run-report/1 document; None when it isn't one."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        return None
+    return doc
+
+
+def reports_in(results):
+    for name in sorted(os.listdir(results)):
+        if not name.endswith(".json"):
+            continue
+        doc = read_report(os.path.join(results, name))
+        if doc is not None:
+            yield name[: -len(".json")], doc
 
 
 def series(rows, key_col, x_col, y_col):
@@ -29,6 +61,95 @@ def series(rows, key_col, x_col, y_col):
     return out
 
 
+def run_label(run):
+    w = run.get("workload", {})
+    return f"{w.get('prim', '?')} n={w.get('threads', '?')}"
+
+
+def plot_epochs(name, doc, results, plt):
+    """Throughput + wait-fraction time-series for the report's epoch-richest
+    run — the in-run view of the low->high contention regime transition."""
+    runs = [r for r in doc.get("runs", []) if r.get("epochs")]
+    if not runs:
+        return None
+    run = max(runs, key=lambda r: (len(r["epochs"]), r["workload"]["threads"]))
+    epochs = run["epochs"]
+    xs = [e["start_cycle"] for e in epochs]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(xs, [e["throughput_ops_per_kcycle"] for e in epochs],
+            marker="o", color="tab:blue", label="throughput (ops/kcy)")
+    ax.set_xlabel("cycle in measurement window")
+    ax.set_ylabel("ops / kcycle", color="tab:blue")
+    ax2 = ax.twinx()
+    ax2.plot(xs, [e["wait_fraction"] for e in epochs],
+             marker="s", color="tab:red", label="wait fraction")
+    ax2.set_ylabel("wait fraction", color="tab:red")
+    ax2.set_ylim(0.0, 1.05)
+    ax.set_title(f"{name}: epoch time-series ({run_label(run)})")
+    out = os.path.join(results, f"{name}_epochs.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    return out
+
+
+def plot_hot_lines(name, doc, results, plt):
+    """Heatmap of per-line acquisitions across the report's runs: rows are
+    runs, columns the hottest lines — contention concentration at a glance."""
+    runs = [r for r in doc.get("runs", []) if r.get("hot_lines")]
+    if not runs:
+        return None
+    # Column set: hottest lines overall, capped to keep the figure legible.
+    totals = {}
+    for r in runs:
+        for h in r["hot_lines"]:
+            totals[h["line"]] = totals.get(h["line"], 0) + h["acquisitions"]
+    lines = [l for l, _ in
+             sorted(totals.items(), key=lambda kv: -kv[1])[:32]]
+    if not lines:
+        return None
+    col = {l: i for i, l in enumerate(lines)}
+    grid = [[0.0] * len(lines) for _ in runs]
+    for i, r in enumerate(runs):
+        for h in r["hot_lines"]:
+            if h["line"] in col:
+                grid[i][col[h["line"]]] = h["acquisitions"]
+    fig, ax = plt.subplots(
+        figsize=(max(4, 0.3 * len(lines) + 2), max(3, 0.25 * len(runs) + 1.5)))
+    im = ax.imshow(grid, aspect="auto", cmap="inferno")
+    ax.set_xticks(range(len(lines)))
+    ax.set_xticklabels([str(l) for l in lines], fontsize=6, rotation=90)
+    ax.set_yticks(range(len(runs)))
+    ax.set_yticklabels([run_label(r) for r in runs], fontsize=6)
+    ax.set_xlabel("cache line")
+    fig.colorbar(im, ax=ax, label="acquisitions")
+    ax.set_title(f"{name}: hot-line acquisitions per run")
+    out = os.path.join(results, f"{name}_hotlines.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    return out
+
+
+def summarize(results):
+    for name in sorted(os.listdir(results)):
+        path = os.path.join(results, name)
+        if name.endswith(".csv"):
+            rows = read_csv(path)
+            print(f"{name}: {len(rows)} rows, columns: "
+                  f"{', '.join(rows[0].keys()) if rows else '-'}")
+        elif name.endswith(".json"):
+            doc = read_report(path)
+            if doc is None:
+                continue
+            runs = doc.get("runs", [])
+            epochs = sum(len(r.get("epochs", [])) for r in runs)
+            hot = sum(len(r.get("hot_lines", [])) for r in runs)
+            print(f"{name}: report '{doc['meta'].get('title', '')}', "
+                  f"{len(runs)} runs, {epochs} epoch samples, "
+                  f"{hot} line profiles")
+
+
 def main():
     results = sys.argv[1] if len(sys.argv) > 1 else "results"
     try:
@@ -37,11 +158,7 @@ def main():
         import matplotlib.pyplot as plt
     except ImportError:
         print("matplotlib not available; printing summaries instead\n")
-        for name in sorted(os.listdir(results)):
-            if name.endswith(".csv"):
-                rows = read_csv(os.path.join(results, name))
-                print(f"{name}: {len(rows)} rows, columns: "
-                      f"{', '.join(rows[0].keys()) if rows else '-'}")
+        summarize(results)
         return 0
 
     plots = [
@@ -87,8 +204,18 @@ def main():
         plt.close(fig)
         print(f"wrote {out}")
         made += 1
+
+    # Observability figures from the JSON run reports.
+    for name, doc in reports_in(results):
+        for plot in (plot_epochs, plot_hot_lines):
+            out = plot(name, doc, results, plt)
+            if out:
+                print(f"wrote {out}")
+                made += 1
+
     if made == 0:
-        print("no known CSVs found; run scripts/run_all_experiments.sh first")
+        print("no known CSVs or reports found; "
+              "run scripts/run_all_experiments.sh first")
     return 0
 
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the reproduction and drops the ASCII
-# tables plus CSVs into results/. Usage:
+# tables, CSVs and JSON run reports (am-run-report/1, consumed by
+# scripts/plot_results.py) into results/. Usage:
 #   scripts/run_all_experiments.sh [build-dir] [backend]
 # backend defaults to sim:xeon; pass "hw" on a many-core host.
 set -euo pipefail
@@ -13,7 +14,8 @@ mkdir -p "$OUT"
 run() {
   local name="$1"; shift
   echo "== $name =="
-  "$BUILD/bench/$name" "$@" --csv="$OUT/$name.csv" | tee "$OUT/$name.txt"
+  "$BUILD/bench/$name" "$@" --csv="$OUT/$name.csv" \
+    --json-out="$OUT/$name.json" | tee "$OUT/$name.txt"
 }
 
 run bench_t1_machines

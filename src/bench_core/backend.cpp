@@ -7,6 +7,23 @@
 
 namespace am::bench {
 
+namespace {
+std::vector<RecordedRun>& mutable_run_log() {
+  static std::vector<RecordedRun> log;
+  return log;
+}
+}  // namespace
+
+const std::vector<RecordedRun>& run_log() { return mutable_run_log(); }
+
+void clear_run_log() { mutable_run_log().clear(); }
+
+MeasuredRun ExecutionBackend::run(const WorkloadConfig& config) {
+  MeasuredRun result = do_run(config);
+  mutable_run_log().push_back(RecordedRun{config, result});
+  return result;
+}
+
 const char* to_string(WorkloadMode m) noexcept {
   switch (m) {
     case WorkloadMode::kHighContention: return "high-contention";

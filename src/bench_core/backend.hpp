@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_core/result.hpp"
 #include "bench_core/workload.hpp"
@@ -21,7 +22,11 @@ class ExecutionBackend {
   virtual ~ExecutionBackend() = default;
 
   /// Runs one workload to completion and returns its measurements.
-  virtual MeasuredRun run(const WorkloadConfig& config) = 0;
+  /// Non-virtual: delegates to do_run() and appends the (workload, result)
+  /// pair to the process-wide run log, which the JSON run-report writer
+  /// serializes — every bench binary gets --json-out without touching its
+  /// measurement loop.
+  MeasuredRun run(const WorkloadConfig& config);
 
   /// "sim" or "hw".
   virtual std::string name() const = 0;
@@ -31,7 +36,22 @@ class ExecutionBackend {
   virtual std::uint32_t max_threads() const = 0;
   /// Nominal core frequency, for cycle <-> time conversions.
   virtual double freq_ghz() const = 0;
+
+ protected:
+  /// Backend-specific measurement; implemented by each backend.
+  virtual MeasuredRun do_run(const WorkloadConfig& config) = 0;
 };
+
+/// One measurement recorded by the backend seam.
+struct RecordedRun {
+  WorkloadConfig workload;
+  MeasuredRun run;
+};
+
+/// Process-wide log of every workload executed through ExecutionBackend::run,
+/// in execution order. Cleared with clear_run_log() (tests).
+const std::vector<RecordedRun>& run_log();
+void clear_run_log();
 
 /// Builds a backend from a CLI-ish spec:
 ///   "sim:xeon" | "sim:knl" | "sim:test" -> SimBackend on that preset

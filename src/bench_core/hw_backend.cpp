@@ -1,6 +1,7 @@
 #include "bench_core/hw_backend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <optional>
@@ -34,6 +35,8 @@ struct alignas(kNoFalseSharingAlign) WorkerSlot {
   std::uint64_t successes = 0;
   std::uint64_t failures = 0;
   std::uint64_t attempts = 0;
+  std::array<std::uint64_t, 7> ops_by_prim{};
+  std::array<std::uint64_t, 7> successes_by_prim{};
   std::vector<double> latency_samples;
   bool counters_reset = false;
   bool pinned = false;
@@ -53,7 +56,7 @@ std::uint32_t HardwareBackend::max_threads() const {
 
 double HardwareBackend::freq_ghz() const { return tsc_frequency_hz() / 1e9; }
 
-MeasuredRun HardwareBackend::run(const WorkloadConfig& config) {
+MeasuredRun HardwareBackend::do_run(const WorkloadConfig& config) {
   const std::uint32_t n = config.threads;
   // Shared cells: high contention uses cell 0; low contention cell tid;
   // zipf uses zipf_lines cells.
@@ -107,6 +110,8 @@ MeasuredRun HardwareBackend::run(const WorkloadConfig& config) {
       if (ph == kStop) break;
       if (ph == kMeasure && !slot.counters_reset) {
         slot.ops = slot.successes = slot.failures = slot.attempts = 0;
+        slot.ops_by_prim.fill(0);
+        slot.successes_by_prim.fill(0);
         slot.latency_samples.clear();
         slot.counters_reset = true;
         if (perf && perf->available()) {
@@ -156,8 +161,11 @@ MeasuredRun HardwareBackend::run(const WorkloadConfig& config) {
       ++local_ops;
       ++slot.ops;
       slot.attempts += r.attempts;
+      const auto pi = static_cast<std::size_t>(prim);
+      ++slot.ops_by_prim[pi];
       if (r.success) {
         ++slot.successes;
+        ++slot.successes_by_prim[pi];
       } else {
         ++slot.failures;
       }
@@ -219,10 +227,13 @@ MeasuredRun HardwareBackend::run(const WorkloadConfig& config) {
     tr.successes = slot.successes;
     tr.failures = slot.failures;
     tr.attempts = slot.attempts;
+    tr.ops_by_prim = slot.ops_by_prim;
+    tr.successes_by_prim = slot.successes_by_prim;
     if (!slot.latency_samples.empty()) {
       const Summary s = summarize(slot.latency_samples);
       tr.mean_latency_cycles = s.mean;
       tr.p99_latency_cycles = s.p99;
+      tr.latency_tail_valid = true;
     }
     result.threads.push_back(tr);
   }

@@ -29,7 +29,6 @@ class HardwareBackend final : public ExecutionBackend {
  public:
   explicit HardwareBackend(HwBackendOptions options = {});
 
-  MeasuredRun run(const WorkloadConfig& config) override;
   std::string name() const override { return "hw"; }
   std::string machine_name() const override { return "host"; }
   std::uint32_t max_threads() const override;
@@ -38,6 +37,8 @@ class HardwareBackend final : public ExecutionBackend {
   const Topology& topology() const noexcept { return topology_; }
 
  private:
+  MeasuredRun do_run(const WorkloadConfig& config) override;
+
   HwBackendOptions options_;
   Topology topology_;
 };

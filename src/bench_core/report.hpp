@@ -1,0 +1,43 @@
+// JSON run-report writer.
+//
+// Serializes everything a bench binary measured — the rendered result table
+// plus the full MeasuredRun of every workload executed through the backend
+// seam — into one machine-readable document (schema "am-run-report/1").
+// scripts/plot_results.py and the model-calibration tools consume these
+// instead of scraping stdout; the CSV mirror stays for spreadsheets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_core/backend.hpp"
+
+namespace am {
+class Table;
+}
+
+namespace am::bench {
+
+/// Report provenance; everything optional except bench/title.
+struct ReportMeta {
+  std::string bench;    ///< binary name (argv[0] basename)
+  std::string title;    ///< table/figure title, as printed
+  std::string backend;  ///< backend spec ("sim:xeon", "hw", ...)
+  std::string machine;  ///< machine/preset the backend reported
+  std::string command;  ///< reconstructed command line
+  double wall_time_s = 0.0;  ///< wall time of the whole bench run
+};
+
+/// Writes the report to @p os. @p table may be null (no table section);
+/// @p runs is typically run_log(). Pretty-printed (reports are small and
+/// meant to be diffable).
+void write_run_report(std::ostream& os, const ReportMeta& meta,
+                      const Table* table, const std::vector<RecordedRun>& runs);
+
+/// Writes the report to @p path; returns false on I/O failure.
+bool write_run_report_file(const std::string& path, const ReportMeta& meta,
+                           const Table* table,
+                           const std::vector<RecordedRun>& runs);
+
+}  // namespace am::bench

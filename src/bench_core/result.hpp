@@ -18,7 +18,39 @@ struct ThreadResult {
   std::uint64_t failures = 0;
   std::uint64_t attempts = 0;
   double mean_latency_cycles = 0.0;
-  double p99_latency_cycles = 0.0;  ///< 0 when the backend didn't sample tails
+  /// Tail latency. Only meaningful when latency_tail_valid is set; writers
+  /// must render "n/a" (tables) or null (JSON) otherwise, never the raw 0.
+  double p99_latency_cycles = 0.0;
+  bool latency_tail_valid = false;  ///< backend sampled latency tails
+  /// Per-primitive completion/success counts (indexed by am::Primitive).
+  /// Zero-filled on backends/workloads that don't distinguish primitives.
+  std::array<std::uint64_t, 7> ops_by_prim{};
+  std::array<std::uint64_t, 7> successes_by_prim{};
+};
+
+/// Per-line contention profile entry (simulator backend with line
+/// profiling enabled; empty otherwise). Mirrors sim::LineProfile without
+/// depending on simulator headers.
+struct LineHotness {
+  std::uint64_t line = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t invalidations = 0;
+  double mean_queue_depth = 0.0;
+  std::uint64_t max_queue_depth = 0;
+  double mean_hold_cycles = 0.0;
+  std::array<std::uint64_t, 4> supply{};  ///< by sim::Supply class
+};
+
+/// One window of the run's epoch time-series (simulator backend with epoch
+/// sampling enabled).
+struct EpochPoint {
+  double start_cycle = 0.0;  ///< offset inside the measurement window
+  std::uint64_t ops = 0;
+  std::uint64_t attempts = 0;
+  double throughput_ops_per_kcycle = 0.0;
+  double wait_fraction = 0.0;  ///< stalled share of aggregate core-cycles
+  std::uint64_t outstanding_max = 0;
 };
 
 struct MeasuredRun {
@@ -32,6 +64,13 @@ struct MeasuredRun {
   std::array<std::uint64_t, 4> transfers{};  ///< by sim::Supply class
   std::uint64_t invalidations = 0;
   std::uint64_t memory_fetches = 0;
+  std::uint64_t evictions = 0;
+
+  // Observability payloads (simulator backend, when enabled; empty
+  // otherwise). hot_lines is sorted hottest-first.
+  std::vector<LineHotness> hot_lines;
+  double epoch_cycles = 0.0;  ///< epoch window (0 = sampling was off)
+  std::vector<EpochPoint> epochs;
 
   // Energy (RAPL on hardware, event model in the simulator).
   bool energy_valid = false;

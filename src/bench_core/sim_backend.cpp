@@ -17,6 +17,19 @@ std::uint32_t SimBackend::max_threads() const {
   return machine_->core_count();
 }
 
+bool SimBackend::set_trace_file(const std::string& path) {
+  if (path.empty()) {
+    trace_file_.reset();
+    return true;
+  }
+  trace_file_ = std::make_unique<obs::ChromeTraceFileSink>(path);
+  if (!trace_file_->ok()) {
+    trace_file_.reset();
+    return false;
+  }
+  return true;
+}
+
 MeasuredRun to_measured_run(const sim::RunStats& stats,
                             const std::string& machine) {
   MeasuredRun r;
@@ -32,21 +45,51 @@ MeasuredRun to_measured_run(const sim::RunStats& stats,
     tr.failures = t.failures;
     tr.attempts = t.attempts;
     tr.mean_latency_cycles = t.mean_latency();
-    tr.p99_latency_cycles = t.latency_hist.total_count() > 0
-                                ? t.latency_hist.value_at_percentile(99.0)
-                                : 0.0;
+    tr.latency_tail_valid = t.latency_hist.total_count() > 0;
+    tr.p99_latency_cycles =
+        tr.latency_tail_valid ? t.latency_hist.value_at_percentile(99.0) : 0.0;
+    tr.ops_by_prim = t.ops_by_prim;
+    tr.successes_by_prim = t.successes_by_prim;
     r.threads.push_back(tr);
   }
   r.transfers = stats.transfers;
   r.invalidations = stats.invalidations;
   r.memory_fetches = stats.memory_fetches;
+  r.evictions = stats.evictions;
+  r.hot_lines.reserve(stats.line_profiles.size());
+  for (const auto& p : stats.line_profiles) {
+    LineHotness h;
+    h.line = p.line;
+    h.accesses = p.accesses;
+    h.acquisitions = p.acquisitions;
+    h.invalidations = p.invalidations;
+    h.mean_queue_depth = p.mean_queue_depth();
+    h.max_queue_depth = p.queue_depth_max;
+    h.mean_hold_cycles = p.mean_hold_cycles();
+    h.supply = p.supply;
+    r.hot_lines.push_back(h);
+  }
+  r.epoch_cycles = static_cast<double>(stats.epoch_cycles);
+  r.epochs.reserve(stats.epochs.size());
+  const auto cores = static_cast<std::uint32_t>(stats.threads.size());
+  for (const auto& e : stats.epochs) {
+    EpochPoint p;
+    p.start_cycle = static_cast<double>(e.start);
+    p.ops = e.ops;
+    p.attempts = e.attempts;
+    p.throughput_ops_per_kcycle =
+        e.throughput_ops_per_kcycle(stats.epoch_cycles);
+    p.wait_fraction = e.wait_fraction(stats.epoch_cycles, cores);
+    p.outstanding_max = e.outstanding_max;
+    r.epochs.push_back(p);
+  }
   r.energy_valid = true;
   r.energy_package_j = stats.energy.package_j();
   r.energy_dram_j = stats.energy.dram_j();
   return r;
 }
 
-MeasuredRun SimBackend::run(const WorkloadConfig& config) {
+MeasuredRun SimBackend::do_run(const WorkloadConfig& config) {
   if (config.threads > max_threads()) {
     throw std::invalid_argument("SimBackend: workload needs " +
                                 std::to_string(config.threads) +
@@ -62,6 +105,13 @@ MeasuredRun SimBackend::run(const WorkloadConfig& config) {
   run_config.placement = sim::placement_for(
       config_.core_count(), config.pin_order == PinOrder::kScatter);
   machine_ = std::make_unique<sim::Machine>(run_config, seed_ ^ config.seed);
+  machine_->set_line_profiling(profile_lines_);
+  machine_->set_epoch_cycles(epoch_cycles_);
+  if (sink_ != nullptr) {
+    machine_->set_sink(sink_);
+  } else if (trace_file_ != nullptr) {
+    machine_->set_sink(trace_file_.get());
+  }
 
   std::unique_ptr<sim::ThreadProgram> program;
   switch (config.mode) {

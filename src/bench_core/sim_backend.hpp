@@ -2,8 +2,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "bench_core/backend.hpp"
+#include "obs/trace.hpp"
 #include "sim/config.hpp"
 #include "sim/machine.hpp"
 
@@ -19,7 +21,6 @@ class SimBackend final : public ExecutionBackend {
   explicit SimBackend(sim::MachineConfig config, SimBackendOptions options = {},
                       std::uint64_t seed = 1);
 
-  MeasuredRun run(const WorkloadConfig& config) override;
   std::string name() const override { return "sim"; }
   std::string machine_name() const override { return config_.name; }
   std::uint32_t max_threads() const override;
@@ -30,11 +31,33 @@ class SimBackend final : public ExecutionBackend {
   const sim::MachineConfig& machine_config() const { return config_; }
   const SimBackendOptions& options() const { return options_; }
 
+  // --- observability configuration -----------------------------------------
+  // Each do_run() builds a fresh machine, so these are stored here and
+  // re-applied per run; they also enrich the MeasuredRun (hot_lines, epochs).
+
+  /// Collect per-line contention profiles into MeasuredRun::hot_lines.
+  void set_line_profiling(bool on) { profile_lines_ = on; }
+  /// Sample the run as an epoch time-series (MeasuredRun::epochs); 0 = off.
+  void set_epoch_cycles(sim::Cycles window) { epoch_cycles_ = window; }
+  /// Attach an external trace sink (not owned; nullptr detaches). Takes
+  /// precedence over set_trace_file().
+  void set_sink(obs::TraceSink* sink) { sink_ = sink; }
+  /// Stream Chrome trace-event JSON for every run to @p path (empty string
+  /// disables). Returns false when the file cannot be opened.
+  bool set_trace_file(const std::string& path);
+
  private:
+  MeasuredRun do_run(const WorkloadConfig& config) override;
+
   sim::MachineConfig config_;
   SimBackendOptions options_;
   std::unique_ptr<sim::Machine> machine_;
   std::uint64_t seed_;
+
+  bool profile_lines_ = false;
+  sim::Cycles epoch_cycles_ = 0;
+  obs::TraceSink* sink_ = nullptr;
+  std::unique_ptr<obs::ChromeTraceFileSink> trace_file_;
 };
 
 /// Converts simulator run stats into the backend-independent record.

@@ -20,6 +20,17 @@ void CliParser::add_flag(const std::string& name, const std::string& help,
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) {
+    const std::string argv0 = argv[0];
+    const auto slash = argv0.find_last_of('/');
+    program_name_ =
+        slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+    command_line_.clear();
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) command_line_ += ' ';
+      command_line_ += argv[i];
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {

@@ -35,6 +35,11 @@ class CliParser {
 
   std::string usage() const;
 
+  /// Basename of argv[0] as seen by the last parse() ("" before parse).
+  const std::string& program_name() const noexcept { return program_name_; }
+  /// The command line as invoked, space-joined — report provenance.
+  const std::string& command_line() const noexcept { return command_line_; }
+
  private:
   struct Flag {
     std::string help;
@@ -44,6 +49,8 @@ class CliParser {
   std::string description_;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;
+  std::string program_name_;
+  std::string command_line_;
 };
 
 }  // namespace am

@@ -69,6 +69,57 @@ void Machine::schedule(Cycles time, EventKind kind, CoreId core) {
   events_.push(Event{time, next_seq_++, kind, core});
 }
 
+void Machine::set_trace(std::ostream* os) {
+  if (os == nullptr) {
+    owned_sink_.reset();
+    sink_ = nullptr;
+    return;
+  }
+  owned_sink_ = std::make_unique<obs::TextTraceSink>(*os);
+  sink_ = owned_sink_.get();
+}
+
+EpochSample* Machine::epoch_at_slow(Cycles t) {
+  if (!in_measure_window(t)) return nullptr;
+  const std::size_t idx =
+      static_cast<std::size_t>((t - warmup_end_) / epoch_cycles_);
+  if (idx >= epochs_.size()) epochs_.resize(idx + 1);
+  return &epochs_[idx];
+}
+
+void Machine::adjust_outstanding_slow() {
+  if (EpochSample* ep = epoch_at(now_)) {
+    ep->outstanding_max = std::max(ep->outstanding_max, outstanding_);
+  }
+}
+
+void Machine::note_grant_slow(LineId id, CoreId core, Supply supply,
+                              Cycles xfer, std::uint32_t queue_depth,
+                              bool counts_acquisition) {
+  if (sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kGrant;
+    e.time = now_;
+    e.core = core;
+    e.line = id;
+    e.req_id = core_states_[core].req_id;
+    e.supply = static_cast<std::uint8_t>(supply);
+    e.xfer_cycles = xfer;
+    e.queue_depth = queue_depth;
+    sink_->on_event(e);
+  }
+  if (profile_lines_ && in_measure_window(now_)) {
+    LineProfile& p = line_prof_[id];
+    ++p.accesses;
+    ++p.supply[static_cast<std::size_t>(supply)];
+    if (counts_acquisition) {
+      ++p.acquisitions;
+      p.queue_depth_sum += queue_depth;
+      p.queue_depth_max = std::max(p.queue_depth_max, queue_depth);
+    }
+  }
+}
+
 RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
                       Cycles warmup, Cycles measure) {
   if (active_cores > cores_) {
@@ -85,6 +136,15 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
   stats.threads.assign(active_cores, ThreadStats{});
   stats.measured_cycles = measure;
   EnergyAccounting energy(config_.energy);
+
+  line_prof_.clear();
+  epochs_.clear();
+  outstanding_ = 0;
+  stats.epoch_cycles = epoch_cycles_;
+  if (sink_ != nullptr) {
+    sink_->on_run_begin(obs::TraceRunInfo{config_.name, active_cores, warmup,
+                                          measure});
+  }
 
   program_ = &program;
   active_cores_ = active_cores;
@@ -108,6 +168,37 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
 
   energy.add_static(measure);
   stats.energy = energy.breakdown();
+
+  if (profile_lines_) {
+    stats.line_profiles.reserve(line_prof_.size());
+    for (auto& [id, prof] : line_prof_) {
+      prof.line = id;
+      stats.line_profiles.push_back(prof);
+    }
+    std::sort(stats.line_profiles.begin(), stats.line_profiles.end(),
+              [](const LineProfile& a, const LineProfile& b) {
+                if (a.acquisitions != b.acquisitions) {
+                  return a.acquisitions > b.acquisitions;
+                }
+                if (a.accesses != b.accesses) return a.accesses > b.accesses;
+                return a.line < b.line;
+              });
+  }
+  if (epoch_cycles_ > 0) {
+    // Pad to the full window so the time-series has no missing tail; skip
+    // the padding for open-ended runs (measure_single_op uses a huge
+    // measure window that would never fill).
+    const Cycles full = (measure + epoch_cycles_ - 1) / epoch_cycles_;
+    if (full <= (1u << 20) && epochs_.size() < full) {
+      epochs_.resize(static_cast<std::size_t>(full));
+    }
+    for (std::size_t i = 0; i < epochs_.size(); ++i) {
+      epochs_[i].start = static_cast<Cycles>(i) * epoch_cycles_;
+    }
+    stats.epochs = epochs_;
+  }
+  if (sink_ != nullptr) sink_->on_run_end();
+
   program_ = nullptr;
   stats_ = nullptr;
   energy_ = nullptr;
@@ -138,6 +229,18 @@ void Machine::handle_fetch_next(const Event& ev) {
 void Machine::handle_issue(const Event& ev) {
   CoreState& cs = core_states_[ev.core];
   cs.issue_time = now_;
+  cs.req_id = ++next_req_id_;
+  if (sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kIssue;
+    e.time = now_;
+    e.core = ev.core;
+    e.line = cs.pending.line;
+    e.req_id = cs.req_id;
+    e.prim = static_cast<std::uint8_t>(cs.pending.prim);
+    sink_->on_event(e);
+  }
+  adjust_outstanding(+1);
   submit_request(ev.core);
 }
 
@@ -155,6 +258,9 @@ void Machine::submit_request(CoreId core) {
     cs.last_supply = Supply::kLocalHit;
     cs.last_xfer = 0;
     cs.holds_token = false;
+    cs.grant_time = now_;
+    note_grant(cs.pending.line, core, Supply::kLocalHit, 0, 0,
+               /*counts_acquisition=*/false);
     schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
              EventKind::kOpDone, core);
     return;
@@ -169,6 +275,9 @@ void Machine::submit_request(CoreId core) {
     cs.holds_token = true;
     cs.last_supply = Supply::kLocalHit;
     cs.last_xfer = 0;
+    cs.grant_time = now_;
+    note_grant(cs.pending.line, core, Supply::kLocalHit, 0, 0,
+               /*counts_acquisition=*/true);
     schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
              EventKind::kOpDone, core);
     return;
@@ -271,6 +380,14 @@ void Machine::evict_one(CoreId core) {
       ++stats_->evictions;
       if (was_dirty && energy_ != nullptr) energy_->add_memory_fetch();
     }
+    if (sink_ != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kEvict;
+      e.time = now_;
+      e.core = core;
+      e.line = victim;
+      sink_->on_event(e);
+    }
     forget_resident(core, victim);
     return;
   }
@@ -334,8 +451,19 @@ void Machine::invalidate_copy(LineState& ls, LineId id, CoreId core) {
     ls.sharers.erase(it);
     had_copy = true;
   }
-  if (had_copy && stats_ != nullptr && in_measure_window(now_)) {
-    ++stats_->invalidations;
+  if (had_copy) {
+    if (stats_ != nullptr && in_measure_window(now_)) ++stats_->invalidations;
+    if (profile_lines_ && in_measure_window(now_)) {
+      ++line_prof_[id].invalidations;
+    }
+    if (sink_ != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kInvalidate;
+      e.time = now_;
+      e.core = core;
+      e.line = id;
+      sink_->on_event(e);
+    }
   }
 }
 
@@ -423,15 +551,15 @@ void Machine::try_grant(LineId id) {
   }
 
   if (config_.paranoid_checks) check_line_invariants(ls, id);
-  if (trace_ != nullptr) {
-    *trace_ << now_ << " grant line=" << id << " -> core" << req.core << ' '
-            << to_string(supply) << " xfer=" << xfer << '\n';
-  }
+  note_grant(id, req.core, supply, xfer,
+             static_cast<std::uint32_t>(ls.queue.size()),
+             /*counts_acquisition=*/true);
   touch_resident(req.core, id);
   CoreState& cs = core_states_[req.core];
   cs.last_supply = supply;
   cs.last_xfer = xfer;
   cs.holds_token = true;
+  cs.grant_time = now_;
   ls.busy = true;
   schedule(now_ + xfer + config_.l1_hit +
                config_.exec_cost_of(cs.pending.prim),
@@ -520,11 +648,6 @@ void Machine::handle_op_done(const Event& ev) {
   }
   cs.ctx.cas_desired = cs.pending.cas_desired;
   OpResult result = apply_op(prim, ls, cs.ctx);
-  if (trace_ != nullptr) {
-    *trace_ << now_ << " done  core" << ev.core << ' ' << to_string(prim)
-            << " line=" << cs.pending.line << " ok=" << result.success
-            << " val=" << ls.value << '\n';
-  }
 
   const Cycles exec = config_.l1_hit + config_.exec_cost_of(prim);
   const Cycles latency = now_ - cs.issue_time;
@@ -533,6 +656,9 @@ void Machine::handle_op_done(const Event& ev) {
   // cores' spin energy accounted even when their op never completes).
   const Cycles attempt_span = now_ - cs.attempt_start;
   const Cycles waited = attempt_span > exec ? attempt_span - exec : 0;
+  // Cycles this acquisition held the line slot (0 for a pure local read,
+  // which never takes the slot).
+  const Cycles held = cs.holds_token ? now_ - cs.grant_time : 0;
 
   const bool in_window = in_measure_window(now_);
   if (in_window && ev.core < stats_->threads.size()) {
@@ -546,6 +672,14 @@ void Machine::handle_op_done(const Event& ev) {
     energy_->add_active_cycles(exec);
     energy_->add_spin_cycles(waited);
   }
+  if (profile_lines_ && in_window && held > 0) {
+    line_prof_[cs.pending.line].hold_cycles += held;
+  }
+  if (EpochSample* ep = epoch_at(now_)) {
+    ++ep->attempts;
+    ep->wait_cycles += waited;
+    ep->exec_cycles += exec;
+  }
 
   // Release the line slot before anything else so queued requesters are
   // served ahead of our own retry — the hardware behaviour that makes
@@ -556,10 +690,44 @@ void Machine::handle_op_done(const Event& ev) {
   }
 
   if (prim == Primitive::kCasLoop && !result.success) {
+    if (sink_ != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kRetry;
+      e.time = now_;
+      e.core = ev.core;
+      e.line = cs.pending.line;
+      // The retry starts a fresh acquisition flow (new id so the viewer
+      // draws one arrow per attempt -> grant pair).
+      e.req_id = next_req_id_ + 1;
+      e.prim = static_cast<std::uint8_t>(prim);
+      e.supply = static_cast<std::uint8_t>(cs.last_supply);
+      e.value = ls.value;
+      e.hold_cycles = held;
+      sink_->on_event(e);
+    }
+    cs.req_id = ++next_req_id_;
     try_grant(cs.pending.line);
     submit_request(ev.core);  // retry; issue_time (and thus latency) persists
     return;
   }
+
+  if (sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kOpDone;
+    e.time = now_;
+    e.core = ev.core;
+    e.line = cs.pending.line;
+    e.req_id = cs.req_id;
+    e.prim = static_cast<std::uint8_t>(prim);
+    e.supply = static_cast<std::uint8_t>(cs.last_supply);
+    e.success = result.success;
+    e.value = ls.value;
+    e.latency = latency;
+    e.hold_cycles = held;
+    sink_->on_event(e);
+  }
+  if (EpochSample* ep = epoch_at(now_)) ++ep->ops;
+  adjust_outstanding(-1);
 
   if (in_window && ev.core < stats_->threads.size()) {
     record_completion(ev.core, result, latency);

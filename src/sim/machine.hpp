@@ -25,6 +25,7 @@
 
 #include "atomics/primitives.hpp"
 #include "common/random.hpp"
+#include "obs/trace.hpp"
 #include "sim/config.hpp"
 #include "sim/program.hpp"
 #include "sim/sim_stats.hpp"
@@ -61,11 +62,29 @@ class Machine {
   /// current primed machine state. Leaves the machine in the post-op state.
   Cycles measure_single_op(CoreId core, Primitive prim, LineId line);
 
-  /// Optional event trace for protocol debugging: one line per grant and
-  /// completion is streamed to @p sink (nullptr disables). Format:
-  ///   <time> grant line=<id> -> core<c> <supply> xfer=<cy>
+  /// Attaches a structured trace sink (nullptr detaches). The machine emits
+  /// one obs::TraceEvent per protocol step (issue, grant, op-done, retry,
+  /// invalidate, evict); with no sink attached the hot path pays a single
+  /// pointer test per step and nothing else.
+  void set_sink(obs::TraceSink* sink) noexcept {
+    sink_ = sink;
+    owned_sink_.reset();
+  }
+
+  /// Back-compat text tracing: wraps @p os in an obs::TextTraceSink owned by
+  /// the machine (nullptr disables). Grant/done lines keep the historical
+  /// format:
+  ///   <time> grant line=<id> -> core<c> <supply> xfer=<cy> q=<depth>
   ///   <time> done  core<c> <prim> line=<id> ok=<0|1> val=<v>
-  void set_trace(std::ostream* sink) noexcept { trace_ = sink; }
+  void set_trace(std::ostream* os);
+
+  /// Enables per-line contention profiling; results appear in
+  /// RunStats::line_profiles of subsequent run() calls (hottest first).
+  void set_line_profiling(bool on) { profile_lines_ = on; }
+
+  /// Enables the epoch sampler: RunStats::epochs gets one EpochSample per
+  /// @p window cycles of the measurement window (0 disables).
+  void set_epoch_cycles(Cycles window) { epoch_cycles_ = window; }
 
  private:
   // --- event machinery -----------------------------------------------------
@@ -107,6 +126,8 @@ class Machine {
     IssueRequest pending;
     Cycles issue_time = 0;
     Cycles attempt_start = 0;  ///< submit time of the current acquisition
+    Cycles grant_time = 0;     ///< when the current acquisition was served
+    std::uint64_t req_id = 0;  ///< trace flow id of the current acquisition
     std::uint32_t attempts_this_op = 0;
     bool holds_token = false;  ///< this core's transaction owns the line slot
     Supply last_supply = Supply::kLocalHit;
@@ -156,6 +177,38 @@ class Machine {
     return t >= warmup_end_ && t < end_time_;
   }
 
+  // --- observability -------------------------------------------------------
+  /// Forwards @p e to the attached sink, if any.
+  void emit(const obs::TraceEvent& e) {
+    if (sink_ != nullptr) sink_->on_event(e);
+  }
+  // The three hooks below sit on the per-event hot path, so each inlines its
+  // disabled-case test and defers the real work to an out-of-line _slow body:
+  // with no sink/profiler/sampler attached a run pays only the flag tests.
+
+  /// Records a line-slot grant in the per-line profile and trace.
+  void note_grant(LineId id, CoreId core, Supply supply, Cycles xfer,
+                  std::uint32_t queue_depth, bool counts_acquisition) {
+    if (sink_ != nullptr || profile_lines_) {
+      note_grant_slow(id, core, supply, xfer, queue_depth, counts_acquisition);
+    }
+  }
+  void note_grant_slow(LineId id, CoreId core, Supply supply, Cycles xfer,
+                       std::uint32_t queue_depth, bool counts_acquisition);
+  /// Epoch bucket covering time @p t, or nullptr when sampling is off or
+  /// @p t lies outside the measurement window.
+  EpochSample* epoch_at(Cycles t) {
+    return epoch_cycles_ == 0 ? nullptr : epoch_at_slow(t);
+  }
+  EpochSample* epoch_at_slow(Cycles t);
+  /// Tracks the in-flight request count for the epoch sampler.
+  void adjust_outstanding(int delta) {
+    outstanding_ = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(outstanding_) + delta);
+    if (epoch_cycles_ != 0) adjust_outstanding_slow();
+  }
+  void adjust_outstanding_slow();
+
   MachineConfig config_;
   std::unique_ptr<Interconnect> interconnect_;
   CoreId cores_;
@@ -176,7 +229,16 @@ class Machine {
   std::vector<Xoshiro256> rngs_;
   Xoshiro256 arb_rng_{0x9d2c5680};  ///< arbitration races (kProximityBiased)
 
-  std::ostream* trace_ = nullptr;
+  obs::TraceSink* sink_ = nullptr;
+  std::unique_ptr<obs::TraceSink> owned_sink_;  ///< set_trace() compat shim
+  std::uint64_t next_req_id_ = 0;
+
+  bool profile_lines_ = false;
+  std::unordered_map<LineId, LineProfile> line_prof_;
+
+  Cycles epoch_cycles_ = 0;
+  std::vector<EpochSample> epochs_;
+  std::uint32_t outstanding_ = 0;
 
   // Per-run context.
   ThreadProgram* program_ = nullptr;

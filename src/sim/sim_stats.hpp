@@ -37,6 +37,58 @@ struct ThreadStats {
   }
 };
 
+/// Per-line contention profile over the measurement window (collected when
+/// Machine::set_line_profiling(true) is set before the run). This is the
+/// per-resource breakdown that localizes an atomic bottleneck: which lines
+/// are hot, how deep their grant queues ran, and which supply classes
+/// served them.
+struct LineProfile {
+  LineId line = 0;
+  std::uint64_t accesses = 0;      ///< ops served on the line (incl. L1 hits)
+  std::uint64_t acquisitions = 0;  ///< line-slot grants (exclusive accesses)
+  std::uint64_t invalidations = 0; ///< copies killed by other cores' RFOs
+  std::uint64_t queue_depth_sum = 0;  ///< waiters left queued, summed at grant
+  std::uint32_t queue_depth_max = 0;  ///< deepest queue seen at a grant
+  Cycles hold_cycles = 0;          ///< cycles the line slot was held, summed
+  /// Accesses by supply class (index == Supply).
+  std::array<std::uint64_t, kSupplyClasses> supply{};
+
+  double mean_queue_depth() const noexcept {
+    return acquisitions == 0 ? 0.0
+                             : static_cast<double>(queue_depth_sum) /
+                                   static_cast<double>(acquisitions);
+  }
+  double mean_hold_cycles() const noexcept {
+    return acquisitions == 0 ? 0.0
+                             : static_cast<double>(hold_cycles) /
+                                   static_cast<double>(acquisitions);
+  }
+};
+
+/// One window of the epoch time-series (collected when
+/// Machine::set_epoch_cycles(w) is set with w > 0). Makes regime
+/// transitions — the paper's low-to-high contention crossover — visible
+/// inside a single run instead of only as an end-of-run aggregate.
+struct EpochSample {
+  Cycles start = 0;  ///< offset of the epoch start inside the measure window
+  std::uint64_t ops = 0;       ///< operations completed in the epoch
+  std::uint64_t attempts = 0;  ///< line acquisitions in the epoch
+  Cycles wait_cycles = 0;      ///< queueing + transfer stall charged
+  Cycles exec_cycles = 0;      ///< primitive execution cycles charged
+  std::uint32_t outstanding_max = 0;  ///< peak in-flight requests observed
+
+  double throughput_ops_per_kcycle(Cycles window) const noexcept {
+    return window == 0 ? 0.0
+                       : static_cast<double>(ops) * 1000.0 /
+                             static_cast<double>(window);
+  }
+  /// Fraction of the epoch's aggregate core-cycles spent stalled.
+  double wait_fraction(Cycles window, std::uint32_t cores) const noexcept {
+    const double denom = static_cast<double>(window) * cores;
+    return denom <= 0.0 ? 0.0 : static_cast<double>(wait_cycles) / denom;
+  }
+};
+
 /// Whole-run results over the measurement window.
 struct RunStats {
   Cycles measured_cycles = 0;  ///< length of the measurement window
@@ -48,6 +100,14 @@ struct RunStats {
   std::uint64_t invalidations = 0;
   std::uint64_t memory_fetches = 0;
   std::uint64_t evictions = 0;
+
+  /// Hot-line profiles, hottest (most acquisitions) first. Empty unless
+  /// line profiling was enabled for the run.
+  std::vector<LineProfile> line_profiles;
+
+  /// Epoch time-series; empty unless epoch sampling was enabled.
+  Cycles epoch_cycles = 0;  ///< sampling window (0 = sampling was off)
+  std::vector<EpochSample> epochs;
 
   EnergyBreakdown energy;
 

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace am {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "bench");
+  w.kv("count", std::uint64_t{42});
+  w.kv("ratio", 0.5);
+  w.kv("ok", true);
+  w.kv_null("missing");
+  w.key("list").begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.depth(), 0);
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"bench\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"missing\":null,\"list\":[1,2]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.0);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,1]");
+}
+
+TEST(JsonWriter, PrettyOutputStaysParseable) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.key("rows").begin_array();
+  w.begin_object();
+  w.kv("x", std::uint64_t{1});
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* rows = doc->find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->at(0)->find("x")->as_number(), 1.0);
+}
+
+TEST(JsonValue, ParsesScalarsAndStructure) {
+  const auto doc = JsonValue::parse(
+      R"({"s":"aA\n","n":-2.5e2,"b":false,"z":null,"a":[1,{"k":2}]})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), "aA\n");
+  EXPECT_DOUBLE_EQ(doc->find("n")->as_number(), -250.0);
+  EXPECT_FALSE(doc->find("b")->as_bool());
+  EXPECT_TRUE(doc->find("z")->is_null());
+  const JsonValue* a = doc->find("a");
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_EQ(a->at(0)->as_number(), 1.0);
+  EXPECT_EQ(a->at(1)->find("k")->as_number(), 2.0);
+  EXPECT_EQ(doc->find("nope"), nullptr);
+  EXPECT_EQ(a->at(7), nullptr);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBackIdentically) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("text", "quote \" backslash \\ newline \n");
+  w.kv("big", std::uint64_t{1} << 52);
+  w.kv("neg", std::int64_t{-7});
+  w.kv("pi", 3.14159265358979);
+  w.end_object();
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("text")->as_string(), "quote \" backslash \\ newline \n");
+  EXPECT_EQ(doc->find("big")->as_number(),
+            static_cast<double>(std::uint64_t{1} << 52));
+  EXPECT_EQ(doc->find("neg")->as_number(), -7.0);
+  EXPECT_NEAR(doc->find("pi")->as_number(), 3.14159265358979, 1e-12);
+}
+
+}  // namespace
+}  // namespace am
