@@ -17,14 +17,22 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
 
-  auto backend = bench_util::backend_from(cli);
+  auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
+  auto sweep = bench_util::sweep_from(cli);
 
   Table table({"machine", "threads", "lines", "zipf s", "measured ops/kcy",
                "model ops/kcy"});
 
+  struct Point {
+    std::uint32_t threads;
+    std::size_t lines;
+    double s;
+    std::size_t index;
+  };
+  std::vector<Point> points;
   for (std::uint32_t n : {8u, 16u, 32u}) {
-    if (n > backend->max_threads()) continue;
+    if (n > probe->max_threads()) continue;
     for (std::size_t lines : {std::size_t{16}, std::size_t{256}}) {
       for (double s : {0.0, 0.5, 0.8, 0.99, 1.2, 1.5, 2.0}) {
         bench::WorkloadConfig w;
@@ -33,19 +41,24 @@ int run(int argc, const char* const* argv) {
         w.threads = n;
         w.zipf_lines = lines;
         w.zipf_s = s;
-        const auto run = backend->run(w);
-        const model::Prediction pred =
-            model.predict_zipf(Primitive::kFaa, n, 0.0, lines, s);
-        table.add_row({backend->machine_name(), Table::num(std::size_t{n}),
-                       Table::num(lines), Table::num(s, 2),
-                       Table::num(run.throughput_ops_per_kcycle(), 2),
-                       Table::num(pred.throughput_ops_per_kcycle, 2)});
+        points.push_back({n, lines, s, sweep.engine->submit(w)});
       }
     }
   }
+  sweep.engine->drain();
 
-  bench_util::emit(cli, "E5: Zipf sharing (" + backend->machine_name() + ")",
-                   table);
+  for (const Point& p : points) {
+    const bench::MeasuredRun& run = sweep.engine->result(p.index);
+    const model::Prediction pred =
+        model.predict_zipf(Primitive::kFaa, p.threads, 0.0, p.lines, p.s);
+    table.add_row({probe->machine_name(), Table::num(std::size_t{p.threads}),
+                   Table::num(p.lines), Table::num(p.s, 2),
+                   Table::num(run.throughput_ops_per_kcycle(), 2),
+                   Table::num(pred.throughput_ops_per_kcycle, 2)});
+  }
+
+  bench_util::emit(cli, "E5: Zipf sharing (" + probe->machine_name() + ")",
+                   table, sweep.engine.get());
   return 0;
 }
 

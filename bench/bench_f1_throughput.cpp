@@ -16,34 +16,49 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
 
-  auto backend = bench_util::backend_from(cli);
+  auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
-  const auto sweep = bench_util::thread_sweep(cli, backend->max_threads());
+  const auto thread_points =
+      bench_util::thread_sweep(cli, probe->max_threads());
+  auto sweep = bench_util::sweep_from(cli);
 
   Table table({"machine", "primitive", "threads", "measured Mops",
                "model Mops", "measured ops/kcy", "model ops/kcy"});
 
+  // Submit the full grid, then build the table from the drained results in
+  // submission order — rows and run log are identical at any --jobs.
+  struct Point {
+    Primitive prim;
+    std::uint32_t threads;
+    std::size_t index;
+  };
+  std::vector<Point> points;
   for (Primitive prim : all_primitives()) {
-    for (std::uint32_t n : sweep) {
+    for (std::uint32_t n : thread_points) {
       bench::WorkloadConfig w;
       w.mode = bench::WorkloadMode::kHighContention;
       w.prim = prim;
       w.threads = n;
-      const bench::MeasuredRun run = backend->run(w);
-      const model::Prediction pred = model.predict(prim, n, 0.0);
-      table.add_row({backend->machine_name(), to_string(prim),
-                     Table::num(std::size_t{n}),
-                     Table::num(run.throughput_mops(), 2),
-                     Table::num(pred.throughput_mops, 2),
-                     Table::num(run.throughput_ops_per_kcycle(), 3),
-                     Table::num(pred.throughput_ops_per_kcycle, 3)});
+      points.push_back({prim, n, sweep.engine->submit(w)});
     }
+  }
+  sweep.engine->drain();
+
+  for (const Point& p : points) {
+    const bench::MeasuredRun& run = sweep.engine->result(p.index);
+    const model::Prediction pred = model.predict(p.prim, p.threads, 0.0);
+    table.add_row({probe->machine_name(), to_string(p.prim),
+                   Table::num(std::size_t{p.threads}),
+                   Table::num(run.throughput_mops(), 2),
+                   Table::num(pred.throughput_mops, 2),
+                   Table::num(run.throughput_ops_per_kcycle(), 3),
+                   Table::num(pred.throughput_ops_per_kcycle, 3)});
   }
 
   bench_util::emit(cli,
                    "F1: throughput vs threads, shared line, w=0 (" +
-                       backend->machine_name() + ")",
-                   table);
+                       probe->machine_name() + ")",
+                   table, sweep.engine.get());
   return 0;
 }
 

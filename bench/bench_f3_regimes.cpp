@@ -19,19 +19,28 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("prim", "primitive to sweep", "FAA");
   if (!cli.parse(argc, argv)) return 1;
 
-  auto backend = bench_util::backend_from(cli);
+  auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
   const Primitive prim =
       parse_primitive(cli.get("prim")).value_or(Primitive::kFaa);
+  auto sweep = bench_util::sweep_from(cli);
 
   Table table({"machine", "threads", "work (cy)", "w/w*", "measured ops/kcy",
                "model ops/kcy", "regime", "crossover w* (cy)"});
 
   std::vector<std::uint32_t> thread_points;
   for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
-    if (n <= backend->max_threads()) thread_points.push_back(n);
+    if (n <= probe->max_threads()) thread_points.push_back(n);
   }
 
+  struct Point {
+    std::uint32_t threads;
+    bench::Cycles work;
+    double frac;
+    double wstar;
+    std::size_t index;
+  };
+  std::vector<Point> points;
   for (std::uint32_t n : thread_points) {
     const double wstar = model.crossover_work(prim, n);
     for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}) {
@@ -41,21 +50,26 @@ int run(int argc, const char* const* argv) {
       w.prim = prim;
       w.threads = n;
       w.work = work;
-      const bench::MeasuredRun run = backend->run(w);
-      const model::Prediction pred =
-          model.predict(prim, n, static_cast<double>(work));
-      table.add_row({backend->machine_name(), Table::num(std::size_t{n}),
-                     Table::num(std::size_t{work}), Table::num(frac, 2),
-                     Table::num(run.throughput_ops_per_kcycle(), 3),
-                     Table::num(pred.throughput_ops_per_kcycle, 3),
-                     to_string(pred.regime), Table::num(wstar, 0)});
+      points.push_back({n, work, frac, wstar, sweep.engine->submit(w)});
     }
+  }
+  sweep.engine->drain();
+
+  for (const Point& p : points) {
+    const bench::MeasuredRun& run = sweep.engine->result(p.index);
+    const model::Prediction pred =
+        model.predict(prim, p.threads, static_cast<double>(p.work));
+    table.add_row({probe->machine_name(), Table::num(std::size_t{p.threads}),
+                   Table::num(std::size_t{p.work}), Table::num(p.frac, 2),
+                   Table::num(run.throughput_ops_per_kcycle(), 3),
+                   Table::num(pred.throughput_ops_per_kcycle, 3),
+                   to_string(pred.regime), Table::num(p.wstar, 0)});
   }
 
   bench_util::emit(cli,
                    std::string("F3: regimes and crossover, ") +
-                       to_string(prim) + " (" + backend->machine_name() + ")",
-                   table);
+                       to_string(prim) + " (" + probe->machine_name() + ")",
+                   table, sweep.engine.get());
   return 0;
 }
 

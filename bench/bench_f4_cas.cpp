@@ -19,38 +19,55 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
 
-  auto backend = bench_util::backend_from(cli);
+  auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));
-  const auto sweep = bench_util::thread_sweep(cli, backend->max_threads());
+  const auto thread_points =
+      bench_util::thread_sweep(cli, probe->max_threads());
+  auto sweep = bench_util::sweep_from(cli);
 
   Table table({"machine", "threads", "CAS success", "model success",
                "CASLOOP acq/op", "model acq/op", "FAA Mops", "CASLOOP Mops",
                "FAA/CASLOOP"});
 
-  for (std::uint32_t n : sweep) {
+  // Three points per row (CAS, CASLOOP, FAA); all pooled, rows assembled
+  // after the drain in submission order.
+  struct Row {
+    std::uint32_t threads;
+    std::size_t cas, loop, faa;
+  };
+  std::vector<Row> rows;
+  for (std::uint32_t n : thread_points) {
     bench::WorkloadConfig cas;
     cas.mode = bench::WorkloadMode::kHighContention;
     cas.prim = Primitive::kCas;
     cas.threads = n;
-    const auto r_cas = backend->run(cas);
 
     bench::WorkloadConfig loop = cas;
     loop.prim = Primitive::kCasLoop;
-    const auto r_loop = backend->run(loop);
 
     bench::WorkloadConfig faa = cas;
     faa.prim = Primitive::kFaa;
-    const auto r_faa = backend->run(faa);
 
-    const model::Prediction p_cas = model.predict(Primitive::kCas, n, 0.0);
+    rows.push_back({n, sweep.engine->submit(cas), sweep.engine->submit(loop),
+                    sweep.engine->submit(faa)});
+  }
+  sweep.engine->drain();
+
+  for (const Row& row : rows) {
+    const bench::MeasuredRun& r_cas = sweep.engine->result(row.cas);
+    const bench::MeasuredRun& r_loop = sweep.engine->result(row.loop);
+    const bench::MeasuredRun& r_faa = sweep.engine->result(row.faa);
+
+    const model::Prediction p_cas =
+        model.predict(Primitive::kCas, row.threads, 0.0);
     const model::Prediction p_loop =
-        model.predict(Primitive::kCasLoop, n, 0.0);
+        model.predict(Primitive::kCasLoop, row.threads, 0.0);
 
     const double ratio =
         r_loop.throughput_mops() > 0.0
             ? r_faa.throughput_mops() / r_loop.throughput_mops()
             : 0.0;
-    table.add_row({backend->machine_name(), Table::num(std::size_t{n}),
+    table.add_row({probe->machine_name(), Table::num(std::size_t{row.threads}),
                    Table::num(r_cas.success_rate(), 3),
                    Table::num(p_cas.success_rate, 3),
                    Table::num(r_loop.attempts_per_op(), 2),
@@ -61,9 +78,9 @@ int run(int argc, const char* const* argv) {
   }
 
   bench_util::emit(cli,
-                   "F4: CAS failure behaviour (" + backend->machine_name() +
+                   "F4: CAS failure behaviour (" + probe->machine_name() +
                        ")",
-                   table);
+                   table, sweep.engine.get());
   return 0;
 }
 

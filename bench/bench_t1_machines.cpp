@@ -23,15 +23,33 @@ int run(int argc, const char* const* argv) {
   Table table({"machine", "cores", "GHz", "topology", "param", "configured",
                "calibrated", "fit r^2"});
 
-  for (const char* preset : {"xeon", "knl"}) {
-    sim::MachineConfig cfg = sim::preset_by_name(preset);
+  // One pooled task per preset: calibration is an adaptive multi-run
+  // procedure, so it runs whole on one worker with its runs recorded into a
+  // task-local log the engine merges back in submission order.
+  auto sweep = bench_util::sweep_from(cli);
+  const std::vector<std::string> presets = {"xeon", "knl"};
+  std::vector<model::Calibration> calibrations(presets.size());
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    sim::MachineConfig cfg = sim::preset_by_name(presets[i]);
     // FIFO keeps the near/far mixture exactly identifiable for the fit.
     sim::MachineConfig fifo = cfg;
     fifo.arbitration = sim::Arbitration::kFifo;
-    bench::SimBackend backend(fifo);
-    bench_util::apply_obs(cli, backend);
-    const model::ModelParams skeleton = model::ModelParams::from_machine(fifo);
-    const model::Calibration cal = model::calibrate(backend, skeleton);
+    sweep.engine->submit_task(
+        [&cli, &sweep, &calibrations, i, fifo](
+            std::uint64_t seed, std::vector<bench::RecordedRun>& log) {
+          bench::SimBackend backend(fifo, {}, seed);
+          backend.set_run_recorder(&log);
+          bench_util::apply_task_obs(cli, sweep.trace.get(), backend);
+          const model::ModelParams skeleton =
+              model::ModelParams::from_machine(fifo);
+          calibrations[i] = model::calibrate(backend, skeleton);
+        });
+  }
+  sweep.engine->drain();
+
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    const sim::MachineConfig cfg = sim::preset_by_name(presets[i]);
+    const model::Calibration& cal = calibrations[i];
 
     const auto ic = cfg.make_interconnect();
     auto row = [&](const std::string& param, double configured,
@@ -77,7 +95,7 @@ int run(int argc, const char* const* argv) {
   }
 
   bench_util::emit(cli, "T1: machine parameters (configured vs calibrated)",
-                   table);
+                   table, sweep.engine.get());
   return 0;
 }
 

@@ -7,11 +7,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_core/backend.hpp"
 #include "bench_core/report.hpp"
 #include "bench_core/sim_backend.hpp"
+#include "bench_core/sweep.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "model/bouncing_model.hpp"
@@ -49,6 +51,18 @@ inline void add_common_flags(CliParser& cli) {
                "epoch sampler window in cycles; 0 = off (--json-out defaults "
                "it to measure/32)",
                "0");
+  cli.add_flag("jobs",
+               "parallel sweep workers; 0 = host core count, 1 = serial. "
+               "Results are byte-identical for every value; hardware "
+               "backends and --trace-out force 1",
+               "0");
+  cli.add_flag("sweep-cache",
+               "directory of the on-disk sweep result cache; re-runs load "
+               "already-computed points bit-exactly (empty = off)",
+               "");
+  cli.add_flag("base-seed",
+               "base seed for the sweep's per-point seed derivation",
+               "1");
   start_time();
 }
 
@@ -83,6 +97,80 @@ inline std::unique_ptr<bench::ExecutionBackend> backend_from(
   auto backend = bench::make_backend(cli.get("backend"));
   apply_obs(cli, *backend);
   return backend;
+}
+
+/// Uninstrumented backend for interrogating the grid shape (machine name,
+/// max_threads) before submitting points to a sweep. Never opens trace
+/// files, so it can coexist with sweep_from() on the same flags.
+inline std::unique_ptr<bench::ExecutionBackend> probe_backend(
+    const CliParser& cli) {
+  return bench::make_backend(cli.get("backend"));
+}
+
+/// Applies --epoch-cycles / --json-out instrumentation (and optionally a
+/// shared trace sink) to a sim backend built inside a sweep point or task.
+inline void apply_task_obs(const CliParser& cli, obs::TraceSink* sink,
+                           bench::SimBackend& sim) {
+  const bool want_report = !cli.get("json-out").empty();
+  auto window = static_cast<sim::Cycles>(cli.get_int("epoch-cycles"));
+  if (window == 0 && want_report) {
+    window = sim.options().measure_cycles / 32;
+  }
+  sim.set_epoch_cycles(window);
+  sim.set_line_profiling(want_report);
+  if (sink != nullptr) sim.set_sink(sink);
+}
+
+/// A bench binary's sweep: the engine plus the trace sink shared by every
+/// point when --trace-out is set (tracing forces --jobs=1, so the single
+/// sink is never written concurrently).
+struct Sweep {
+  std::unique_ptr<obs::ChromeTraceFileSink> trace;
+  std::unique_ptr<bench::SweepEngine> engine;
+};
+
+/// Builds the sweep engine for --backend/--jobs/--sweep-cache/--base-seed.
+/// Every converted bench submits its grid through this; --jobs=1 runs the
+/// identical seeds/points serially, so reports match at any width.
+inline Sweep sweep_from(const CliParser& cli) {
+  Sweep s;
+  const std::string spec = cli.get("backend");
+  const bool is_hw =
+      spec == "hw" ||
+      (spec == "auto" && std::thread::hardware_concurrency() >= 8);
+  bool serial = false;
+  obs::TraceSink* sink = nullptr;
+  if (is_hw) {
+    // Hardware measurements own the host's cores; concurrent points would
+    // measure each other.
+    serial = true;
+  } else if (const std::string trace_path = cli.get("trace-out");
+             !trace_path.empty()) {
+    s.trace = std::make_unique<obs::ChromeTraceFileSink>(trace_path);
+    if (!s.trace->ok()) {
+      std::cerr << "failed to open trace file " << trace_path << "\n";
+      s.trace.reset();
+    } else {
+      sink = s.trace.get();
+      serial = true;  // one trace stream
+    }
+  }
+  bench::SweepOptions opts;
+  opts.jobs = serial ? 1u
+                     : static_cast<unsigned>(
+                           std::max<std::int64_t>(0, cli.get_int("jobs")));
+  opts.cache_dir = cli.get("sweep-cache");
+  opts.base_seed = cli.get_uint64("base-seed");
+  s.engine = std::make_unique<bench::SweepEngine>(
+      [cli_copy = cli, sink](std::uint64_t seed) {
+        auto backend = bench::make_backend(cli_copy.get("backend"), seed);
+        if (auto* sim = dynamic_cast<bench::SimBackend*>(backend.get())) {
+          apply_task_obs(cli_copy, sink, *sim);
+        }
+        return backend;
+      },
+      opts);
+  return s;
 }
 
 /// Analytic model parameters for a sim backend spec; for "hw" this returns
@@ -122,10 +210,18 @@ inline std::vector<std::uint32_t> thread_sweep(const CliParser& cli,
 /// Prints the table, mirrors it to --csv, and writes the --json-out run
 /// report. The report serializes every workload the binary executed through
 /// the backend seam (bench::run_log()) alongside the rendered table, so no
-/// bench needs to thread its measurements here explicitly.
+/// bench needs to thread its measurements here explicitly. @p sweep, when
+/// given, adds a pool/cache summary line to stdout (never to the report —
+/// reports stay byte-identical across --jobs and cache temperature).
 inline void emit(const CliParser& cli, const std::string& title,
-                 const Table& table) {
+                 const Table& table,
+                 const bench::SweepEngine* sweep = nullptr) {
   std::cout << "\n== " << title << " ==\n" << table;
+  if (sweep != nullptr) {
+    std::cout << "(sweep: " << sweep->executed_points() << " simulated, "
+              << sweep->cache_hits() << " cache hits, jobs="
+              << sweep->jobs() << ")\n";
+  }
   const std::string path = cli.get("csv");
   if (!path.empty()) {
     if (table.write_csv(path)) {

@@ -2,14 +2,23 @@
 # Regenerates every table/figure of the reproduction and drops the ASCII
 # tables, CSVs and JSON run reports (am-run-report/1, consumed by
 # scripts/plot_results.py) into results/. Usage:
-#   scripts/run_all_experiments.sh [build-dir] [backend]
+#   scripts/run_all_experiments.sh [build-dir] [backend] [jobs]
 # backend defaults to sim:xeon; pass "hw" on a many-core host.
+# jobs defaults to the host's core count; simulated sweep points run on a
+# bounded pool (docs/sweep.md) and outputs are byte-identical at any jobs.
+# Set AM_SWEEP_CACHE=dir to reuse simulated points across invocations.
 set -euo pipefail
 
 BUILD="${1:-build}"
 BACKEND="${2:-sim:xeon}"
+JOBS="${3:-0}"
 OUT="results"
 mkdir -p "$OUT"
+
+SWEEP_FLAGS=(--jobs="$JOBS")
+if [[ -n "${AM_SWEEP_CACHE:-}" ]]; then
+  SWEEP_FLAGS+=(--sweep-cache="$AM_SWEEP_CACHE")
+fi
 
 run() {
   local name="$1"; shift
@@ -18,12 +27,14 @@ run() {
     --json-out="$OUT/$name.json" | tee "$OUT/$name.txt"
 }
 
-run bench_t1_machines
+# Sweep-pooled benches take the parallelism/cache flags; the rest are
+# single-run or latency-probe binaries where pooling buys nothing.
+run bench_t1_machines    "${SWEEP_FLAGS[@]}"
 run bench_t2_latency_states
-run bench_f1_throughput  --backend="$BACKEND"
+run bench_f1_throughput  --backend="$BACKEND" "${SWEEP_FLAGS[@]}"
 run bench_f2_latency     --backend="$BACKEND"
-run bench_f3_regimes     --backend="$BACKEND"
-run bench_f4_cas         --backend="$BACKEND"
+run bench_f3_regimes     --backend="$BACKEND" "${SWEEP_FLAGS[@]}"
+run bench_f4_cas         --backend="$BACKEND" "${SWEEP_FLAGS[@]}"
 run bench_f5_fairness
 run bench_f6_energy      --backend="$BACKEND"
 run bench_t3_validation  --backend="$BACKEND"
@@ -33,7 +44,7 @@ run bench_e1_working_set
 run bench_e2_sharding
 run bench_e3_read_mostly --backend="$BACKEND"
 run bench_e4_lockfree
-run bench_e5_zipf
+run bench_e5_zipf        "${SWEEP_FLAGS[@]}"
 
 # Raw host microbenchmarks (google-benchmark).
 "$BUILD/bench/bench_hw_primitives" --benchmark_min_time=0.05 \

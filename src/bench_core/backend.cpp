@@ -1,5 +1,6 @@
 #include "bench_core/backend.hpp"
 
+#include <mutex>
 #include <thread>
 
 #include "bench_core/hw_backend.hpp"
@@ -8,6 +9,11 @@
 namespace am::bench {
 
 namespace {
+std::mutex& run_log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 std::vector<RecordedRun>& mutable_run_log() {
   static std::vector<RecordedRun> log;
   return log;
@@ -16,11 +22,23 @@ std::vector<RecordedRun>& mutable_run_log() {
 
 const std::vector<RecordedRun>& run_log() { return mutable_run_log(); }
 
-void clear_run_log() { mutable_run_log().clear(); }
+void clear_run_log() {
+  const std::lock_guard<std::mutex> lock(run_log_mutex());
+  mutable_run_log().clear();
+}
+
+void append_run_log(RecordedRun rec) {
+  const std::lock_guard<std::mutex> lock(run_log_mutex());
+  mutable_run_log().push_back(std::move(rec));
+}
 
 MeasuredRun ExecutionBackend::run(const WorkloadConfig& config) {
   MeasuredRun result = do_run(config);
-  mutable_run_log().push_back(RecordedRun{config, result});
+  if (recorder_ != nullptr) {
+    recorder_->push_back(RecordedRun{config, result});
+  } else {
+    append_run_log(RecordedRun{config, result});
+  }
   return result;
 }
 
@@ -49,18 +67,22 @@ std::string WorkloadConfig::describe() const {
   return s;
 }
 
-std::unique_ptr<ExecutionBackend> make_backend(const std::string& spec) {
+std::unique_ptr<ExecutionBackend> make_backend(const std::string& spec,
+                                               std::uint64_t seed) {
   if (spec == "hw") return std::make_unique<HardwareBackend>();
   if (spec.rfind("sim:", 0) == 0) {
-    return std::make_unique<SimBackend>(sim::preset_by_name(spec.substr(4)));
+    return std::make_unique<SimBackend>(sim::preset_by_name(spec.substr(4)),
+                                        SimBackendOptions{}, seed);
   }
   if (spec == "sim") {
-    return std::make_unique<SimBackend>(sim::xeon_e5_2x18());
+    return std::make_unique<SimBackend>(sim::xeon_e5_2x18(),
+                                        SimBackendOptions{}, seed);
   }
   // "auto": contention experiments need real parallelism to mean anything.
   const unsigned cores = std::thread::hardware_concurrency();
   if (cores >= 8) return std::make_unique<HardwareBackend>();
-  return std::make_unique<SimBackend>(sim::xeon_e5_2x18());
+  return std::make_unique<SimBackend>(sim::xeon_e5_2x18(), SimBackendOptions{},
+                                      seed);
 }
 
 }  // namespace am::bench

@@ -25,6 +25,15 @@ class SimBackend final : public ExecutionBackend {
   std::string machine_name() const override { return config_.name; }
   std::uint32_t max_threads() const override;
   double freq_ghz() const override { return config_.freq_ghz; }
+  /// Machine fingerprint + measurement windows: everything besides the
+  /// workload and seed that determines a simulated result.
+  std::string cache_identity() const override {
+    return "sim{" + config_.fingerprint() +
+           "};warmup=" + std::to_string(options_.warmup_cycles) +
+           ";measure=" + std::to_string(options_.measure_cycles);
+  }
+  /// Seed this backend XORs into every run's machine seed.
+  std::uint64_t seed() const noexcept { return seed_; }
 
   /// Direct access for experiments that prime line states (Table 2).
   sim::Machine& machine() { return *machine_; }

@@ -1,0 +1,489 @@
+#include "bench_core/sweep.hpp"
+
+#include <bit>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/json.hpp"
+
+namespace am::bench {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t index) noexcept {
+  const std::uint64_t s = splitmix64(splitmix64(base_seed) ^ index);
+  return s == 0 ? 0x9e3779b97f4a7c15ULL : s;
+}
+
+// ---------------------------------------------------------------------------
+// Cache key + bit-exact result serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Serializes every WorkloadConfig field (describe() omits several).
+std::string workload_fingerprint(const WorkloadConfig& c) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "mode=" << static_cast<int>(c.mode)
+     << ";prim=" << static_cast<int>(c.prim) << ";threads=" << c.threads
+     << ";work=" << c.work << ";jitter=" << c.work_jitter
+     << ";zlines=" << c.zipf_lines << ";zs=" << c.zipf_s
+     << ";wf=" << c.write_fraction << ";shards=" << c.shards
+     << ";lpt=" << c.lines_per_thread << ";seed=" << c.seed
+     << ";pin=" << static_cast<int>(c.pin_order);
+  return os.str();
+}
+
+// Doubles are cached as their IEEE-754 bit patterns (16 hex digits): the
+// JSON number path would round-trip through double-formatted text and the
+// parser's double storage, which is only exact up to 2^53 — not enough for
+// byte-identical warm-cache reports.
+void kv_bits(JsonWriter& w, std::string_view key, double v) {
+  w.kv(key, hex64(std::bit_cast<std::uint64_t>(v)));
+}
+
+void kv_u64_array(JsonWriter& w, std::string_view key, const std::uint64_t* v,
+                  std::size_t n) {
+  w.key(key).begin_array();
+  for (std::size_t i = 0; i < n; ++i) w.value(v[i]);
+  w.end_array();
+}
+
+std::uint64_t get_u64(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != JsonValue::Type::kNumber) {
+    throw std::runtime_error("sweep cache: missing field");
+  }
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+double get_bits(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != JsonValue::Type::kString) {
+    throw std::runtime_error("sweep cache: missing bits field");
+  }
+  const std::uint64_t bits =
+      std::strtoull(v->as_string().c_str(), nullptr, 16);
+  return std::bit_cast<double>(bits);
+}
+
+bool get_bool(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != JsonValue::Type::kBool) {
+    throw std::runtime_error("sweep cache: missing bool field");
+  }
+  return v->as_bool();
+}
+
+template <std::size_t N>
+void fill_u64_array(const JsonValue& obj, std::string_view key,
+                    std::array<std::uint64_t, N>& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != JsonValue::Type::kArray || v->size() != N) {
+    throw std::runtime_error("sweep cache: bad array field");
+  }
+  for (std::size_t i = 0; i < N; ++i) {
+    out[i] = static_cast<std::uint64_t>(v->at(i)->as_number());
+  }
+}
+
+const JsonValue& require_array(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type() != JsonValue::Type::kArray) {
+    throw std::runtime_error("sweep cache: missing array");
+  }
+  return *v;
+}
+
+}  // namespace
+
+std::string sweep_cache_key(const std::string& backend_identity,
+                            const WorkloadConfig& config, std::uint64_t seed) {
+  if (backend_identity.empty()) return "";
+  const std::string material = std::string(kSweepCacheVersion) + "|" +
+                               backend_identity + "|" +
+                               workload_fingerprint(config) + "|" +
+                               std::to_string(seed);
+  // Two independent hashes (plain and salted) make accidental 64-bit
+  // collisions a non-issue; the full key material is also embedded in the
+  // cache file and verified on load.
+  return hex64(fnv1a64(material)) + hex64(fnv1a64("salt|" + material));
+}
+
+std::string serialize_measured_run(const MeasuredRun& r,
+                                   const std::string& key) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("v", kSweepCacheVersion);
+  w.kv("key", key);
+  w.kv("backend", r.backend);
+  w.kv("machine", r.machine);
+  kv_bits(w, "duration_cycles", r.duration_cycles);
+  kv_bits(w, "freq_ghz", r.freq_ghz);
+  w.key("threads").begin_array();
+  for (const auto& t : r.threads) {
+    w.begin_object();
+    w.kv("ops", t.ops);
+    w.kv("successes", t.successes);
+    w.kv("failures", t.failures);
+    w.kv("attempts", t.attempts);
+    kv_bits(w, "mean_latency", t.mean_latency_cycles);
+    kv_bits(w, "p99_latency", t.p99_latency_cycles);
+    w.kv("tail_valid", t.latency_tail_valid);
+    kv_u64_array(w, "ops_by_prim", t.ops_by_prim.data(), t.ops_by_prim.size());
+    kv_u64_array(w, "successes_by_prim", t.successes_by_prim.data(),
+                 t.successes_by_prim.size());
+    w.end_object();
+  }
+  w.end_array();
+  kv_u64_array(w, "transfers", r.transfers.data(), r.transfers.size());
+  w.kv("invalidations", r.invalidations);
+  w.kv("memory_fetches", r.memory_fetches);
+  w.kv("evictions", r.evictions);
+  w.key("hot_lines").begin_array();
+  for (const auto& h : r.hot_lines) {
+    w.begin_object();
+    w.kv("line", h.line);
+    w.kv("accesses", h.accesses);
+    w.kv("acquisitions", h.acquisitions);
+    w.kv("invalidations", h.invalidations);
+    kv_bits(w, "mean_queue_depth", h.mean_queue_depth);
+    w.kv("max_queue_depth", h.max_queue_depth);
+    kv_bits(w, "mean_hold_cycles", h.mean_hold_cycles);
+    kv_u64_array(w, "supply", h.supply.data(), h.supply.size());
+    w.end_object();
+  }
+  w.end_array();
+  kv_bits(w, "epoch_cycles", r.epoch_cycles);
+  w.key("epochs").begin_array();
+  for (const auto& e : r.epochs) {
+    w.begin_object();
+    kv_bits(w, "start_cycle", e.start_cycle);
+    w.kv("ops", e.ops);
+    w.kv("attempts", e.attempts);
+    kv_bits(w, "throughput", e.throughput_ops_per_kcycle);
+    kv_bits(w, "wait_fraction", e.wait_fraction);
+    w.kv("outstanding_max", e.outstanding_max);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("energy_valid", r.energy_valid);
+  kv_bits(w, "energy_package_j", r.energy_package_j);
+  kv_bits(w, "energy_dram_j", r.energy_dram_j);
+  w.kv("perf_valid", r.perf_valid);
+  w.kv("perf_cycles", r.perf_cycles);
+  w.kv("perf_instructions", r.perf_instructions);
+  w.end_object();
+  os << "\n";
+  return os.str();
+}
+
+std::optional<MeasuredRun> parse_measured_run(const std::string& text,
+                                              const std::string& key) {
+  const auto doc = JsonValue::parse(text);
+  if (!doc.has_value()) return std::nullopt;
+  try {
+    const JsonValue* v = doc->find("v");
+    const JsonValue* k = doc->find("key");
+    if (v == nullptr || v->as_string() != kSweepCacheVersion ||
+        k == nullptr || k->as_string() != key) {
+      return std::nullopt;
+    }
+    MeasuredRun r;
+    r.backend = doc->find("backend")->as_string();
+    r.machine = doc->find("machine")->as_string();
+    r.duration_cycles = get_bits(*doc, "duration_cycles");
+    r.freq_ghz = get_bits(*doc, "freq_ghz");
+    for (const JsonValue& jt : require_array(*doc, "threads").items()) {
+      ThreadResult t;
+      t.ops = get_u64(jt, "ops");
+      t.successes = get_u64(jt, "successes");
+      t.failures = get_u64(jt, "failures");
+      t.attempts = get_u64(jt, "attempts");
+      t.mean_latency_cycles = get_bits(jt, "mean_latency");
+      t.p99_latency_cycles = get_bits(jt, "p99_latency");
+      t.latency_tail_valid = get_bool(jt, "tail_valid");
+      fill_u64_array(jt, "ops_by_prim", t.ops_by_prim);
+      fill_u64_array(jt, "successes_by_prim", t.successes_by_prim);
+      r.threads.push_back(t);
+    }
+    fill_u64_array(*doc, "transfers", r.transfers);
+    r.invalidations = get_u64(*doc, "invalidations");
+    r.memory_fetches = get_u64(*doc, "memory_fetches");
+    r.evictions = get_u64(*doc, "evictions");
+    for (const JsonValue& jh : require_array(*doc, "hot_lines").items()) {
+      LineHotness h;
+      h.line = get_u64(jh, "line");
+      h.accesses = get_u64(jh, "accesses");
+      h.acquisitions = get_u64(jh, "acquisitions");
+      h.invalidations = get_u64(jh, "invalidations");
+      h.mean_queue_depth = get_bits(jh, "mean_queue_depth");
+      h.max_queue_depth = get_u64(jh, "max_queue_depth");
+      h.mean_hold_cycles = get_bits(jh, "mean_hold_cycles");
+      fill_u64_array(jh, "supply", h.supply);
+      r.hot_lines.push_back(h);
+    }
+    r.epoch_cycles = get_bits(*doc, "epoch_cycles");
+    for (const JsonValue& je : require_array(*doc, "epochs").items()) {
+      EpochPoint e;
+      e.start_cycle = get_bits(je, "start_cycle");
+      e.ops = get_u64(je, "ops");
+      e.attempts = get_u64(je, "attempts");
+      e.throughput_ops_per_kcycle = get_bits(je, "throughput");
+      e.wait_fraction = get_bits(je, "wait_fraction");
+      e.outstanding_max = get_u64(je, "outstanding_max");
+      r.epochs.push_back(e);
+    }
+    r.energy_valid = get_bool(*doc, "energy_valid");
+    r.energy_package_j = get_bits(*doc, "energy_package_j");
+    r.energy_dram_j = get_bits(*doc, "energy_dram_j");
+    r.perf_valid = get_bool(*doc, "perf_valid");
+    r.perf_cycles = get_u64(*doc, "perf_cycles");
+    r.perf_instructions = get_u64(*doc, "perf_instructions");
+    return r;
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt/stale file: treat as a cache miss
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct SweepEngine::Point {
+  bool is_task = false;
+  WorkloadConfig config;
+  Task task;
+  std::uint64_t seed = 0;
+
+  std::vector<RecordedRun> local_log;
+  MeasuredRun result;
+  bool has_result = false;
+  bool from_cache = false;
+  std::exception_ptr error;
+};
+
+struct SweepEngine::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers: new work or shutdown
+  std::condition_variable done_cv;  ///< drain(): a point completed
+  std::vector<std::unique_ptr<Point>> points;
+  std::size_t next = 0;       ///< next point to hand to a worker
+  std::size_t completed = 0;  ///< points finished (ok or error)
+  std::size_t flushed = 0;    ///< points merged into the global run log
+  std::size_t executed = 0;   ///< cache misses + tasks actually run
+  std::size_t cache_hits = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+};
+
+SweepEngine::SweepEngine(BackendFactory factory, SweepOptions options)
+    : factory_(std::move(factory)),
+      options_(std::move(options)),
+      jobs_(options_.jobs != 0
+                ? options_.jobs
+                : std::max(1u, std::thread::hardware_concurrency())),
+      impl_(std::make_unique<Impl>()) {}
+
+SweepEngine::~SweepEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+}
+
+std::size_t SweepEngine::submit(const WorkloadConfig& config) {
+  auto p = std::make_unique<Point>();
+  p->config = config;
+  std::size_t index;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    index = impl_->points.size();
+    p->seed = point_seed(options_.base_seed, index);
+    impl_->points.push_back(std::move(p));
+    // Lazy pool start: an engine that is never used costs no threads.
+    if (impl_->workers.size() < jobs_ &&
+        impl_->workers.size() < impl_->points.size()) {
+      impl_->workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+  impl_->work_cv.notify_one();
+  return index;
+}
+
+std::size_t SweepEngine::submit_task(Task task) {
+  auto p = std::make_unique<Point>();
+  p->is_task = true;
+  p->task = std::move(task);
+  std::size_t index;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    index = impl_->points.size();
+    p->seed = point_seed(options_.base_seed, index);
+    impl_->points.push_back(std::move(p));
+    if (impl_->workers.size() < jobs_ &&
+        impl_->workers.size() < impl_->points.size()) {
+      impl_->workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+  impl_->work_cv.notify_one();
+  return index;
+}
+
+void SweepEngine::worker_loop() {
+  for (;;) {
+    Point* point = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      impl_->work_cv.wait(lock, [this] {
+        return impl_->stop || impl_->next < impl_->points.size();
+      });
+      if (impl_->next >= impl_->points.size()) {
+        if (impl_->stop) return;
+        continue;
+      }
+      point = impl_->points[impl_->next++].get();
+    }
+    execute_point(*point);
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mu);
+      ++impl_->completed;
+      if (point->error == nullptr) {
+        if (point->from_cache) {
+          ++impl_->cache_hits;
+        } else {
+          ++impl_->executed;
+        }
+      }
+    }
+    impl_->done_cv.notify_all();
+  }
+}
+
+void SweepEngine::execute_point(Point& p) {
+  try {
+    if (p.is_task) {
+      p.task(p.seed, p.local_log);
+      return;
+    }
+    std::unique_ptr<ExecutionBackend> backend = factory_(p.seed);
+    backend->set_run_recorder(&p.local_log);
+
+    std::string cache_path;
+    std::string key;
+    if (!options_.cache_dir.empty()) {
+      key = sweep_cache_key(backend->cache_identity(), p.config, p.seed);
+      if (!key.empty()) {
+        cache_path = options_.cache_dir + "/" + key + ".json";
+        std::ifstream in(cache_path);
+        if (in) {
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          if (auto cached = parse_measured_run(buf.str(), key)) {
+            p.result = std::move(*cached);
+            p.has_result = true;
+            p.from_cache = true;
+            p.local_log.push_back(RecordedRun{p.config, p.result});
+            return;
+          }
+        }
+      }
+    }
+
+    p.result = backend->run(p.config);
+    p.has_result = true;
+
+    if (!cache_path.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options_.cache_dir, ec);
+      // Write-then-rename keeps concurrent writers from tearing a file;
+      // last rename wins and both wrote identical bytes.
+      const std::string tmp =
+          cache_path + ".tmp." +
+          std::to_string(std::hash<std::thread::id>{}(
+              std::this_thread::get_id()));
+      std::ofstream out(tmp, std::ios::trunc);
+      if (out) {
+        out << serialize_measured_run(p.result, key);
+        out.close();
+        if (out.good()) {
+          std::filesystem::rename(tmp, cache_path, ec);
+        }
+        if (ec) std::filesystem::remove(tmp, ec);
+      }
+    }
+  } catch (...) {
+    p.error = std::current_exception();
+  }
+}
+
+void SweepEngine::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->done_cv.wait(
+      lock, [this] { return impl_->completed == impl_->points.size(); });
+  while (impl_->flushed < impl_->points.size()) {
+    Point& p = *impl_->points[impl_->flushed];
+    ++impl_->flushed;
+    if (p.error != nullptr) {
+      std::rethrow_exception(p.error);
+    }
+    for (auto& rec : p.local_log) {
+      append_run_log(std::move(rec));
+    }
+    p.local_log.clear();
+  }
+}
+
+const MeasuredRun& SweepEngine::result(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (index >= impl_->points.size() || !impl_->points[index]->has_result) {
+    throw std::logic_error("SweepEngine::result: point " +
+                           std::to_string(index) +
+                           " has no measurement (not drained, a task, or "
+                           "failed)");
+  }
+  return impl_->points[index]->result;
+}
+
+std::size_t SweepEngine::executed_points() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->executed;
+}
+
+std::size_t SweepEngine::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->cache_hits;
+}
+
+}  // namespace am::bench

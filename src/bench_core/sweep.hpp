@@ -1,0 +1,128 @@
+// SweepEngine: bounded-parallel execution of a bench binary's parameter grid.
+//
+// Every bench sweeps a (workload x thread-count x machine) grid in which each
+// simulated point builds a fresh sim::Machine — the points are embarrassingly
+// parallel, and on the paper's grids serial execution is the dominant
+// wall-clock cost. The engine runs submitted points on a bounded host thread
+// pool and merges their results back into the process-wide run log in
+// *submission* order, so tables, am-run-report/1 JSON and plots are
+// byte-identical regardless of --jobs.
+//
+// Determinism contract:
+//  * Point i runs on an independent backend seeded with
+//    point_seed(base_seed, i) (a splitmix64-style hash), so any point is
+//    replayable in isolation: build the same backend with that seed, run the
+//    same workload, get the same MeasuredRun.
+//  * Results surface in submission order (drain() + result(i)), never in
+//    completion order.
+//  * With a result cache attached (SweepOptions::cache_dir), already-computed
+//    points are loaded from disk bit-exactly (doubles round-trip through
+//    their bit patterns), so warm-cache reruns emit byte-identical reports
+//    while simulating nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_core/backend.hpp"
+
+namespace am::bench {
+
+/// Bump when simulator/backend semantics change in a way that invalidates
+/// cached sweep results; the cache key includes it.
+inline constexpr const char* kSweepCacheVersion = "am-sweep-cache/1";
+
+/// splitmix64 finalizer — the statistically strong 64-bit mix used to derive
+/// independent per-point seeds from (base_seed, point_index).
+std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Seed of sweep point @p index under @p base_seed. Never returns 0 (some
+/// PRNGs degenerate on an all-zero state).
+std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
+
+struct SweepOptions {
+  /// Pool width. 0 = hardware_concurrency, 1 = serial (same seeds/results).
+  unsigned jobs = 0;
+  /// On-disk result cache directory; empty disables caching. Created on
+  /// first use.
+  std::string cache_dir;
+  /// Base seed for per-point seed derivation (--base-seed).
+  std::uint64_t base_seed = 1;
+};
+
+class SweepEngine {
+ public:
+  /// Builds the backend for one point. Called on pool threads; must be
+  /// thread-safe (the usual factory just calls make_backend(spec, seed)).
+  using BackendFactory =
+      std::function<std::unique_ptr<ExecutionBackend>(std::uint64_t seed)>;
+
+  /// A free-form unit of pooled work (multi-run procedures like model
+  /// calibration). The task creates its own backend, attaches @p log as its
+  /// run recorder, and runs; the engine merges @p log into the global run
+  /// log in submission order at drain().
+  using Task =
+      std::function<void(std::uint64_t seed, std::vector<RecordedRun>& log)>;
+
+  explicit SweepEngine(BackendFactory factory, SweepOptions options = {});
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Enqueues one workload point; returns its index (also its seed index).
+  std::size_t submit(const WorkloadConfig& config);
+  /// Enqueues a free-form task (not cached); returns its index.
+  std::size_t submit_task(Task task);
+
+  /// Blocks until every submitted point has executed, then flushes their
+  /// recorded runs into the process-wide run log in submission order.
+  /// Rethrows the first point failure (by submission order), after flushing
+  /// the points that preceded it. More points may be submitted afterwards.
+  void drain();
+
+  /// Measurement of workload point @p index; valid after drain().
+  const MeasuredRun& result(std::size_t index) const;
+
+  /// Points actually executed (cache misses + tasks) so far.
+  std::size_t executed_points() const;
+  /// Points served from the result cache so far.
+  std::size_t cache_hits() const;
+  /// Effective pool width.
+  unsigned jobs() const noexcept { return jobs_; }
+  std::uint64_t base_seed() const noexcept { return options_.base_seed; }
+
+ private:
+  struct Point;
+  struct Impl;
+
+  void worker_loop();
+  void execute_point(Point& p);
+
+  BackendFactory factory_;
+  SweepOptions options_;
+  unsigned jobs_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// --- cache plumbing (exposed for tests) -------------------------------------
+
+/// Stable cache key for one point: hash of cache version, backend identity,
+/// workload and seed. Empty when @p backend_identity is empty (uncacheable).
+std::string sweep_cache_key(const std::string& backend_identity,
+                            const WorkloadConfig& config, std::uint64_t seed);
+
+/// Serializes @p run bit-exactly (doubles as IEEE-754 bit patterns).
+std::string serialize_measured_run(const MeasuredRun& run,
+                                   const std::string& key);
+
+/// Parses serialize_measured_run() output; rejects documents whose embedded
+/// key differs from @p key (hash collision / stale file).
+std::optional<MeasuredRun> parse_measured_run(const std::string& text,
+                                              const std::string& key);
+
+}  // namespace am::bench

@@ -85,6 +85,10 @@ std::int64_t CliParser::get_int(const std::string& name) const {
   return std::strtoll(get(name).c_str(), nullptr, 10);
 }
 
+std::uint64_t CliParser::get_uint64(const std::string& name) const {
+  return std::strtoull(get(name).c_str(), nullptr, 10);
+}
+
 double CliParser::get_double(const std::string& name) const {
   return std::strtod(get(name).c_str(), nullptr);
 }

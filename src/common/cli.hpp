@@ -27,6 +27,8 @@ class CliParser {
   bool has(const std::string& name) const;
   std::string get(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
+  /// Full-range unsigned parse (seeds are 64-bit; get_int would clip them).
+  std::uint64_t get_uint64(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 

@@ -196,10 +196,19 @@ class JsonParser {
     return false;
   }
 
+  // Containers recurse through parse_value; a hostile input of 100k '['
+  // would otherwise overflow the native stack. 256 levels is far beyond
+  // anything the writers here emit.
+  static constexpr std::size_t kMaxDepth = 256;
+
   bool parse_value(JsonValue& out) {
     skip_ws();
     if (pos_ >= text_.size()) {
       err_ = "unexpected end of input";
+      return false;
+    }
+    if (depth_ >= kMaxDepth) {
+      err_ = "nesting too deep";
       return false;
     }
     const char c = text_[pos_];
@@ -238,9 +247,13 @@ class JsonParser {
 
   bool parse_object(JsonValue& out) {
     out.type_ = JsonValue::Type::kObject;
+    ++depth_;
     ++pos_;  // '{'
     skip_ws();
-    if (eat('}')) return true;
+    if (eat('}')) {
+      --depth_;
+      return true;
+    }
     while (true) {
       skip_ws();
       std::string key;
@@ -256,7 +269,10 @@ class JsonParser {
       if (!parse_value(member)) return false;
       out.members_.emplace_back(std::move(key), std::move(member));
       if (eat(',')) continue;
-      if (eat('}')) return true;
+      if (eat('}')) {
+        --depth_;
+        return true;
+      }
       err_ = "expected ',' or '}'";
       return false;
     }
@@ -264,15 +280,22 @@ class JsonParser {
 
   bool parse_array(JsonValue& out) {
     out.type_ = JsonValue::Type::kArray;
+    ++depth_;
     ++pos_;  // '['
     skip_ws();
-    if (eat(']')) return true;
+    if (eat(']')) {
+      --depth_;
+      return true;
+    }
     while (true) {
       JsonValue item;
       if (!parse_value(item)) return false;
       out.items_.push_back(std::move(item));
       if (eat(',')) continue;
-      if (eat(']')) return true;
+      if (eat(']')) {
+        --depth_;
+        return true;
+      }
       err_ = "expected ',' or ']'";
       return false;
     }
@@ -365,6 +388,7 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string err_ = "parse error";
 };
 

@@ -1,6 +1,31 @@
 #include "sim/config.hpp"
 
+#include <sstream>
+
 namespace am::sim {
+
+std::string MachineConfig::fingerprint() const {
+  std::ostringstream os;
+  os.precision(17);  // doubles round-trip exactly
+  os << "name=" << name << ";freq=" << freq_ghz
+     << ";ic=" << static_cast<int>(interconnect) << ";cores=" << cores
+     << ";mesh=" << mesh_width << "x" << mesh_height << ";l1=" << l1_hit
+     << ";ss=" << same_socket_xfer << ";xs=" << cross_socket_xfer
+     << ";mb=" << mesh_base_xfer << ";mh=" << mesh_per_hop
+     << ";mn=" << mesh_near_hops << ";u=" << uniform_xfer
+     << ";mem=" << memory_fill << ";sh=" << shared_supply << ";exec=";
+  for (const Cycles c : exec_cost) os << c << ",";
+  os << ";arb=" << static_cast<int>(arbitration)
+     << ";age=" << arbitration_age_limit << ";bias=" << arbitration_bias
+     << ";cap=" << cache_capacity_lines << ";energy=" << energy.core_active_watts
+     << "," << energy.core_spin_watts << "," << energy.uncore_base_watts << ","
+     << energy.transfer_nj_per_hop << "," << energy.transfer_nj_base << ","
+     << energy.cross_link_nj << "," << energy.directory_nj << ","
+     << energy.memory_nj << "," << energy.freq_ghz << ";placement=";
+  for (const CoreId c : placement) os << c << ",";
+  os << ";paranoid=" << paranoid_checks;
+  return os.str();
+}
 
 std::unique_ptr<Interconnect> MachineConfig::make_interconnect() const {
   auto base = [this]() -> std::unique_ptr<Interconnect> {

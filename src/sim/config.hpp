@@ -77,6 +77,11 @@ struct MachineConfig {
 
   /// Total core count implied by the topology fields.
   CoreId core_count() const noexcept;
+
+  /// Serializes every field that affects simulation results into a stable
+  /// string. The sweep result cache hashes this into its keys, so two
+  /// configs with the same fingerprint must simulate identically.
+  std::string fingerprint() const;
 };
 
 /// Preset approximating a 2-socket, 18-core-per-socket Intel Xeon E5 v3/v4

@@ -65,6 +65,32 @@ Mesi Machine::line_state(LineId id, CoreId core) const {
   return it == lines_.end() ? Mesi::kInvalid : state_of(it->second, core);
 }
 
+std::vector<LineId> Machine::touched_lines() const {
+  std::vector<LineId> ids;
+  ids.reserve(lines_.size());
+  for (const auto& [id, ls] : lines_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Machine::LineSnapshot Machine::snapshot_line(LineId id) const {
+  LineSnapshot snap;
+  const auto it = lines_.find(id);
+  if (it == lines_.end()) return snap;
+  const LineState& ls = it->second;
+  snap.owner = ls.owner;
+  snap.owner_state = ls.owner_state;
+  snap.sharers = ls.sharers;
+  snap.value = ls.value;
+  snap.busy = ls.busy;
+  snap.queued = ls.queue.size();
+  return snap;
+}
+
+void Machine::verify_invariants() const {
+  for (const auto& [id, ls] : lines_) check_line_invariants(ls, id);
+}
+
 void Machine::schedule(Cycles time, EventKind kind, CoreId core) {
   events_.push(Event{time, next_seq_++, kind, core});
 }

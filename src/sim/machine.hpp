@@ -51,6 +51,27 @@ class Machine {
   /// Coherence state of @p line in @p core's cache.
   Mesi line_state(LineId line, CoreId core) const;
 
+  /// Every line the directory has a record for, ascending — the domain of
+  /// the invariant checkers and test snapshots.
+  std::vector<LineId> touched_lines() const;
+
+  /// Directory-side snapshot of one line, for external invariant checking.
+  struct LineSnapshot {
+    CoreId owner = kNoCore;          ///< E/M holder (kNoCore if none)
+    Mesi owner_state = Mesi::kInvalid;
+    std::vector<CoreId> sharers;     ///< S holders (excludes owner)
+    std::uint64_t value = 0;
+    bool busy = false;               ///< a transaction is in flight
+    std::size_t queued = 0;          ///< waiters at the home directory
+  };
+  LineSnapshot snapshot_line(LineId line) const;
+
+  /// Runs the MESI single-writer / sharer-consistency checker over every
+  /// touched line (the same checks paranoid_checks applies per transaction).
+  /// Throws std::logic_error naming the first violated line. Tests attach a
+  /// TraceSink that calls this to verify the protocol after every step.
+  void verify_invariants() const;
+
   /// Runs @p program on cores [0, active_cores) for @p warmup + @p measure
   /// cycles; statistics cover operations completing inside the measurement
   /// window only. The machine's caches/directory persist across calls, so a

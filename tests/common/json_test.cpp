@@ -92,6 +92,116 @@ TEST(JsonValue, RejectsMalformedInput) {
   EXPECT_FALSE(JsonValue::parse("").has_value());
 }
 
+TEST(JsonWriter, NaNAndInfinityInKeyedValuesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("nan", std::numeric_limits<double>::quiet_NaN());
+  w.kv("ninf", -std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"nan\":null,\"ninf\":null}");
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find("nan")->is_null());
+}
+
+TEST(JsonEscape, MultiByteUtf8PassesThroughUnescaped) {
+  // Escaping operates on bytes >= 0x20; multi-byte UTF-8 sequences must
+  // survive verbatim (machine names and table headers use them).
+  const std::string utf8 = "caf\xC3\xA9 \xE2\x9C\x93 \xF0\x9F\x94\xA5";
+  EXPECT_EQ(json_escape(utf8), utf8);
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("s", utf8);
+  w.end_object();
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), utf8);
+}
+
+TEST(JsonRoundTrip, EveryControlCharacterSurvives) {
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all += static_cast<char>(c);
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("ctl", all);
+  w.end_object();
+  // Nothing below 0x20 may appear raw in the document.
+  for (const char c : os.str()) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("ctl")->as_string(), all);
+}
+
+TEST(JsonValue, DecodesUnicodeEscapes) {
+  const auto doc = JsonValue::parse(R"(["\u0041\u00e9\u2713"])");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at(0)->as_string(), "A\xC3\xA9\xE2\x9C\x93");
+  EXPECT_FALSE(JsonValue::parse(R"(["\u12"])").has_value());
+  EXPECT_FALSE(JsonValue::parse(R"(["\uZZZZ"])").has_value());
+}
+
+TEST(JsonValue, DeepNestingIsRejectedNotACrash) {
+  // Within the parser's depth budget: fine.
+  const int kOk = 200;
+  std::string ok(static_cast<std::size_t>(kOk), '[');
+  ok += "1";
+  ok.append(static_cast<std::size_t>(kOk), ']');
+  EXPECT_TRUE(JsonValue::parse(ok).has_value());
+
+  // Past the budget: a parse error naming the nesting, not a stack overflow.
+  std::string error;
+  std::string deep(300, '[');
+  deep += "1";
+  deep.append(300, ']');
+  EXPECT_FALSE(JsonValue::parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+
+  // A hostile input deep enough to smash the stack without the limit.
+  const std::string hostile(200'000, '[');
+  EXPECT_FALSE(JsonValue::parse(hostile).has_value());
+  const std::string hostile_obj(100'000, '{');
+  EXPECT_FALSE(JsonValue::parse(hostile_obj).has_value());
+
+  // Depth is measured against the open stack, not totals: many shallow
+  // siblings must still parse.
+  std::string wide = "[";
+  for (int i = 0; i < 1000; ++i) wide += "[1],";
+  wide += "[1]]";
+  EXPECT_TRUE(JsonValue::parse(wide).has_value());
+}
+
+TEST(JsonValue, MalformedCorpusIsRejectedWithoutCrashing) {
+  const char* corpus[] = {
+      "{",          "}",           "[",           "]",
+      "[1,]",       "[,1]",        "{\"a\"}",     "{\"a\":}",
+      "{\"a\":1,}", "{:1}",        "{1:2}",       "tru",
+      "falsehood",  "nul",         "nan",
+      "--1",        "1e",          "1e+",
+      "0x10",       "\"\\x\"",     "\"\\u123\"",  "\"open",
+      "[\"\\\"]",   "{\"a\":1 \"b\":2}",          "[1 2]",
+      "\x01",       "[tru]",       "{\"k\":01x}",
+  };
+  for (const char* text : corpus) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(text, &error).has_value())
+        << "accepted malformed input: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+  // Truncations of a valid document never crash and never parse.
+  const std::string valid =
+      R"({"a":[1,2.5,{"b":"x\n"}],"c":null,"d":true})";
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_FALSE(JsonValue::parse(valid.substr(0, len)).has_value())
+        << "truncation at " << len << " parsed";
+  }
+  EXPECT_TRUE(JsonValue::parse(valid).has_value());
+}
+
 TEST(JsonRoundTrip, WriterOutputParsesBackIdentically) {
   std::ostringstream os;
   JsonWriter w(os);
