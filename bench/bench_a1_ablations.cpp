@@ -22,7 +22,7 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   cli.add_flag("machine", "sim preset: xeon | knl", "xeon");
   cli.add_flag("ablation-threads", "thread count for the ablations", "16");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   const sim::MachineConfig base = sim::preset_by_name(cli.get("machine"));
   const auto n = static_cast<std::uint32_t>(cli.get_int("ablation-threads"));

@@ -19,7 +19,7 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   cli.add_flag("machine", "sim preset: xeon | knl | test", "xeon");
   cli.add_flag("capacity", "private cache capacity in lines", "512");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   sim::MachineConfig cfg = sim::preset_by_name(cli.get("machine"));
   const auto capacity = static_cast<std::uint32_t>(cli.get_int("capacity"));

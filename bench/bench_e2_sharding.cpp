@@ -19,7 +19,7 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   cli.add_flag("machine", "sim preset: xeon | knl", "xeon");
   cli.add_flag("writer-threads", "number of incrementing threads", "32");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   const sim::MachineConfig cfg = sim::preset_by_name(cli.get("machine"));
   bench::SimBackend backend(cfg);

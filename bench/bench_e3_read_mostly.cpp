@@ -18,7 +18,7 @@ int run(int argc, const char* const* argv) {
   bench_util::add_common_flags(cli);
   cli.add_flag("write-prim", "write primitive (FAA | STORE | SWP | CAS)",
                "FAA");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   auto backend = bench_util::backend_from(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));

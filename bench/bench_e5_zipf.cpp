@@ -15,7 +15,7 @@ namespace {
 int run(int argc, const char* const* argv) {
   CliParser cli("E5: Zipf-skewed sharing, throughput vs exponent");
   bench_util::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));

@@ -14,7 +14,7 @@ namespace {
 int run(int argc, const char* const* argv) {
   CliParser cli("F1: high-contention throughput vs threads");
   bench_util::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));

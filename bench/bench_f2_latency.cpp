@@ -14,7 +14,7 @@ namespace {
 int run(int argc, const char* const* argv) {
   CliParser cli("F2: high-contention per-op latency vs threads");
   bench_util::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   auto backend = bench_util::backend_from(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));

@@ -17,7 +17,7 @@ int run(int argc, const char* const* argv) {
   CliParser cli("F3: throughput vs parallel work (two regimes + crossover)");
   bench_util::add_common_flags(cli);
   cli.add_flag("prim", "primitive to sweep", "FAA");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));

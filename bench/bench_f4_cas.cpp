@@ -17,7 +17,7 @@ namespace {
 int run(int argc, const char* const* argv) {
   CliParser cli("F4: CAS success rate and CAS-loop cost vs threads");
   bench_util::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   auto probe = bench_util::probe_backend(cli);
   const model::BouncingModel model(bench_util::params_for(cli.get("backend")));

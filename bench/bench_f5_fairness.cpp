@@ -20,7 +20,7 @@ int run(int argc, const char* const* argv) {
   CliParser cli("F5: fairness vs threads, arbitration ablation");
   bench_util::add_common_flags(cli);
   cli.add_flag("machine", "sim preset: xeon | knl", "xeon");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   const sim::MachineConfig base = sim::preset_by_name(cli.get("machine"));
 

@@ -24,7 +24,7 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("machine", "sim preset: xeon | knl", "xeon");
   cli.add_flag("critical", "critical-section cycles for the lock study", "100");
   cli.add_flag("outside", "cycles outside the lock", "200");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   const sim::MachineConfig cfg = sim::preset_by_name(cli.get("machine"));
   bench::SimBackend backend(cfg);

@@ -18,7 +18,7 @@ namespace {
 int run(int argc, const char* const* argv) {
   CliParser cli("T1: machine parameter table (configured vs calibrated)");
   bench_util::add_common_flags(cli);
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   Table table({"machine", "cores", "GHz", "topology", "param", "configured",
                "calibrated", "fit r^2"});

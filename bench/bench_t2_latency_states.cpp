@@ -28,7 +28,7 @@ int run(int argc, const char* const* argv) {
   CliParser cli("T2: single-op latency by primitive and line state");
   bench_util::add_common_flags(cli);
   cli.add_flag("machine", "sim preset: xeon | knl", "xeon");
-  if (!cli.parse(argc, argv)) return 1;
+  if (!am::bench_util::parse_common(cli, argc, argv)) return 1;
 
   const sim::MachineConfig cfg = sim::preset_by_name(cli.get("machine"));
   const model::BouncingModel model(model::ModelParams::from_machine(cfg));

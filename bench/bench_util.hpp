@@ -37,7 +37,7 @@ inline void add_common_flags(CliParser& cli) {
   cli.add_flag("csv", "write the table as CSV to this path (empty = skip)",
                "");
   cli.add_flag("threads", "comma-separated thread counts (empty = default sweep)",
-               "");
+               "", CliParser::FlagKind::kIntList);
   cli.add_flag("json-out",
                "write a JSON run report (schema am-run-report/1) with "
                "per-thread stats, hot lines and epoch time-series to this path",
@@ -50,20 +50,40 @@ inline void add_common_flags(CliParser& cli) {
   cli.add_flag("epoch-cycles",
                "epoch sampler window in cycles; 0 = off (--json-out defaults "
                "it to measure/32)",
-               "0");
+               "0", CliParser::FlagKind::kInt);
   cli.add_flag("jobs",
                "parallel sweep workers; 0 = host core count, 1 = serial. "
                "Results are byte-identical for every value; hardware "
-               "backends and --trace-out force 1",
-               "0");
+               "backends force 1; conflicts with --trace-out when > 1",
+               "0", CliParser::FlagKind::kInt);
   cli.add_flag("sweep-cache",
                "directory of the on-disk sweep result cache; re-runs load "
                "already-computed points bit-exactly (empty = off)",
                "");
   cli.add_flag("base-seed",
                "base seed for the sweep's per-point seed derivation",
-               "1");
+               "1", CliParser::FlagKind::kUint64);
   start_time();
+}
+
+/// Flag combinations that cannot be honored together (currently: an
+/// explicit --jobs > 1 with --trace-out — see bench::jobs_trace_conflict).
+/// Returns an error message, or "" when the flags are coherent.
+inline std::string common_flag_conflict(const CliParser& cli) {
+  if (!cli.has("jobs")) return "";  // default 0 = auto, serialized by trace
+  return bench::jobs_trace_conflict(cli.get_int("jobs"),
+                                    !cli.get("trace-out").empty());
+}
+
+/// parse() plus cross-flag validation; every bench main funnels through
+/// this so conflicting flags fail before any simulation starts.
+inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
+  if (!cli.parse(argc, argv)) return false;
+  if (const std::string err = common_flag_conflict(cli); !err.empty()) {
+    std::cerr << err << "\n";
+    return false;
+  }
+  return true;
 }
 
 /// Applies --trace-out / --epoch-cycles / --json-out instrumentation to a

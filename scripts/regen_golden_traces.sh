@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Re-blesses the golden trace files under tests/sim/golden/ after an
+# intentional change to simulator timing, arbitration or trace formatting.
+# Usage: scripts/regen_golden_traces.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake --build "$repo_root/$build_dir" --target test_sim -j
+AM_REGEN_GOLDEN=1 "$repo_root/$build_dir/tests/test_sim" \
+  --gtest_filter='GoldenTrace.*'
+echo "regenerated goldens:"
+ls -l "$repo_root"/tests/sim/golden/
+echo "review the diff before committing: git diff tests/sim/golden/"

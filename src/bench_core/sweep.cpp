@@ -26,6 +26,13 @@ std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t index) noexcept 
   return s == 0 ? 0x9e3779b97f4a7c15ULL : s;
 }
 
+std::string jobs_trace_conflict(std::int64_t jobs, bool trace_requested) {
+  if (!trace_requested || jobs <= 1) return "";
+  return "--trace-out writes a single ordered trace stream and requires a "
+         "serial sweep; drop --jobs=" +
+         std::to_string(jobs) + " or the trace";
+}
+
 // ---------------------------------------------------------------------------
 // Cache key + bit-exact result serialization
 // ---------------------------------------------------------------------------

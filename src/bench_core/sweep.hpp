@@ -44,6 +44,13 @@ std::uint64_t splitmix64(std::uint64_t x) noexcept;
 /// PRNGs degenerate on an all-zero state).
 std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
 
+/// Validates the --jobs / --trace-out combination. A Chrome trace is one
+/// ordered event stream, so a sweep that traces must run serially; an
+/// explicit request for parallelism alongside a trace is a user error, not
+/// something to silently downgrade. Returns an error message, or "" when
+/// the combination is fine (@p jobs <= 1, or no trace requested).
+std::string jobs_trace_conflict(std::int64_t jobs, bool trace_requested);
+
 struct SweepOptions {
   /// Pool width. 0 = hardware_concurrency, 1 = serial (same seeds/results).
   unsigned jobs = 0;

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -7,15 +8,84 @@
 
 namespace am {
 
+namespace {
+
+/// Full-string integer parse; the whole token must be consumed.
+template <typename Int>
+bool parse_full(const std::string& s, Int& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !s.empty();
+}
+
+bool parse_full_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool is_bool_token(const std::string& v) {
+  return v == "true" || v == "false" || v == "1" || v == "0" || v == "yes" ||
+         v == "no" || v == "on" || v == "off";
+}
+
+const char* kind_name(CliParser::FlagKind kind) {
+  switch (kind) {
+    case CliParser::FlagKind::kString:  return "a string";
+    case CliParser::FlagKind::kInt:     return "an integer";
+    case CliParser::FlagKind::kUint64:  return "an unsigned integer";
+    case CliParser::FlagKind::kDouble:  return "a number";
+    case CliParser::FlagKind::kBool:    return "a boolean (true/false)";
+    case CliParser::FlagKind::kIntList: return "a comma-separated integer list";
+  }
+  return "a value";
+}
+
+bool value_matches_kind(const std::string& v, CliParser::FlagKind kind) {
+  switch (kind) {
+    case CliParser::FlagKind::kString:
+      return true;
+    case CliParser::FlagKind::kInt: {
+      std::int64_t i;
+      return parse_full(v, i);
+    }
+    case CliParser::FlagKind::kUint64: {
+      std::uint64_t u;
+      return parse_full(v, u);
+    }
+    case CliParser::FlagKind::kDouble: {
+      double d;
+      return parse_full_double(v, d);
+    }
+    case CliParser::FlagKind::kBool:
+      return is_bool_token(v);
+    case CliParser::FlagKind::kIntList: {
+      if (v.empty() || v.back() == ',') return false;
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        std::int64_t i;
+        if (!parse_full(tok, i)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
 
 void CliParser::add_flag(const std::string& name, const std::string& help,
-                         const std::string& default_value) {
+                         const std::string& default_value, FlagKind kind) {
   if (flags_.contains(name)) {
     throw std::logic_error("duplicate flag: " + name);
   }
-  flags_[name] = Flag{help, default_value, false};
+  flags_[name] = Flag{help, default_value, kind, false};
   order_.push_back(name);
 }
 
@@ -63,6 +133,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
       } else {
         value = "true";
       }
+    }
+    if (!value_matches_kind(value, it->second.kind)) {
+      std::cerr << "invalid value for --" << key << ": '" << value
+                << "' is not " << kind_name(it->second.kind) << "\n"
+                << usage();
+      return false;
     }
     it->second.value = value;
     it->second.set = true;

@@ -14,11 +14,25 @@ namespace am {
 
 class CliParser {
  public:
+  /// Declared type of a flag's value. parse() rejects a command line whose
+  /// value does not parse as the declared kind, so "--threads=abc" is a
+  /// loud startup error instead of a silent 0 deep inside a sweep.
+  enum class FlagKind : std::uint8_t {
+    kString,
+    kInt,      ///< full-string signed integer
+    kUint64,   ///< full-string unsigned 64-bit integer
+    kDouble,   ///< full-string floating point
+    kBool,     ///< true/false/1/0/yes/no/on/off
+    kIntList,  ///< non-empty comma-separated signed integers
+  };
+
   CliParser(std::string program_description);
 
-  /// Registers a flag; @p help shows up in usage output.
+  /// Registers a flag; @p help shows up in usage output. Values supplied on
+  /// the command line are validated against @p kind during parse().
   void add_flag(const std::string& name, const std::string& help,
-                const std::string& default_value = "");
+                const std::string& default_value = "",
+                FlagKind kind = FlagKind::kString);
 
   /// Parses argv. Returns false (after printing usage/diagnostics to stderr)
   /// on unknown flags, malformed input, or --help.
@@ -46,6 +60,7 @@ class CliParser {
   struct Flag {
     std::string help;
     std::string value;
+    FlagKind kind = FlagKind::kString;
     bool set = false;
   };
   std::string description_;

@@ -1,0 +1,177 @@
+#include "conformance/differ.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/machine.hpp"
+
+namespace am::conformance {
+
+namespace {
+
+/// Measurement window long enough that every finite script drains; the
+/// machine stops fetching at the window's end, so this must exceed any
+/// program's total runtime (it does by ~6 orders of magnitude).
+constexpr sim::Cycles kOpenWindow = sim::Cycles{1} << 40;
+
+}  // namespace
+
+RunOutcome run_program(const sim::MachineConfig& config,
+                       const GeneratedProgram& program,
+                       std::uint64_t machine_seed) {
+  RunOutcome out;
+  sim::MachineConfig cfg = config;
+  cfg.paranoid_checks = true;  // transient MESI violations abort the run
+  const sim::CoreId cores =
+      std::min<sim::CoreId>(program.cores(), cfg.core_count());
+  if (cores == 0) return out;
+
+  sim::Machine machine(cfg, machine_seed);
+  MultiScriptProgram script(program);
+  CompletionRecorder recorder;
+  machine.set_sink(&recorder);
+  try {
+    out.stats = machine.run(script, cores, /*warmup=*/0, kOpenWindow);
+  } catch (const std::logic_error& e) {
+    // Paranoid checker fired mid-run: a protocol-level conformance failure.
+    out.report.fail(std::string("protocol invariant violated mid-run: ") +
+                    e.what());
+    return out;
+  }
+  machine.set_sink(nullptr);
+  out.report = check_conformance(program, recorder.ops(), script.results(),
+                                 machine, out.stats);
+  return out;
+}
+
+namespace {
+
+/// Does @p candidate still fail? Decrements the shared budget; once it is
+/// exhausted every candidate counts as "fixed" so shrinking stops cheaply.
+bool still_fails(const sim::MachineConfig& config,
+                 const GeneratedProgram& candidate, std::uint64_t seed,
+                 std::size_t& budget) {
+  if (candidate.total_ops() == 0) return false;
+  if (budget == 0) return false;
+  --budget;
+  return !run_program(config, candidate, seed).report.ok;
+}
+
+}  // namespace
+
+GeneratedProgram shrink(const sim::MachineConfig& config,
+                        GeneratedProgram failing, std::uint64_t machine_seed,
+                        std::size_t budget) {
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+
+    // Pass 1: drop whole cores (scan from the back so indices stay stable).
+    for (std::size_t c = failing.per_core.size(); c-- > 0;) {
+      if (failing.per_core.size() <= 1) break;
+      GeneratedProgram candidate = failing;
+      candidate.per_core.erase(candidate.per_core.begin() +
+                               static_cast<std::ptrdiff_t>(c));
+      if (still_fails(config, candidate, machine_seed, budget)) {
+        failing = std::move(candidate);
+        progress = true;
+      }
+    }
+
+    // Pass 2: delete op spans, halving the span size down to single ops.
+    for (std::size_t c = 0; c < failing.per_core.size(); ++c) {
+      std::size_t span = std::max<std::size_t>(1, failing.per_core[c].size() / 2);
+      while (span >= 1) {
+        bool removed_any = false;
+        for (std::size_t i = 0; i + span <= failing.per_core[c].size();) {
+          GeneratedProgram candidate = failing;
+          auto& ops = candidate.per_core[c];
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i),
+                    ops.begin() + static_cast<std::ptrdiff_t>(i + span));
+          if (still_fails(config, candidate, machine_seed, budget)) {
+            failing = std::move(candidate);
+            removed_any = true;
+            progress = true;
+            // Do not advance i: the next span slid into place.
+          } else {
+            ++i;
+          }
+        }
+        if (span == 1) break;
+        span = removed_any ? span : span / 2;
+      }
+    }
+
+    // Pass 3: merge distinct lines into the smallest one still referenced.
+    const auto lines = failing.lines();
+    if (lines.size() > 1) {
+      for (std::size_t li = 1; li < lines.size(); ++li) {
+        GeneratedProgram candidate = failing;
+        for (auto& script : candidate.per_core) {
+          for (auto& op : script) {
+            if (op.line == lines[li]) op.line = lines[0];
+          }
+        }
+        if (still_fails(config, candidate, machine_seed, budget)) {
+          failing = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+
+    // Pass 4: strip local work (one candidate; pure simplification).
+    {
+      GeneratedProgram candidate = failing;
+      bool had_work = false;
+      for (auto& script : candidate.per_core) {
+        for (auto& op : script) {
+          had_work = had_work || op.work_before > 0;
+          op.work_before = 0;
+        }
+      }
+      if (had_work && still_fails(config, candidate, machine_seed, budget)) {
+        failing = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return failing;
+}
+
+std::string FuzzCase::describe(const std::string& preset,
+                               const GenConfig& gen) const {
+  std::ostringstream os;
+  if (ok) {
+    os << "seed=" << seed << " ok, " << report.ops_checked << " ops checked";
+    return os.str();
+  }
+  os << "conformance FAILURE seed=" << seed << " preset=" << preset << '\n'
+     << "replay: conformance_fuzz --preset=" << preset
+     << " --replay-seed=" << seed << " --cores=" << gen.cores
+     << " --ops=" << gen.ops_per_core << " --lines=" << gen.lines
+     << " --pattern=" << to_string(gen.pattern) << '\n'
+     << "original (" << program.total_ops() << " ops): " << report.summary()
+     << "shrunk to " << shrunk.total_ops() << " ops:\n"
+     << shrunk.describe() << "shrunk run: " << shrunk_report.summary();
+  return os.str();
+}
+
+FuzzCase fuzz_one(std::uint64_t seed, const GenConfig& gen,
+                  const sim::MachineConfig& machine_config, bool do_shrink) {
+  FuzzCase c;
+  c.seed = seed;
+  c.program = generate(seed, gen);
+  RunOutcome out = run_program(machine_config, c.program, seed);
+  c.report = out.report;
+  c.ok = out.report.ok;
+  if (!c.ok) {
+    c.shrunk = do_shrink ? shrink(machine_config, c.program, seed)
+                         : c.program;
+    c.shrunk_report = run_program(machine_config, c.shrunk, seed).report;
+  }
+  return c;
+}
+
+}  // namespace am::conformance

@@ -1,0 +1,61 @@
+// Differential run + replay + shrink driver of the conformance harness.
+//
+// One fuzz case is: generate a program from a seed, execute it on a fresh
+// Machine (paranoid protocol checks on, completion order recorded), and hand
+// everything to the sequential oracle. A failing case is re-run repeatedly
+// by the greedy shrinker, which keeps deleting ops, cores and lines while
+// the failure persists — turning a 200-op counterexample into the few ops
+// that actually disagree with sequential consistency. Every failure is
+// replayable from `--replay-seed=<seed>` alone because generation, machine
+// seeding and event ordering are all deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "conformance/generator.hpp"
+#include "conformance/oracle.hpp"
+#include "sim/config.hpp"
+
+namespace am::conformance {
+
+/// Result of executing one explicit program against the oracle.
+struct RunOutcome {
+  ConformanceReport report;
+  sim::RunStats stats;
+};
+
+/// Runs @p program on a fresh Machine built from @p config (paranoid MESI
+/// checks forced on; a mid-run protocol violation is reported as a
+/// conformance failure, not an exception) and oracle-checks the run.
+/// @p machine_seed drives the machine's arbitration rng.
+RunOutcome run_program(const sim::MachineConfig& config,
+                       const GeneratedProgram& program,
+                       std::uint64_t machine_seed);
+
+/// Greedily shrinks @p failing while it keeps failing: whole cores, then
+/// op spans of halving sizes, then merging distinct lines, then zeroing
+/// local work. @p budget bounds the number of candidate re-executions.
+GeneratedProgram shrink(const sim::MachineConfig& config,
+                        GeneratedProgram failing, std::uint64_t machine_seed,
+                        std::size_t budget = 500);
+
+/// One complete fuzz case: generate, run, shrink on failure.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  ConformanceReport report;       ///< report of the original program
+  GeneratedProgram program;       ///< as generated
+  GeneratedProgram shrunk;        ///< minimized repro (valid iff !ok)
+  ConformanceReport shrunk_report;
+
+  /// Multi-line human report: repro flag, mismatches, shrunk program.
+  std::string describe(const std::string& preset,
+                       const GenConfig& gen) const;
+};
+
+FuzzCase fuzz_one(std::uint64_t seed, const GenConfig& gen,
+                  const sim::MachineConfig& machine_config,
+                  bool do_shrink = true);
+
+}  // namespace am::conformance

@@ -1,0 +1,185 @@
+// conformance_fuzz — differential fuzzing of the coherence simulator
+// against the sequential reference oracle.
+//
+// Typical uses:
+//   conformance_fuzz --seeds=100                    # fuzz both presets
+//   conformance_fuzz --preset=knl --seeds=500 --start-seed=12000
+//   conformance_fuzz --preset=xeon --replay-seed=42 # re-run one repro
+//   conformance_fuzz --inject-bug=lost-upgrade-write --seeds=20
+//                                                   # harness self-test: must fail
+//
+// Exit status: 0 when every seed conforms (and the model gate holds),
+// 1 on any conformance failure, 2 on bad usage.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "conformance/differ.hpp"
+#include "conformance/model_gate.hpp"
+#include "sim/config.hpp"
+
+namespace {
+
+using namespace am;
+using namespace am::conformance;
+
+struct PresetRun {
+  std::string name;
+  sim::MachineConfig config;
+};
+
+int run_seed_range(const std::vector<PresetRun>& presets, const GenConfig& gen,
+                   std::uint64_t start_seed, std::uint64_t count,
+                   bool do_shrink, const std::string& out_dir) {
+  int failures = 0;
+  for (const auto& preset : presets) {
+    GenConfig g = gen;
+    g.cores = std::min<sim::CoreId>(g.cores, preset.config.core_count());
+    std::size_t checked = 0;
+    for (std::uint64_t s = start_seed; s < start_seed + count; ++s) {
+      const FuzzCase c = fuzz_one(s, g, preset.config, do_shrink);
+      checked += c.report.ops_checked;
+      if (c.ok) continue;
+      ++failures;
+      std::cout << c.describe(preset.name, g) << "\n";
+      if (!out_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(out_dir, ec);
+        const std::string path =
+            out_dir + "/" + preset.name + "-seed-" + std::to_string(s) + ".txt";
+        std::ofstream f(path);
+        f << c.describe(preset.name, g) << "\n";
+        std::cout << "(repro written to " << path << ")\n";
+      }
+    }
+    std::cout << "preset " << preset.name << ": " << count << " seeds, "
+              << checked << " ops oracle-checked, "
+              << (failures == 0 ? "all conformant" :
+                  std::to_string(failures) + " failure(s)")
+              << "\n";
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Differential conformance fuzzer: random atomic programs executed on "
+      "the coherence simulator and checked against a sequential oracle "
+      "(see docs/testing.md)");
+  cli.add_flag("preset", "machine preset: xeon | knl | test | both", "both");
+  cli.add_flag("seeds", "number of consecutive seeds to fuzz", "20",
+               CliParser::FlagKind::kInt);
+  cli.add_flag("start-seed", "first seed of the range", "1",
+               CliParser::FlagKind::kUint64);
+  cli.add_flag("replay-seed",
+               "re-run exactly one seed (prints the full report); overrides "
+               "--seeds/--start-seed",
+               "", CliParser::FlagKind::kUint64);
+  cli.add_flag("cores", "cores per generated program (capped to the preset)",
+               "6", CliParser::FlagKind::kInt);
+  cli.add_flag("ops", "ops per core", "48", CliParser::FlagKind::kInt);
+  cli.add_flag("lines", "shared line pool size", "6",
+               CliParser::FlagKind::kInt);
+  cli.add_flag("pattern",
+               "line sharing pattern: single | private | uniform | zipf | "
+               "mixed",
+               "mixed");
+  cli.add_flag("zipf", "Zipf exponent of the pool draw", "1.1",
+               CliParser::FlagKind::kDouble);
+  cli.add_flag("load-fraction", "probability an op is a LOAD", "0.35",
+               CliParser::FlagKind::kDouble);
+  cli.add_flag("max-work", "max local work cycles between ops", "32",
+               CliParser::FlagKind::kInt);
+  cli.add_flag("inject-bug",
+               "deliberate sim defect for harness self-tests: none | "
+               "lost-upgrade-write | skip-shared-invalidate",
+               "none");
+  cli.add_flag("no-shrink", "skip minimizing failing programs", "false",
+               CliParser::FlagKind::kBool);
+  cli.add_flag("model-gate",
+               "also check model-vs-sim throughput MAPE per preset", "true",
+               CliParser::FlagKind::kBool);
+  cli.add_flag("max-mape",
+               "model gate MAPE bound (fraction); 0 = per-preset default",
+               "0", CliParser::FlagKind::kDouble);
+  cli.add_flag("gate-points", "workload points per model gate batch", "8",
+               CliParser::FlagKind::kInt);
+  cli.add_flag("out",
+               "directory for failing-seed repro files (CI artifacts)", "");
+  if (!cli.parse(argc, argv)) return 2;
+
+  GenConfig gen;
+  gen.cores = static_cast<sim::CoreId>(std::max<std::int64_t>(1, cli.get_int("cores")));
+  gen.ops_per_core = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("ops")));
+  gen.lines = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("lines")));
+  gen.zipf_s = cli.get_double("zipf");
+  gen.load_fraction = cli.get_double("load-fraction");
+  gen.max_work = static_cast<sim::Cycles>(
+      std::max<std::int64_t>(0, cli.get_int("max-work")));
+  if (const auto p = parse_pattern(cli.get("pattern"))) {
+    gen.pattern = *p;
+  } else {
+    std::cerr << "unknown --pattern=" << cli.get("pattern")
+              << " (want single | private | uniform | zipf | mixed)\n";
+    return 2;
+  }
+
+  sim::FaultInjection fault = sim::FaultInjection::kNone;
+  const std::string bug = cli.get("inject-bug");
+  if (bug == "lost-upgrade-write") {
+    fault = sim::FaultInjection::kLostUpgradeWrite;
+  } else if (bug == "skip-shared-invalidate") {
+    fault = sim::FaultInjection::kSkipSharedInvalidate;
+  } else if (bug != "none") {
+    std::cerr << "unknown --inject-bug=" << bug
+              << " (want none | lost-upgrade-write | skip-shared-invalidate)\n";
+    return 2;
+  }
+
+  std::vector<PresetRun> presets;
+  const std::string preset = cli.get("preset");
+  if (preset == "both") {
+    presets.push_back({"xeon", sim::xeon_e5_2x18()});
+    presets.push_back({"knl", sim::knl_64()});
+  } else if (preset == "xeon" || preset == "knl" || preset == "test") {
+    presets.push_back({preset, sim::preset_by_name(preset)});
+  } else {
+    std::cerr << "unknown --preset=" << preset
+              << " (want xeon | knl | test | both)\n";
+    return 2;
+  }
+  for (auto& p : presets) p.config.fault = fault;
+
+  std::uint64_t start_seed = cli.get_uint64("start-seed");
+  std::uint64_t count = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, cli.get_int("seeds")));
+  if (cli.has("replay-seed")) {
+    start_seed = cli.get_uint64("replay-seed");
+    count = 1;
+  }
+
+  int failures =
+      run_seed_range(presets, gen, start_seed, count,
+                     !cli.get_bool("no-shrink"), cli.get("out"));
+
+  if (cli.get_bool("model-gate") && fault == sim::FaultInjection::kNone) {
+    ModelGateOptions opts;
+    opts.max_mape = cli.get_double("max-mape");
+    opts.points = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, cli.get_int("gate-points")));
+    for (const auto& p : presets) {
+      if (p.name == "both") continue;
+      const ModelGateResult gate = run_model_gate(p.name, start_seed, opts);
+      std::cout << "preset " << p.name << ": " << gate.summary() << "\n";
+      if (!gate.ok) ++failures;
+    }
+  }
+
+  return failures == 0 ? 0 : 1;
+}

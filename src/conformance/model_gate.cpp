@@ -1,0 +1,92 @@
+#include "conformance/model_gate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "bench_core/sim_backend.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "model/bouncing_model.hpp"
+#include "model/params.hpp"
+#include "sim/config.hpp"
+
+namespace am::conformance {
+
+double default_mape_bound(const std::string& preset) {
+  // EXPERIMENTS.md grid MAPE: 3.74% (xeon), 2.31% (knl). A random batch of
+  // a few points has higher variance than the full grid, so the bounds
+  // leave ~3x headroom; a real model or protocol regression blows well
+  // past them.
+  if (preset == "xeon") return 0.12;
+  if (preset == "knl") return 0.10;
+  return 0.12;  // test machine
+}
+
+std::string ModelGateResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "model gate ok" : "model gate FAILED") << ": MAPE "
+     << mape * 100.0 << "% over " << points.size() << " points (bound "
+     << bound * 100.0 << "%)";
+  if (!ok) {
+    for (const auto& p : points) {
+      const double err =
+          p.measured_tput > 0.0
+              ? std::fabs(p.predicted_tput - p.measured_tput) / p.measured_tput
+              : 0.0;
+      os << "\n  " << to_string(p.prim) << " n=" << p.threads
+         << " w=" << p.work << ": measured=" << p.measured_tput
+         << " predicted=" << p.predicted_tput << " err=" << err * 100.0
+         << '%';
+    }
+  }
+  return os.str();
+}
+
+ModelGateResult run_model_gate(const std::string& preset, std::uint64_t seed,
+                               const ModelGateOptions& options) {
+  ModelGateResult res;
+  res.bound =
+      options.max_mape > 0.0 ? options.max_mape : default_mape_bound(preset);
+
+  const sim::MachineConfig cfg = sim::preset_by_name(preset);
+  bench::SimBackend backend(cfg, {}, seed);
+  const model::BouncingModel model(model::ModelParams::from_machine(cfg));
+
+  // The model's validated domain: single-shot primitives on one shared
+  // line. CASLOOP is excluded (EXPERIMENTS.md documents its ~35% error).
+  static constexpr Primitive kPrims[] = {Primitive::kFaa, Primitive::kSwap,
+                                         Primitive::kTas, Primitive::kCas,
+                                         Primitive::kLoad};
+  static constexpr double kWorks[] = {0.0, 100.0, 400.0, 1600.0};
+
+  Xoshiro256 rng(seed ^ 0xc0f0c0f0ULL);
+  std::vector<double> measured;
+  std::vector<double> predicted;
+  for (std::uint32_t i = 0; i < options.points; ++i) {
+    ModelGatePoint p;
+    p.prim = kPrims[rng.next_below(std::size(kPrims))];
+    const std::uint32_t max_n = backend.max_threads();
+    p.threads = static_cast<std::uint32_t>(2 + rng.next_below(max_n - 1));
+    p.work = kWorks[rng.next_below(std::size(kWorks))];
+
+    bench::WorkloadConfig w;
+    w.mode = bench::WorkloadMode::kHighContention;
+    w.prim = p.prim;
+    w.threads = p.threads;
+    w.work = static_cast<bench::Cycles>(p.work);
+    w.seed = seed + i;
+    const bench::MeasuredRun run = backend.run(w);
+    p.measured_tput = run.throughput_ops_per_kcycle();
+    p.predicted_tput =
+        model.predict(p.prim, p.threads, p.work).throughput_ops_per_kcycle;
+
+    measured.push_back(p.measured_tput);
+    predicted.push_back(p.predicted_tput);
+    res.points.push_back(p);
+  }
+  res.mape = mape(predicted, measured);
+  res.ok = res.mape <= res.bound;
+  return res;
+}
+
+}  // namespace am::conformance

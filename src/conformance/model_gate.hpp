@@ -1,0 +1,53 @@
+// Cross-layer tolerance gate: model vs simulator on fuzz-drawn workloads.
+//
+// The paper's validation (Table 3, EXPERIMENTS.md) reports low single-digit
+// throughput MAPE between the bouncing model and the machine presets. This
+// gate re-derives that as an enforced property: a seed draws a random batch
+// of model-domain workload points (single-shot primitives, shared line,
+// varying thread counts and local work), each point is simulated and
+// predicted, and the batch MAPE must stay under a per-preset bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+
+namespace am::conformance {
+
+struct ModelGateOptions {
+  std::uint32_t points = 8;   ///< sampled (prim, threads, work) points
+  /// Batch throughput-MAPE bound; <= 0 picks the per-preset default
+  /// (see default_mape_bound).
+  double max_mape = 0.0;
+};
+
+struct ModelGatePoint {
+  Primitive prim = Primitive::kFaa;
+  std::uint32_t threads = 1;
+  double work = 0.0;
+  double measured_tput = 0.0;   ///< ops per kcycle, simulated
+  double predicted_tput = 0.0;  ///< ops per kcycle, model
+};
+
+struct ModelGateResult {
+  bool ok = true;
+  double mape = 0.0;
+  double bound = 0.0;
+  std::vector<ModelGatePoint> points;
+
+  std::string summary() const;
+};
+
+/// Per-preset throughput-MAPE bound ("xeon" | "knl" | anything else =
+/// test machine). Roughly 3x the grid MAPE EXPERIMENTS.md reports, so the
+/// gate trips on regressions, not on sampling noise.
+double default_mape_bound(const std::string& preset);
+
+/// Runs the gate for @p preset ("xeon" | "knl" | "test"); @p seed draws the
+/// workload batch and seeds the simulations.
+ModelGateResult run_model_gate(const std::string& preset, std::uint64_t seed,
+                               const ModelGateOptions& options = {});
+
+}  // namespace am::conformance

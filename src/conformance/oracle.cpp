@@ -1,0 +1,173 @@
+#include "conformance/oracle.hpp"
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace am::conformance {
+
+std::string ConformanceReport::summary() const {
+  if (ok) {
+    return "ok (" + std::to_string(ops_checked) + " ops checked)";
+  }
+  std::ostringstream os;
+  os << mismatch_count << " mismatch(es) over " << ops_checked
+     << " ops checked:\n";
+  for (const auto& m : mismatches) os << "  - " << m << '\n';
+  if (mismatch_count > mismatches.size()) {
+    os << "  - ... " << (mismatch_count - mismatches.size()) << " more\n";
+  }
+  return os.str();
+}
+
+ConformanceReport check_conformance(
+    const GeneratedProgram& program, const std::vector<ObservedOp>& order,
+    const std::vector<std::vector<OpResult>>& core_results,
+    const sim::Machine& machine, const sim::RunStats& stats) {
+  ConformanceReport rep;
+  const std::size_t cores = program.per_core.size();
+
+  // Sequential-consistency replay state: one memory cell per line plus a
+  // replica of each core's OpContext, mutated exactly as the machine mutates
+  // it at completion time (store/cas overrides come from the IssueRequest).
+  std::map<sim::LineId, std::uint64_t> memory;
+  std::vector<OpContext> ctx(cores);
+  std::vector<std::size_t> next(cores, 0);
+  std::vector<std::uint64_t> oracle_successes(cores, 0);
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const ObservedOp& obs = order[i];
+    std::ostringstream at;
+    at << "op[" << i << "] core" << obs.core << ' ' << to_string(obs.prim)
+       << " line=" << obs.line;
+
+    if (obs.core >= cores) {
+      rep.fail(at.str() + ": core outside the program");
+      continue;
+    }
+    const auto& script = program.per_core[obs.core];
+    if (next[obs.core] >= script.size()) {
+      rep.fail(at.str() + ": more completions than the core's script length");
+      continue;
+    }
+    const sim::IssueRequest& req = script[next[obs.core]];
+    const std::size_t k = next[obs.core]++;
+
+    // The completion order must be an interleaving of per-core program
+    // orders: the i-th completion for a core is that core's k-th op.
+    if (req.prim != obs.prim || req.line != obs.line) {
+      std::ostringstream os;
+      os << at.str() << ": program order violated, expected "
+         << to_string(req.prim) << " line=" << req.line << " at core index "
+         << k;
+      rep.fail(os.str());
+      continue;
+    }
+
+    // Reference execution through the hardware executor.
+    if (req.store_value) ctx[obs.core].store_value = *req.store_value;
+    if (req.cas_expected) ctx[obs.core].expected = *req.cas_expected;
+    ctx[obs.core].cas_desired = req.cas_desired;
+    std::atomic<std::uint64_t> cell(memory[obs.line]);
+    const OpResult ref = execute(req.prim, cell, ctx[obs.core]);
+    memory[obs.line] = cell.load();
+    if (ref.success) ++oracle_successes[obs.core];
+
+    if (ref.success != obs.success) {
+      std::ostringstream os;
+      os << at.str() << ": success=" << obs.success << ", oracle says "
+         << ref.success;
+      rep.fail(os.str());
+    }
+    if (memory[obs.line] != obs.value_after) {
+      std::ostringstream os;
+      os << at.str() << ": post-op line value " << obs.value_after
+         << ", oracle says " << memory[obs.line];
+      rep.fail(os.str());
+    }
+    // Cross-check the result the program saw against the reference
+    // (the trace does not carry `observed`; on_result does).
+    if (obs.core < core_results.size() &&
+        k < core_results[obs.core].size()) {
+      const OpResult& got = core_results[obs.core][k];
+      if (got.observed != ref.observed || got.success != ref.success) {
+        std::ostringstream os;
+        os << at.str() << ": returned observed=" << got.observed
+           << " success=" << got.success << ", oracle says observed="
+           << ref.observed << " success=" << ref.success;
+        rep.fail(os.str());
+      }
+    }
+    ++rep.ops_checked;
+  }
+
+  // Completion counts: every scripted op must have completed exactly once.
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (next[c] != program.per_core[c].size()) {
+      std::ostringstream os;
+      os << "core" << c << ": " << next[c] << " completions for a script of "
+         << program.per_core[c].size() << " ops";
+      rep.fail(os.str());
+    }
+    if (c < core_results.size() &&
+        core_results[c].size() != program.per_core[c].size()) {
+      std::ostringstream os;
+      os << "core" << c << ": " << core_results[c].size()
+         << " recorded results for a script of "
+         << program.per_core[c].size() << " ops";
+      rep.fail(os.str());
+    }
+  }
+
+  // Per-core statistics must agree with the replay.
+  for (std::size_t c = 0; c < cores && c < stats.threads.size(); ++c) {
+    const auto& ts = stats.threads[c];
+    if (ts.ops != program.per_core[c].size()) {
+      std::ostringstream os;
+      os << "core" << c << ": stats report " << ts.ops << " ops, script has "
+         << program.per_core[c].size();
+      rep.fail(os.str());
+    }
+    if (ts.successes != oracle_successes[c]) {
+      std::ostringstream os;
+      os << "core" << c << ": stats report " << ts.successes
+         << " successes, oracle counted " << oracle_successes[c];
+      rep.fail(os.str());
+    }
+  }
+
+  // Final memory state: the directory's value for every line the program
+  // touched must equal the sequential replay's.
+  for (const sim::LineId id : program.lines()) {
+    const std::uint64_t want = memory.count(id) ? memory[id] : 0;
+    const std::uint64_t got = machine.line_value(id);
+    if (got != want) {
+      std::ostringstream os;
+      os << "final state line=" << id << ": machine holds " << got
+         << ", oracle says " << want;
+      rep.fail(os.str());
+    }
+  }
+
+  // Final protocol state: single writer, consistent sharer sets.
+  try {
+    machine.verify_invariants();
+  } catch (const std::logic_error& e) {
+    rep.fail(std::string("final MESI state: ") + e.what());
+  }
+  for (const sim::LineId id : machine.touched_lines()) {
+    const auto snap = machine.snapshot_line(id);
+    if (snap.busy || snap.queued != 0) {
+      std::ostringstream os;
+      os << "final state line=" << id
+         << ": transaction still in flight (busy=" << snap.busy
+         << " queued=" << snap.queued << ")";
+      rep.fail(os.str());
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace am::conformance

@@ -1,0 +1,81 @@
+// The sequential reference oracle of the differential conformance harness.
+//
+// DESIGN.md's substitution argument says the simulator may stand in for the
+// hardware because both execute the same value semantics; this module turns
+// that claim into a checked property. The machine's per-op completion events
+// define a claimed total order; the oracle replays that order through
+// am::execute over plain std::atomic cells — the *hardware* executor, a
+// fully independent implementation of the primitives — and demands that
+//   * the order is an interleaving of the per-core program orders,
+//   * every op's success flag, observed value and post-op line value match,
+//   * the final memory state and per-core op/success counts match, and
+//   * the machine's final MESI state passes the invariant checker.
+// Because every op in the sim executes atomically at its completion event,
+// a correct machine always yields a sequentially consistent order and the
+// oracle passes; any lost update, stale read or miscounted op breaks it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "conformance/generator.hpp"
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+#include "sim/sim_stats.hpp"
+
+namespace am::conformance {
+
+/// One completed operation, in machine completion order.
+struct ObservedOp {
+  sim::CoreId core = 0;
+  Primitive prim = Primitive::kLoad;
+  sim::LineId line = 0;
+  bool success = true;
+  std::uint64_t value_after = 0;  ///< line value right after the op
+};
+
+/// TraceSink that records the machine's op-completion sequence — the claimed
+/// total order the oracle validates.
+class CompletionRecorder final : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& e) override {
+    if (e.kind != obs::TraceEventKind::kOpDone) return;
+    ops_.push_back(ObservedOp{e.core, static_cast<Primitive>(e.prim), e.line,
+                              e.success, e.value});
+  }
+
+  const std::vector<ObservedOp>& ops() const noexcept { return ops_; }
+
+ private:
+  std::vector<ObservedOp> ops_;
+};
+
+/// Outcome of one conformance check. `mismatches` is capped (a broken run
+/// can diverge on every op); `ok` covers the full run regardless.
+struct ConformanceReport {
+  bool ok = true;
+  std::size_t ops_checked = 0;
+  std::size_t mismatch_count = 0;
+  std::vector<std::string> mismatches;
+
+  static constexpr std::size_t kMaxRecorded = 16;
+  void fail(std::string what) {
+    ok = false;
+    ++mismatch_count;
+    if (mismatches.size() < kMaxRecorded) mismatches.push_back(std::move(what));
+  }
+  std::string summary() const;
+};
+
+/// Replays @p order through the sequential reference executor and checks it
+/// against the program, the per-core results recorded by MultiScriptProgram,
+/// the machine's final state, and the run statistics.
+ConformanceReport check_conformance(
+    const GeneratedProgram& program, const std::vector<ObservedOp>& order,
+    const std::vector<std::vector<OpResult>>& core_results,
+    const sim::Machine& machine, const sim::RunStats& stats);
+
+}  // namespace am::conformance

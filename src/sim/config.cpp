@@ -24,7 +24,21 @@ std::string MachineConfig::fingerprint() const {
      << energy.memory_nj << "," << energy.freq_ghz << ";placement=";
   for (const CoreId c : placement) os << c << ",";
   os << ";paranoid=" << paranoid_checks;
+  // Appended only when active so fingerprints (and the sweep cache keys
+  // hashed from them) of ordinary configs are unchanged.
+  if (fault != FaultInjection::kNone) {
+    os << ";fault=" << static_cast<int>(fault);
+  }
   return os.str();
+}
+
+const char* to_string(FaultInjection f) noexcept {
+  switch (f) {
+    case FaultInjection::kNone: return "none";
+    case FaultInjection::kLostUpgradeWrite: return "lost-upgrade-write";
+    case FaultInjection::kSkipSharedInvalidate: return "skip-shared-invalidate";
+  }
+  return "?";
 }
 
 std::unique_ptr<Interconnect> MachineConfig::make_interconnect() const {

@@ -17,6 +17,22 @@ namespace am::sim {
 
 enum class InterconnectKind : std::uint8_t { kTwoSocket, kMesh, kUniform };
 
+/// Deliberate protocol defects, used only by the conformance harness to
+/// prove the differential oracle catches real coherence bugs. kNone is the
+/// only mode benchmarks and experiments ever run.
+enum class FaultInjection : std::uint8_t {
+  kNone,
+  /// An exclusive request by a core holding the line Shared is served from
+  /// the stale local copy without the upgrade round-trip, and the write-back
+  /// is dropped — the classic lost-update window of a skipped S->M upgrade.
+  kLostUpgradeWrite,
+  /// An upgrade from Shared takes ownership without invalidating the other
+  /// sharers, leaving Shared copies alive next to an M owner.
+  kSkipSharedInvalidate,
+};
+
+const char* to_string(FaultInjection f) noexcept;
+
 struct MachineConfig {
   std::string name = "machine";
   double freq_ghz = 2.3;
@@ -67,6 +83,9 @@ struct MachineConfig {
   /// consistency) after every directory transaction. O(sharers) per grant;
   /// enabled by the protocol stress tests, off for benchmarks.
   bool paranoid_checks = false;
+
+  /// Injected protocol defect (conformance-harness self-tests only).
+  FaultInjection fault = FaultInjection::kNone;
 
   Cycles exec_cost_of(Primitive p) const noexcept {
     return exec_cost[static_cast<std::size_t>(p)];

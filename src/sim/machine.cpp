@@ -309,6 +309,25 @@ void Machine::submit_request(CoreId core) {
     return;
   }
 
+  // Fault injection (conformance self-tests only): a writer holding the line
+  // Shared skips the S->M upgrade round-trip, executes on its local copy and
+  // silently loses the write-back.
+  if (config_.fault == FaultInjection::kLostUpgradeWrite &&
+      needs_exclusive(prim) && st == Mesi::kShared && !ls.busy) {
+    touch_resident(core, cs.pending.line);
+    ls.busy = true;
+    cs.holds_token = true;
+    cs.drop_write = true;
+    cs.last_supply = Supply::kLocalHit;
+    cs.last_xfer = 0;
+    cs.grant_time = now_;
+    note_grant(cs.pending.line, core, Supply::kLocalHit, 0, 0,
+               /*counts_acquisition=*/true);
+    schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
+             EventKind::kOpDone, core);
+    return;
+  }
+
   ls.queue.push_back(PendingRequest{core, needs_exclusive(prim), now_});
   try_grant(cs.pending.line);
 }
@@ -532,8 +551,12 @@ std::pair<Cycles, Supply> Machine::apply_grant(LineState& ls, LineId id,
     supply = Supply::kNear;
     if (charge) energy_->add_transfer(1, false);
     if (req.exclusive) {
-      for (const CoreId s : std::vector<CoreId>(ls.sharers)) {
-        if (s != requester) invalidate_copy(ls, id, s);
+      // Fault injection (conformance self-tests only): leave the other
+      // Shared copies alive next to the new M owner.
+      if (config_.fault != FaultInjection::kSkipSharedInvalidate) {
+        for (const CoreId s : std::vector<CoreId>(ls.sharers)) {
+          if (s != requester) invalidate_copy(ls, id, s);
+        }
       }
       // Upgrade: drop our own shared copy record and take ownership.
       const auto self = std::find(ls.sharers.begin(), ls.sharers.end(), requester);
@@ -673,7 +696,12 @@ void Machine::handle_op_done(const Event& ev) {
     cs.ctx.expected = *cs.pending.cas_expected;
   }
   cs.ctx.cas_desired = cs.pending.cas_desired;
+  const std::uint64_t value_before = ls.value;
   OpResult result = apply_op(prim, ls, cs.ctx);
+  if (cs.drop_write) {
+    ls.value = value_before;  // injected lost update (kLostUpgradeWrite)
+    cs.drop_write = false;
+  }
 
   const Cycles exec = config_.l1_hit + config_.exec_cost_of(prim);
   const Cycles latency = now_ - cs.issue_time;

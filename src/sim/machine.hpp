@@ -151,6 +151,7 @@ class Machine {
     std::uint64_t req_id = 0;  ///< trace flow id of the current acquisition
     std::uint32_t attempts_this_op = 0;
     bool holds_token = false;  ///< this core's transaction owns the line slot
+    bool drop_write = false;   ///< fault injection: lose this op's write-back
     Supply last_supply = Supply::kLocalHit;
     Cycles last_xfer = 0;
   };

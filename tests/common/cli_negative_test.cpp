@@ -1,0 +1,103 @@
+// Negative-path coverage for the CLI layer: malformed values for typed
+// flags must be rejected at parse() time with a clear diagnostic, and
+// mutually exclusive flag combinations must error instead of silently
+// downgrading. Before typed flags, "--threads=abc" parsed to 0 and
+// surfaced as an empty sweep deep inside an experiment.
+#include <gtest/gtest.h>
+
+#include "bench_core/sweep.hpp"
+#include "common/cli.hpp"
+
+namespace am {
+namespace {
+
+CliParser make_typed_parser() {
+  CliParser p("typed test tool");
+  p.add_flag("threads", "comma list of thread counts", "1,2,4",
+             CliParser::FlagKind::kIntList);
+  p.add_flag("jobs", "worker count", "0", CliParser::FlagKind::kInt);
+  p.add_flag("seed", "64-bit seed", "1", CliParser::FlagKind::kUint64);
+  p.add_flag("rate", "a double", "1.5", CliParser::FlagKind::kDouble);
+  p.add_flag("verbose", "boolean", "false", CliParser::FlagKind::kBool);
+  p.add_flag("name", "free-form string", "", CliParser::FlagKind::kString);
+  return p;
+}
+
+TEST(CliNegative, MalformedIntRejected) {
+  for (const char* bad : {"--jobs=abc", "--jobs=", "--jobs=4x", "--jobs=1.5",
+                          "--jobs=0x10"}) {
+    CliParser p = make_typed_parser();
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(p.parse(2, argv)) << bad;
+  }
+}
+
+TEST(CliNegative, MalformedIntListRejected) {
+  for (const char* bad :
+       {"--threads=", "--threads=1,two,3", "--threads=1,,4", "--threads=,",
+        "--threads=4,"}) {
+    CliParser p = make_typed_parser();
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(p.parse(2, argv)) << bad;
+  }
+}
+
+TEST(CliNegative, MalformedDoubleAndBoolRejected) {
+  for (const char* bad :
+       {"--rate=fast", "--rate=", "--verbose=maybe", "--verbose=2"}) {
+    CliParser p = make_typed_parser();
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(p.parse(2, argv)) << bad;
+  }
+}
+
+TEST(CliNegative, NegativeSeedRejectedForUnsigned) {
+  CliParser p = make_typed_parser();
+  const char* argv[] = {"prog", "--seed=-3"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliNegative, BareTypedFlagRejected) {
+  // "--jobs" with no value used to silently become the string "true".
+  CliParser p = make_typed_parser();
+  const char* argv[] = {"prog", "--jobs"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliNegative, WellFormedValuesStillParse) {
+  CliParser p = make_typed_parser();
+  const char* argv[] = {"prog",       "--threads=1,8,64", "--jobs=16",
+                        "--seed=18446744073709551615",    "--rate=0.25",
+                        "--verbose=yes"};
+  ASSERT_TRUE(p.parse(6, argv));
+  EXPECT_EQ(p.get_int_list("threads").size(), 3u);
+  EXPECT_EQ(p.get_int("jobs"), 16);
+  EXPECT_EQ(p.get_uint64("seed"), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.25);
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(CliNegative, NegativeIntIsValidForSignedKind) {
+  CliParser p = make_typed_parser();
+  const char* argv[] = {"prog", "--jobs=-1"};
+  EXPECT_TRUE(p.parse(2, argv));
+  EXPECT_EQ(p.get_int("jobs"), -1);
+}
+
+TEST(CliNegative, StringKindStaysPermissive) {
+  CliParser p = make_typed_parser();
+  const char* argv[] = {"prog", "--name=any thing at all"};
+  EXPECT_TRUE(p.parse(2, argv));
+}
+
+TEST(CliNegative, JobsTraceConflict) {
+  EXPECT_NE(bench::jobs_trace_conflict(4, true), "");
+  EXPECT_NE(bench::jobs_trace_conflict(2, true).find("--jobs=2"),
+            std::string::npos);
+  EXPECT_EQ(bench::jobs_trace_conflict(1, true), "");
+  EXPECT_EQ(bench::jobs_trace_conflict(0, true), "");  // auto downgrades
+  EXPECT_EQ(bench::jobs_trace_conflict(4, false), "");
+}
+
+}  // namespace
+}  // namespace am

@@ -1,0 +1,142 @@
+#include "conformance/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace am::conformance {
+namespace {
+
+bool same_request(const sim::IssueRequest& a, const sim::IssueRequest& b) {
+  return a.prim == b.prim && a.line == b.line &&
+         a.work_before == b.work_before && a.store_value == b.store_value &&
+         a.cas_expected == b.cas_expected && a.cas_desired == b.cas_desired;
+}
+
+bool same_program(const GeneratedProgram& a, const GeneratedProgram& b) {
+  if (a.per_core.size() != b.per_core.size()) return false;
+  for (std::size_t c = 0; c < a.per_core.size(); ++c) {
+    if (a.per_core[c].size() != b.per_core[c].size()) return false;
+    for (std::size_t i = 0; i < a.per_core[c].size(); ++i) {
+      if (!same_request(a.per_core[c][i], b.per_core[c][i])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GenConfig cfg;
+  EXPECT_TRUE(same_program(generate(42, cfg), generate(42, cfg)));
+  EXPECT_FALSE(same_program(generate(42, cfg), generate(43, cfg)));
+}
+
+TEST(Generator, ShapeMatchesConfig) {
+  GenConfig cfg;
+  cfg.cores = 3;
+  cfg.ops_per_core = 17;
+  const GeneratedProgram p = generate(7, cfg);
+  ASSERT_EQ(p.cores(), 3u);
+  EXPECT_EQ(p.total_ops(), 3u * 17u);
+  for (const auto& script : p.per_core) EXPECT_EQ(script.size(), 17u);
+}
+
+TEST(Generator, PerCoreStreamsAreIndependent) {
+  // Dropping the last core must not reshuffle the remaining cores' scripts;
+  // the shrinker relies on this staying true under regeneration.
+  GenConfig four;
+  four.cores = 4;
+  GenConfig three = four;
+  three.cores = 3;
+  const GeneratedProgram p4 = generate(99, four);
+  const GeneratedProgram p3 = generate(99, three);
+  for (std::size_t c = 0; c < 3; ++c) {
+    ASSERT_EQ(p4.per_core[c].size(), p3.per_core[c].size());
+    for (std::size_t i = 0; i < p3.per_core[c].size(); ++i) {
+      EXPECT_TRUE(same_request(p4.per_core[c][i], p3.per_core[c][i]));
+    }
+  }
+}
+
+TEST(Generator, SingleLinePatternUsesOneLine) {
+  GenConfig cfg;
+  cfg.pattern = SharingPattern::kSingleLine;
+  const GeneratedProgram p = generate(5, cfg);
+  EXPECT_EQ(p.lines(), std::vector<sim::LineId>{0});
+}
+
+TEST(Generator, PrivatePatternNeverShares) {
+  GenConfig cfg;
+  cfg.pattern = SharingPattern::kPrivate;
+  cfg.cores = 4;
+  const GeneratedProgram p = generate(5, cfg);
+  std::set<sim::LineId> seen;
+  for (const auto& script : p.per_core) {
+    std::set<sim::LineId> mine;
+    for (const auto& op : script) mine.insert(op.line);
+    ASSERT_EQ(mine.size(), 1u);  // one private line per core
+    EXPECT_TRUE(seen.insert(*mine.begin()).second);  // distinct across cores
+  }
+}
+
+TEST(Generator, PoolPatternsStayInPool) {
+  for (const auto pattern :
+       {SharingPattern::kUniform, SharingPattern::kZipf}) {
+    GenConfig cfg;
+    cfg.pattern = pattern;
+    cfg.lines = 5;
+    const GeneratedProgram p = generate(11, cfg);
+    for (const auto& script : p.per_core) {
+      for (const auto& op : script) EXPECT_LT(op.line, 5u);
+    }
+  }
+}
+
+TEST(Generator, LoadFractionExtremes) {
+  GenConfig cfg;
+  cfg.load_fraction = 1.0;
+  for (const auto& script : generate(3, cfg).per_core) {
+    for (const auto& op : script) EXPECT_EQ(op.prim, Primitive::kLoad);
+  }
+  cfg.load_fraction = 0.0;
+  cfg.store_fraction = 0.0;
+  for (const auto& script : generate(3, cfg).per_core) {
+    for (const auto& op : script) {
+      EXPECT_NE(op.prim, Primitive::kLoad);
+      EXPECT_NE(op.prim, Primitive::kStore);
+    }
+  }
+}
+
+TEST(Generator, NeverEmitsCasLoop) {
+  GenConfig cfg;
+  cfg.cores = 8;
+  cfg.ops_per_core = 200;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const auto& script : generate(seed, cfg).per_core) {
+      for (const auto& op : script) EXPECT_NE(op.prim, Primitive::kCasLoop);
+    }
+  }
+}
+
+TEST(Generator, WorkBoundedByMaxWork) {
+  GenConfig cfg;
+  cfg.max_work = 7;
+  for (const auto& script : generate(13, cfg).per_core) {
+    for (const auto& op : script) EXPECT_LE(op.work_before, 7u);
+  }
+}
+
+TEST(Generator, PatternNamesRoundTrip) {
+  for (const auto p :
+       {SharingPattern::kSingleLine, SharingPattern::kPrivate,
+        SharingPattern::kUniform, SharingPattern::kZipf,
+        SharingPattern::kMixed}) {
+    const auto parsed = parse_pattern(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_pattern("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace am::conformance

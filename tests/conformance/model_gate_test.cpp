@@ -1,0 +1,53 @@
+#include "conformance/model_gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace am::conformance {
+namespace {
+
+TEST(ModelGate, PresetsHoldTheirBounds) {
+  for (const char* preset : {"xeon", "knl", "test"}) {
+    const ModelGateResult r = run_model_gate(preset, /*seed=*/1);
+    EXPECT_TRUE(r.ok) << preset << ": " << r.summary();
+    EXPECT_EQ(r.points.size(), 8u);
+    EXPECT_GT(r.mape, 0.0);  // sim and model never agree exactly
+  }
+}
+
+TEST(ModelGate, StableAcrossSeeds) {
+  for (std::uint64_t seed : {2ull, 17ull, 1234ull}) {
+    const ModelGateResult r = run_model_gate("xeon", seed);
+    EXPECT_TRUE(r.ok) << "seed=" << seed << ": " << r.summary();
+  }
+}
+
+TEST(ModelGate, ImpossibleBoundFails) {
+  ModelGateOptions opts;
+  opts.max_mape = 1e-6;
+  const ModelGateResult r = run_model_gate("xeon", 1, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_DOUBLE_EQ(r.bound, 1e-6);
+  // A failing summary carries the per-point breakdown for diagnosis.
+  EXPECT_NE(r.summary().find("FAILED"), std::string::npos);
+  EXPECT_NE(r.summary().find("predicted="), std::string::npos);
+}
+
+TEST(ModelGate, DefaultBoundsAreCalibrated) {
+  // ~3x the grid MAPE EXPERIMENTS.md reports per preset.
+  EXPECT_DOUBLE_EQ(default_mape_bound("xeon"), 0.12);
+  EXPECT_DOUBLE_EQ(default_mape_bound("knl"), 0.10);
+  EXPECT_DOUBLE_EQ(default_mape_bound("anything-else"), 0.12);
+}
+
+TEST(ModelGate, PointsStayInModelDomain) {
+  const ModelGateResult r = run_model_gate("knl", 5);
+  for (const auto& p : r.points) {
+    EXPECT_NE(p.prim, Primitive::kCasLoop);
+    EXPECT_GE(p.threads, 2u);
+    EXPECT_GT(p.measured_tput, 0.0);
+    EXPECT_GT(p.predicted_tput, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace am::conformance

@@ -1,0 +1,148 @@
+#include "conformance/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "conformance/differ.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+
+namespace am::conformance {
+namespace {
+
+TEST(Oracle, CleanRunsConformOnAllPresets) {
+  GenConfig gen;
+  gen.cores = 4;
+  gen.ops_per_core = 32;
+  for (const auto& cfg :
+       {sim::test_machine(4), sim::xeon_e5_2x18(), sim::knl_64()}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const FuzzCase c = fuzz_one(seed, gen, cfg);
+      EXPECT_TRUE(c.ok) << "machine=" << cfg.name << " "
+                        << c.describe(cfg.name, gen);
+      EXPECT_EQ(c.report.ops_checked,
+                static_cast<std::size_t>(gen.cores) * gen.ops_per_core);
+    }
+  }
+}
+
+TEST(Oracle, ReplayIsDeterministic) {
+  GenConfig gen;
+  const sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  const FuzzCase a = fuzz_one(77, gen, cfg);
+  const FuzzCase b = fuzz_one(77, gen, cfg);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.report.ops_checked, b.report.ops_checked);
+}
+
+TEST(Oracle, DetectsTamperedCompletionOrder) {
+  // A healthy machine run whose recorded evidence is then corrupted must
+  // fail the check — this pins that the oracle actually compares values
+  // rather than rubber-stamping the sim.
+  GenConfig gen;
+  gen.cores = 2;
+  gen.ops_per_core = 16;
+  gen.pattern = SharingPattern::kSingleLine;
+  const GeneratedProgram program = generate(5, gen);
+
+  sim::MachineConfig cfg = sim::test_machine(2);
+  cfg.paranoid_checks = true;
+  sim::Machine machine(cfg, 5);
+  MultiScriptProgram script(program);
+  CompletionRecorder recorder;
+  machine.set_sink(&recorder);
+  const sim::RunStats stats =
+      machine.run(script, 2, /*warmup=*/0, sim::Cycles{1} << 40);
+  machine.set_sink(nullptr);
+
+  const ConformanceReport clean = check_conformance(
+      program, recorder.ops(), script.results(), machine, stats);
+  ASSERT_TRUE(clean.ok) << clean.summary();
+
+  // Corrupt one post-op value: a lost update the sim "didn't notice".
+  std::vector<ObservedOp> tampered = recorder.ops();
+  ASSERT_FALSE(tampered.empty());
+  tampered[tampered.size() / 2].value_after += 1;
+  const ConformanceReport bad = check_conformance(
+      program, tampered, script.results(), machine, stats);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_GE(bad.mismatch_count, 1u);
+
+  // Reorder across program order within one core: swap a core's first two
+  // completions. The oracle must reject orders that are not interleavings.
+  std::vector<ObservedOp> reordered = recorder.ops();
+  std::size_t first = reordered.size(), second = reordered.size();
+  for (std::size_t i = 0; i < reordered.size(); ++i) {
+    if (reordered[i].core != 0) continue;
+    if (first == reordered.size()) {
+      first = i;
+    } else {
+      second = i;
+      break;
+    }
+  }
+  ASSERT_LT(second, reordered.size());
+  std::swap(reordered[first].prim, reordered[second].prim);
+  if (reordered[first].prim != reordered[second].prim) {
+    const ConformanceReport swapped = check_conformance(
+        program, reordered, script.results(), machine, stats);
+    EXPECT_FALSE(swapped.ok);
+  }
+}
+
+TEST(Oracle, CatchesInjectedLostUpgradeWrite) {
+  // Acceptance criterion: an intentionally injected coherence bug — a
+  // writer on a Shared copy skipping its upgrade and losing the write-back
+  // — is caught, and the greedy shrinker reduces the repro to <= 10 ops.
+  GenConfig gen;
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.fault = sim::FaultInjection::kLostUpgradeWrite;
+  const FuzzCase c = fuzz_one(1, gen, cfg);
+  ASSERT_FALSE(c.ok);
+  EXPECT_GE(c.report.mismatch_count, 1u);
+  EXPECT_FALSE(c.shrunk_report.ok);
+  EXPECT_LE(c.shrunk.total_ops(), 10u)
+      << "shrunk repro:\n" << c.shrunk.describe();
+  EXPECT_NE(c.describe("xeon", gen).find("--replay-seed=1"),
+            std::string::npos);
+}
+
+TEST(Oracle, CatchesInjectedSkipSharedInvalidate) {
+  // The second injected defect leaves stale sharers next to an exclusive
+  // owner. Values can stay coherent (the directory holds one authoritative
+  // copy), so detection comes from the paranoid protocol checker, which the
+  // harness forces on for every conformance run.
+  GenConfig gen;
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.fault = sim::FaultInjection::kSkipSharedInvalidate;
+  const FuzzCase c = fuzz_one(1, gen, cfg);
+  ASSERT_FALSE(c.ok);
+  ASSERT_FALSE(c.report.mismatches.empty());
+  EXPECT_NE(c.report.mismatches.front().find("protocol invariant"),
+            std::string::npos);
+  EXPECT_LE(c.shrunk.total_ops(), 10u);
+}
+
+TEST(Oracle, ShrinkPreservesFailureAndMonotonicity) {
+  GenConfig gen;
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.fault = sim::FaultInjection::kLostUpgradeWrite;
+  const GeneratedProgram original = generate(3, gen);
+  const RunOutcome out = run_program(cfg, original, 3);
+  ASSERT_FALSE(out.report.ok);
+  const GeneratedProgram small = shrink(cfg, original, 3);
+  EXPECT_LE(small.total_ops(), original.total_ops());
+  EXPECT_FALSE(run_program(cfg, small, 3).report.ok);
+}
+
+TEST(Oracle, RunProgramCountsEveryOp) {
+  GenConfig gen;
+  gen.cores = 3;
+  gen.ops_per_core = 25;
+  const GeneratedProgram program = generate(9, gen);
+  const RunOutcome out = run_program(sim::test_machine(4), program, 9);
+  EXPECT_TRUE(out.report.ok) << out.report.summary();
+  EXPECT_EQ(out.report.ops_checked, 75u);
+}
+
+}  // namespace
+}  // namespace am::conformance
