@@ -48,18 +48,26 @@ int run(int argc, const char* const* argv) {
   sweep.engine->drain();
 
   for (const Point& p : points) {
-    const bench::MeasuredRun& run = sweep.engine->result(p.index);
+    const bench::MeasuredRun* run = sweep.engine->result_or_null(p.index);
+    if (run == nullptr) {
+      table.add_row(bench_util::degraded_row(
+          table,
+          {probe->machine_name(), Table::num(std::size_t{p.threads}),
+           Table::num(p.lines), Table::num(p.s, 2)},
+          sweep.engine->outcome(p.index)));
+      continue;
+    }
     const model::Prediction pred =
         model.predict_zipf(Primitive::kFaa, p.threads, 0.0, p.lines, p.s);
     table.add_row({probe->machine_name(), Table::num(std::size_t{p.threads}),
                    Table::num(p.lines), Table::num(p.s, 2),
-                   Table::num(run.throughput_ops_per_kcycle(), 2),
+                   Table::num(run->throughput_ops_per_kcycle(), 2),
                    Table::num(pred.throughput_ops_per_kcycle, 2)});
   }
 
   bench_util::emit(cli, "E5: Zipf sharing (" + probe->machine_name() + ")",
                    table, sweep.engine.get());
-  return 0;
+  return bench_util::sweep_exit_code(cli, *sweep.engine);
 }
 
 }  // namespace

@@ -45,13 +45,23 @@ int run(int argc, const char* const* argv) {
   sweep.engine->drain();
 
   for (const Point& p : points) {
-    const bench::MeasuredRun& run = sweep.engine->result(p.index);
+    const bench::MeasuredRun* run = sweep.engine->result_or_null(p.index);
+    if (run == nullptr) {
+      // A failed point degrades to a dark row; the sweep summary carries
+      // its outcome and replay command.
+      table.add_row(bench_util::degraded_row(
+          table,
+          {probe->machine_name(), to_string(p.prim),
+           Table::num(std::size_t{p.threads})},
+          sweep.engine->outcome(p.index)));
+      continue;
+    }
     const model::Prediction pred = model.predict(p.prim, p.threads, 0.0);
     table.add_row({probe->machine_name(), to_string(p.prim),
                    Table::num(std::size_t{p.threads}),
-                   Table::num(run.throughput_mops(), 2),
+                   Table::num(run->throughput_mops(), 2),
                    Table::num(pred.throughput_mops, 2),
-                   Table::num(run.throughput_ops_per_kcycle(), 3),
+                   Table::num(run->throughput_ops_per_kcycle(), 3),
                    Table::num(pred.throughput_ops_per_kcycle, 3)});
   }
 
@@ -59,7 +69,7 @@ int run(int argc, const char* const* argv) {
                    "F1: throughput vs threads, shared line, w=0 (" +
                        probe->machine_name() + ")",
                    table, sweep.engine.get());
-  return 0;
+  return bench_util::sweep_exit_code(cli, *sweep.engine);
 }
 
 }  // namespace

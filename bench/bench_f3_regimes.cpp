@@ -56,12 +56,20 @@ int run(int argc, const char* const* argv) {
   sweep.engine->drain();
 
   for (const Point& p : points) {
-    const bench::MeasuredRun& run = sweep.engine->result(p.index);
+    const bench::MeasuredRun* run = sweep.engine->result_or_null(p.index);
+    if (run == nullptr) {
+      table.add_row(bench_util::degraded_row(
+          table,
+          {probe->machine_name(), Table::num(std::size_t{p.threads}),
+           Table::num(std::size_t{p.work})},
+          sweep.engine->outcome(p.index)));
+      continue;
+    }
     const model::Prediction pred =
         model.predict(prim, p.threads, static_cast<double>(p.work));
     table.add_row({probe->machine_name(), Table::num(std::size_t{p.threads}),
                    Table::num(std::size_t{p.work}), Table::num(p.frac, 2),
-                   Table::num(run.throughput_ops_per_kcycle(), 3),
+                   Table::num(run->throughput_ops_per_kcycle(), 3),
                    Table::num(pred.throughput_ops_per_kcycle, 3),
                    to_string(pred.regime), Table::num(p.wstar, 0)});
   }
@@ -70,7 +78,7 @@ int run(int argc, const char* const* argv) {
                    std::string("F3: regimes and crossover, ") +
                        to_string(prim) + " (" + probe->machine_name() + ")",
                    table, sweep.engine.get());
-  return 0;
+  return bench_util::sweep_exit_code(cli, *sweep.engine);
 }
 
 }  // namespace

@@ -54,9 +54,24 @@ int run(int argc, const char* const* argv) {
   sweep.engine->drain();
 
   for (const Row& row : rows) {
-    const bench::MeasuredRun& r_cas = sweep.engine->result(row.cas);
-    const bench::MeasuredRun& r_loop = sweep.engine->result(row.loop);
-    const bench::MeasuredRun& r_faa = sweep.engine->result(row.faa);
+    const bench::MeasuredRun* cas_run = sweep.engine->result_or_null(row.cas);
+    const bench::MeasuredRun* loop_run = sweep.engine->result_or_null(row.loop);
+    const bench::MeasuredRun* faa_run = sweep.engine->result_or_null(row.faa);
+    if (cas_run == nullptr || loop_run == nullptr || faa_run == nullptr) {
+      // Any of the row's three points failing darkens the whole row: mixing
+      // measured and missing primitives in one line would invite bogus
+      // ratios.
+      const std::size_t bad = cas_run == nullptr  ? row.cas
+                              : loop_run == nullptr ? row.loop
+                                                    : row.faa;
+      table.add_row(bench_util::degraded_row(
+          table, {probe->machine_name(), Table::num(std::size_t{row.threads})},
+          sweep.engine->outcome(bad)));
+      continue;
+    }
+    const bench::MeasuredRun& r_cas = *cas_run;
+    const bench::MeasuredRun& r_loop = *loop_run;
+    const bench::MeasuredRun& r_faa = *faa_run;
 
     const model::Prediction p_cas =
         model.predict(Primitive::kCas, row.threads, 0.0);
@@ -81,7 +96,7 @@ int run(int argc, const char* const* argv) {
                    "F4: CAS failure behaviour (" + probe->machine_name() +
                        ")",
                    table, sweep.engine.get());
-  return 0;
+  return bench_util::sweep_exit_code(cli, *sweep.engine);
 }
 
 }  // namespace

@@ -29,12 +29,13 @@ int run(int argc, const char* const* argv) {
   auto sweep = bench_util::sweep_from(cli);
   const std::vector<std::string> presets = {"xeon", "knl"};
   std::vector<model::Calibration> calibrations(presets.size());
+  std::vector<std::size_t> task_index(presets.size());
   for (std::size_t i = 0; i < presets.size(); ++i) {
     sim::MachineConfig cfg = sim::preset_by_name(presets[i]);
     // FIFO keeps the near/far mixture exactly identifiable for the fit.
     sim::MachineConfig fifo = cfg;
     fifo.arbitration = sim::Arbitration::kFifo;
-    sweep.engine->submit_task(
+    task_index[i] = sweep.engine->submit_task(
         [&cli, &sweep, &calibrations, i, fifo](
             std::uint64_t seed, std::vector<bench::RecordedRun>& log) {
           bench::SimBackend backend(fifo, {}, seed);
@@ -49,6 +50,17 @@ int run(int argc, const char* const* argv) {
 
   for (std::size_t i = 0; i < presets.size(); ++i) {
     const sim::MachineConfig cfg = sim::preset_by_name(presets[i]);
+    const auto outcome = sweep.engine->outcome(task_index[i]);
+    if (outcome.status != bench::PointStatus::kOk) {
+      // A failed calibration would leave all-default columns; dark the
+      // preset's block instead and let the sweep summary explain why.
+      table.add_row(bench_util::degraded_row(
+          table,
+          {cfg.name, Table::num(std::size_t{cfg.core_count()}),
+           Table::num(cfg.freq_ghz, 1)},
+          outcome));
+      continue;
+    }
     const model::Calibration& cal = calibrations[i];
 
     const auto ic = cfg.make_interconnect();
@@ -96,7 +108,7 @@ int run(int argc, const char* const* argv) {
 
   bench_util::emit(cli, "T1: machine parameters (configured vs calibrated)",
                    table, sweep.engine.get());
-  return 0;
+  return bench_util::sweep_exit_code(cli, *sweep.engine);
 }
 
 }  // namespace

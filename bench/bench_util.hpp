@@ -4,8 +4,10 @@
 #pragma once
 
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +65,24 @@ inline void add_common_flags(CliParser& cli) {
   cli.add_flag("base-seed",
                "base seed for the sweep's per-point seed derivation",
                "1", CliParser::FlagKind::kUint64);
+  cli.add_flag("sweep-journal",
+               "crash-safe journal of completed sweep points; a rerun after "
+               "SIGKILL/SIGINT skips journaled points even with the result "
+               "cache off (empty = off)",
+               "");
+  cli.add_flag("max-point-cycles",
+               "per-point watchdog budget in simulated cycles; 0 = auto "
+               "(64x the warmup+measure window), negative = no watchdog",
+               "0", CliParser::FlagKind::kInt);
+  cli.add_flag("strict",
+               "exit non-zero when any sweep point fails (default: print "
+               "degraded rows and exit 0 unless every point failed)",
+               "false", CliParser::FlagKind::kBool);
+  cli.add_flag("replay-point",
+               "re-execute exactly this sweep submission index, serially, "
+               "bypassing cache and journal (-1 = off); printed in the "
+               "replay command of every failed point",
+               "-1", CliParser::FlagKind::kInt);
   start_time();
 }
 
@@ -127,8 +147,24 @@ inline std::unique_ptr<bench::ExecutionBackend> probe_backend(
   return bench::make_backend(cli.get("backend"));
 }
 
-/// Applies --epoch-cycles / --json-out instrumentation (and optionally a
-/// shared trace sink) to a sim backend built inside a sweep point or task.
+/// --max-point-cycles resolved against a backend's measurement windows.
+/// 0 picks a budget generous enough that only a genuine runaway trips it;
+/// the progress watchdog (livelock detector) rides along whenever the
+/// cycle budget is armed.
+inline sim::WatchdogConfig watchdog_from(const CliParser& cli,
+                                         const bench::SimBackendOptions& o) {
+  sim::WatchdogConfig wd;
+  const std::int64_t v = cli.get_int("max-point-cycles");
+  if (v < 0) return wd;  // watchdog off
+  wd.max_cycles = v > 0 ? static_cast<sim::Cycles>(v)
+                        : 64 * (o.warmup_cycles + o.measure_cycles);
+  wd.progress_events = 1'000'000;
+  return wd;
+}
+
+/// Applies --epoch-cycles / --json-out / --max-point-cycles instrumentation
+/// (and optionally a shared trace sink) to a sim backend built inside a
+/// sweep point or task.
 inline void apply_task_obs(const CliParser& cli, obs::TraceSink* sink,
                            bench::SimBackend& sim) {
   const bool want_report = !cli.get("json-out").empty();
@@ -138,6 +174,7 @@ inline void apply_task_obs(const CliParser& cli, obs::TraceSink* sink,
   }
   sim.set_epoch_cycles(window);
   sim.set_line_profiling(want_report);
+  sim.set_watchdog(watchdog_from(cli, sim.options()));
   if (sink != nullptr) sim.set_sink(sink);
 }
 
@@ -176,11 +213,18 @@ inline Sweep sweep_from(const CliParser& cli) {
     }
   }
   bench::SweepOptions opts;
+  opts.replay_point = cli.get_int("replay-point");
+  if (opts.replay_point >= 0) serial = true;  // replay is a serial debug run
   opts.jobs = serial ? 1u
                      : static_cast<unsigned>(
                            std::max<std::int64_t>(0, cli.get_int("jobs")));
   opts.cache_dir = cli.get("sweep-cache");
   opts.base_seed = cli.get_uint64("base-seed");
+  opts.journal_path = cli.get("sweep-journal");
+  // Ctrl-C cancels cooperatively: in-flight points finish, unstarted ones
+  // surface as cancelled rows, the journal and partial report still land,
+  // and finish() exits 130.
+  std::signal(SIGINT, [](int) { bench::SweepEngine::request_cancel(); });
   s.engine = std::make_unique<bench::SweepEngine>(
       [cli_copy = cli, sink](std::uint64_t seed) {
         auto backend = bench::make_backend(cli_copy.get("backend"), seed);
@@ -227,20 +271,124 @@ inline std::vector<std::uint32_t> thread_sweep(const CliParser& cli,
   return sweep.empty() ? default_thread_sweep(max) : sweep;
 }
 
+/// The command that re-executes sweep point @p index in isolation: the
+/// original command line with the execution-shape flags (--jobs,
+/// --replay-point, caches, journal, report/trace outputs) stripped and
+/// `--jobs=1 --replay-point=N` appended. Deterministic for a given command,
+/// so reports stay byte-identical across --jobs and cache temperature.
+inline std::string replay_command(const CliParser& cli, std::size_t index) {
+  static constexpr const char* kStrip[] = {
+      "--jobs",       "--sweep-cache", "--sweep-journal", "--replay-point",
+      "--json-out",   "--csv",         "--trace-out",
+  };
+  std::istringstream in(cli.command_line());
+  std::string tok;
+  std::string out;
+  bool skip_value = false;
+  while (in >> tok) {
+    if (skip_value) {  // the detached value of a stripped "--flag value"
+      skip_value = false;
+      continue;
+    }
+    bool strip = false;
+    for (const char* flag : kStrip) {
+      const std::string f(flag);
+      if (tok == f) {
+        strip = true;
+        skip_value = true;  // value is the next token
+        break;
+      }
+      if (tok.rfind(f + "=", 0) == 0) {
+        strip = true;
+        break;
+      }
+    }
+    if (strip) continue;
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out + " --jobs=1 --replay-point=" + std::to_string(index);
+}
+
+/// Table row for a point that produced no measurement: the label column(s)
+/// survive, the status lands in the first free column, the rest degrade to
+/// "-". The sweep keeps every surviving row; only the failed point is dark.
+inline std::vector<std::string> degraded_row(const Table& table,
+                                             std::vector<std::string> labels,
+                                             const bench::PointOutcome& out) {
+  std::vector<std::string> cells = std::move(labels);
+  if (cells.size() < table.column_count()) {
+    // kSkipped is replay-mode bookkeeping, not a failure.
+    cells.push_back(out.status == bench::PointStatus::kSkipped
+                        ? "skipped"
+                        : std::string("FAILED:") +
+                              bench::to_string(out.status));
+  }
+  while (cells.size() < table.column_count()) cells.emplace_back("-");
+  cells.resize(table.column_count());
+  return cells;
+}
+
+/// Report-facing summary of a drained sweep (the "sweep" section of
+/// am-run-report/1), including a replay command per failed point.
+inline bench::SweepReport sweep_report(const CliParser& cli,
+                                       const bench::SweepEngine& engine) {
+  bench::SweepReport r;
+  r.points = engine.submitted_points();
+  r.ok = engine.ok_points();
+  r.cache_io_errors = engine.cache_io_errors();
+  r.quarantined_files = engine.quarantined_files();
+  for (const auto& f : engine.failed_points()) {
+    bench::SweepReport::Failure out;
+    out.index = f.index;
+    out.status = bench::to_string(f.status);
+    out.seed = f.seed;
+    out.message = f.message;
+    out.replay = replay_command(cli, f.index);
+    out.workload = f.is_task ? "task" : f.config.describe();
+    r.failures.push_back(std::move(out));
+  }
+  return r;
+}
+
+/// Exit-code policy for a drained sweep: 130 after SIGINT (shell
+/// convention), 1 when every point failed or when --strict and anything
+/// failed, 0 otherwise — a degraded sweep that still measured something is
+/// a success by default.
+inline int sweep_exit_code(const CliParser& cli,
+                           const bench::SweepEngine& engine) {
+  if (bench::SweepEngine::cancel_requested()) return 130;
+  const std::size_t failed = engine.failed_points().size();
+  if (failed == 0) return 0;
+  if (cli.get_bool("strict")) return 1;
+  return engine.ok_points() == 0 ? 1 : 0;
+}
+
 /// Prints the table, mirrors it to --csv, and writes the --json-out run
 /// report. The report serializes every workload the binary executed through
 /// the backend seam (bench::run_log()) alongside the rendered table, so no
 /// bench needs to thread its measurements here explicitly. @p sweep, when
-/// given, adds a pool/cache summary line to stdout (never to the report —
-/// reports stay byte-identical across --jobs and cache temperature).
+/// given, adds a pool/cache summary line and per-failure replay lines to
+/// stdout, and a "sweep" section (ok/failed counts, failed_points with
+/// replay commands) to the report. Sweep execution counters never enter the
+/// report — it stays byte-identical across --jobs and cache temperature.
 inline void emit(const CliParser& cli, const std::string& title,
                  const Table& table,
                  const bench::SweepEngine* sweep = nullptr) {
   std::cout << "\n== " << title << " ==\n" << table;
+  bench::SweepReport sr;
   if (sweep != nullptr) {
+    sr = sweep_report(cli, *sweep);
     std::cout << "(sweep: " << sweep->executed_points() << " simulated, "
-              << sweep->cache_hits() << " cache hits, jobs="
-              << sweep->jobs() << ")\n";
+              << sweep->cache_hits() << " cache hits, ";
+    if (sweep->journal_hits() > 0) {
+      std::cout << sweep->journal_hits() << " journal hits, ";
+    }
+    std::cout << "jobs=" << sweep->jobs() << ")\n";
+    for (const auto& f : sr.failures) {
+      std::cout << "(point " << f.index << " " << f.status << ": " << f.message
+                << "; replay: " << f.replay << ")\n";
+    }
   }
   const std::string path = cli.get("csv");
   if (!path.empty()) {
@@ -262,7 +410,8 @@ inline void emit(const CliParser& cli, const std::string& title,
     meta.wall_time_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start_time())
                            .count();
-    if (bench::write_run_report_file(json_path, meta, &table, runs)) {
+    if (bench::write_run_report_file(json_path, meta, &table, runs,
+                                     sweep != nullptr ? &sr : nullptr)) {
       std::cout << "(json report written to " << json_path << ", "
                 << runs.size() << " runs)\n";
     } else {

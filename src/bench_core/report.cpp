@@ -186,8 +186,8 @@ void write_run(JsonWriter& w, const RecordedRun& rec) {
 }  // namespace
 
 void write_run_report(std::ostream& os, const ReportMeta& meta,
-                      const Table* table,
-                      const std::vector<RecordedRun>& runs) {
+                      const Table* table, const std::vector<RecordedRun>& runs,
+                      const SweepReport* sweep) {
   JsonWriter w(os, /*pretty=*/true);
   w.begin_object();
   w.kv("schema", kSchema);
@@ -220,16 +220,39 @@ void write_run_report(std::ostream& os, const ReportMeta& meta,
   for (const auto& rec : runs) write_run(w, rec);
   w.end_array();
 
+  if (sweep != nullptr) {
+    w.key("sweep").begin_object();
+    w.kv("points", std::uint64_t{sweep->points});
+    w.kv("ok", std::uint64_t{sweep->ok});
+    w.kv("failed", std::uint64_t{sweep->failures.size()});
+    w.kv("cache_io_errors", sweep->cache_io_errors);
+    w.kv("quarantined_files", std::uint64_t{sweep->quarantined_files});
+    w.key("failed_points").begin_array();
+    for (const auto& f : sweep->failures) {
+      w.begin_object();
+      w.kv("index", std::uint64_t{f.index});
+      w.kv("status", f.status);
+      w.kv("seed", f.seed);
+      w.kv("message", f.message);
+      w.kv("replay", f.replay);
+      w.kv("workload", f.workload);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.end_object();
   os << "\n";
 }
 
 bool write_run_report_file(const std::string& path, const ReportMeta& meta,
                            const Table* table,
-                           const std::vector<RecordedRun>& runs) {
+                           const std::vector<RecordedRun>& runs,
+                           const SweepReport* sweep) {
   std::ofstream os(path);
   if (!os) return false;
-  write_run_report(os, meta, table, runs);
+  write_run_report(os, meta, table, runs, sweep);
   return os.good();
 }
 

@@ -29,15 +29,38 @@ struct ReportMeta {
   double wall_time_s = 0.0;  ///< wall time of the whole bench run
 };
 
+/// Sweep-resilience summary for the report's "sweep" section: how many
+/// points survived, which failed (with a replay command), and what the
+/// cache/journal layer had to absorb. Statuses are the to_string() names of
+/// bench::PointStatus, kept as strings so the report layer stays decoupled
+/// from the engine.
+struct SweepReport {
+  std::size_t points = 0;  ///< points submitted
+  std::size_t ok = 0;      ///< points that produced a measurement
+  std::uint64_t cache_io_errors = 0;
+  std::size_t quarantined_files = 0;
+  struct Failure {
+    std::size_t index = 0;
+    std::string status;    ///< "timeout", "sim_error", ...
+    std::uint64_t seed = 0;
+    std::string message;   ///< one-line failure description
+    std::string replay;    ///< command that re-executes just this point
+    std::string workload;  ///< WorkloadConfig::describe(), or "task"
+  };
+  std::vector<Failure> failures;
+};
+
 /// Writes the report to @p os. @p table may be null (no table section);
-/// @p runs is typically run_log(). Pretty-printed (reports are small and
-/// meant to be diffable).
+/// @p runs is typically run_log(); @p sweep may be null (no sweep section).
+/// Pretty-printed (reports are small and meant to be diffable).
 void write_run_report(std::ostream& os, const ReportMeta& meta,
-                      const Table* table, const std::vector<RecordedRun>& runs);
+                      const Table* table, const std::vector<RecordedRun>& runs,
+                      const SweepReport* sweep = nullptr);
 
 /// Writes the report to @p path; returns false on I/O failure.
 bool write_run_report_file(const std::string& path, const ReportMeta& meta,
                            const Table* table,
-                           const std::vector<RecordedRun>& runs);
+                           const std::vector<RecordedRun>& runs,
+                           const SweepReport* sweep = nullptr);
 
 }  // namespace am::bench

@@ -107,6 +107,7 @@ MeasuredRun SimBackend::do_run(const WorkloadConfig& config) {
   machine_ = std::make_unique<sim::Machine>(run_config, seed_ ^ config.seed);
   machine_->set_line_profiling(profile_lines_);
   machine_->set_epoch_cycles(epoch_cycles_);
+  machine_->set_watchdog(options_.watchdog);
   if (sink_ != nullptr) {
     machine_->set_sink(sink_);
   } else if (trace_file_ != nullptr) {

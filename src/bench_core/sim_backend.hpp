@@ -14,6 +14,10 @@ namespace am::bench {
 struct SimBackendOptions {
   sim::Cycles warmup_cycles = 50'000;
   sim::Cycles measure_cycles = 250'000;
+  /// Per-run watchdog. Deliberately NOT part of cache_identity(): the
+  /// watchdog never changes a result, only whether a run is allowed to
+  /// finish, so cached points stay valid across budget changes.
+  sim::WatchdogConfig watchdog{};
 };
 
 class SimBackend final : public ExecutionBackend {
@@ -54,6 +58,8 @@ class SimBackend final : public ExecutionBackend {
   /// Stream Chrome trace-event JSON for every run to @p path (empty string
   /// disables). Returns false when the file cannot be opened.
   bool set_trace_file(const std::string& path);
+  /// Override the watchdog for subsequent runs (see SimBackendOptions).
+  void set_watchdog(sim::WatchdogConfig wd) { options_.watchdog = wd; }
 
  private:
   MeasuredRun do_run(const WorkloadConfig& config) override;

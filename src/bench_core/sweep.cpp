@@ -1,16 +1,18 @@
 #include "bench_core/sweep.hpp"
 
+#include <atomic>
 #include <bit>
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "bench_core/sweep_journal.hpp"
 #include "common/json.hpp"
+#include "sim/machine.hpp"
 
 namespace am::bench {
 
@@ -286,17 +288,50 @@ std::optional<MeasuredRun> parse_measured_run(const std::string& text,
 // Engine
 // ---------------------------------------------------------------------------
 
+const char* to_string(PointStatus s) noexcept {
+  switch (s) {
+    case PointStatus::kOk: return "ok";
+    case PointStatus::kTimeout: return "timeout";
+    case PointStatus::kSimError: return "sim_error";
+    case PointStatus::kCacheError: return "cache_error";
+    case PointStatus::kCancelled: return "cancelled";
+    case PointStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Process-wide: set from the SIGINT handler, so it must stay a lone
+/// lock-free atomic store away from any engine state.
+std::atomic<bool> g_cancel{false};
+
+}  // namespace
+
+void SweepEngine::request_cancel() noexcept {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+bool SweepEngine::cancel_requested() noexcept {
+  return g_cancel.load(std::memory_order_relaxed);
+}
+void SweepEngine::clear_cancel() noexcept {
+  g_cancel.store(false, std::memory_order_relaxed);
+}
+
 struct SweepEngine::Point {
   bool is_task = false;
   WorkloadConfig config;
   Task task;
   std::uint64_t seed = 0;
+  std::size_t index = 0;
 
   std::vector<RecordedRun> local_log;
   MeasuredRun result;
   bool has_result = false;
   bool from_cache = false;
-  std::exception_ptr error;
+  bool from_journal = false;
+  PointStatus status = PointStatus::kOk;
+  std::string message;  ///< failure description when status != kOk
 };
 
 struct SweepEngine::Impl {
@@ -305,12 +340,17 @@ struct SweepEngine::Impl {
   std::condition_variable done_cv;  ///< drain(): a point completed
   std::vector<std::unique_ptr<Point>> points;
   std::size_t next = 0;       ///< next point to hand to a worker
-  std::size_t completed = 0;  ///< points finished (ok or error)
+  std::size_t completed = 0;  ///< points finished (ok or failed)
   std::size_t flushed = 0;    ///< points merged into the global run log
   std::size_t executed = 0;   ///< cache misses + tasks actually run
   std::size_t cache_hits = 0;
+  std::size_t journal_hits = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t cache_io_errors = 0;
+  bool io_warning_emitted = false;
   bool stop = false;
   std::vector<std::thread> workers;
+  sweep::SweepJournal journal;
 };
 
 SweepEngine::SweepEngine(BackendFactory factory, SweepOptions options)
@@ -319,7 +359,13 @@ SweepEngine::SweepEngine(BackendFactory factory, SweepOptions options)
       jobs_(options_.jobs != 0
                 ? options_.jobs
                 : std::max(1u, std::thread::hardware_concurrency())),
-      impl_(std::make_unique<Impl>()) {}
+      impl_(std::make_unique<Impl>()) {
+  if (!options_.journal_path.empty() && options_.replay_point < 0) {
+    if (!impl_->journal.open(options_.journal_path)) {
+      ++impl_->cache_io_errors;  // degrade: run unjournaled, warn at drain()
+    }
+  }
+}
 
 SweepEngine::~SweepEngine() {
   {
@@ -337,6 +383,7 @@ std::size_t SweepEngine::submit(const WorkloadConfig& config) {
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
     index = impl_->points.size();
+    p->index = index;
     p->seed = point_seed(options_.base_seed, index);
     impl_->points.push_back(std::move(p));
     // Lazy pool start: an engine that is never used costs no threads.
@@ -357,6 +404,7 @@ std::size_t SweepEngine::submit_task(Task task) {
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
     index = impl_->points.size();
+    p->index = index;
     p->seed = point_seed(options_.base_seed, index);
     impl_->points.push_back(std::move(p));
     if (impl_->workers.size() < jobs_ &&
@@ -382,13 +430,22 @@ void SweepEngine::worker_loop() {
       }
       point = impl_->points[impl_->next++].get();
     }
-    execute_point(*point);
+    if (cancel_requested()) {
+      // In-flight points finish; this one never started, so it is cleanly
+      // cancellable without losing work.
+      point->status = PointStatus::kCancelled;
+      point->message = "cancelled before execution (SIGINT)";
+    } else {
+      execute_point(*point);
+    }
     {
       const std::lock_guard<std::mutex> lock(impl_->mu);
       ++impl_->completed;
-      if (point->error == nullptr) {
+      if (point->status == PointStatus::kOk) {
         if (point->from_cache) {
           ++impl_->cache_hits;
+        } else if (point->from_journal) {
+          ++impl_->journal_hits;
         } else {
           ++impl_->executed;
         }
@@ -399,6 +456,14 @@ void SweepEngine::worker_loop() {
 }
 
 void SweepEngine::execute_point(Point& p) {
+  if (options_.replay_point >= 0 &&
+      p.index != static_cast<std::size_t>(options_.replay_point)) {
+    p.status = PointStatus::kSkipped;
+    p.message = "skipped (--replay-point=" +
+                std::to_string(options_.replay_point) + ")";
+    return;
+  }
+  const bool replaying = options_.replay_point >= 0;
   try {
     if (p.is_task) {
       p.task(p.seed, p.local_log);
@@ -407,22 +472,65 @@ void SweepEngine::execute_point(Point& p) {
     std::unique_ptr<ExecutionBackend> backend = factory_(p.seed);
     backend->set_run_recorder(&p.local_log);
 
+    // Replay bypasses cache and journal entirely: the point must re-execute.
     std::string cache_path;
     std::string key;
-    if (!options_.cache_dir.empty()) {
+    if (!replaying) {
       key = sweep_cache_key(backend->cache_identity(), p.config, p.seed);
-      if (!key.empty()) {
+    }
+    if (!key.empty()) {
+      if (impl_->journal.is_open()) {
+        if (auto journaled = impl_->journal.lookup(key)) {
+          p.result = std::move(*journaled);
+          p.has_result = true;
+          p.from_journal = true;
+          p.local_log.push_back(RecordedRun{p.config, p.result});
+          return;
+        }
+      }
+      if (!options_.cache_dir.empty()) {
         cache_path = options_.cache_dir + "/" + key + ".json";
-        std::ifstream in(cache_path);
-        if (in) {
-          std::ostringstream buf;
-          buf << in.rdbuf();
-          if (auto cached = parse_measured_run(buf.str(), key)) {
-            p.result = std::move(*cached);
-            p.has_result = true;
-            p.from_cache = true;
-            p.local_log.push_back(RecordedRun{p.config, p.result});
-            return;
+        std::string bytes;
+        switch (sweep::read_file_with_retry(cache_path, bytes)) {
+          case sweep::IoResult::kOk:
+            if (auto cached = parse_measured_run(bytes, key)) {
+              p.result = std::move(*cached);
+              p.has_result = true;
+              p.from_cache = true;
+              p.local_log.push_back(RecordedRun{p.config, p.result});
+              record_in_journal(key, p.result);
+              return;
+            }
+            // Corrupt bytes or a stale/colliding key: quarantine the file
+            // for postmortem and recompute — never trust it again.
+            sweep::quarantine_file(options_.cache_dir, cache_path);
+            {
+              const std::lock_guard<std::mutex> lock(impl_->mu);
+              ++impl_->quarantined;
+            }
+            break;
+          case sweep::IoResult::kMissing:
+            break;
+          case sweep::IoResult::kError: {
+            bool escalate = false;
+            if (sweep::IoFaults* f = sweep::io_faults()) {
+              escalate = f->escalate_read.load(std::memory_order_relaxed);
+            }
+            {
+              const std::lock_guard<std::mutex> lock(impl_->mu);
+              ++impl_->cache_io_errors;
+            }
+            if (escalate) {
+              p.status = PointStatus::kCacheError;
+              p.message = "cache read failed after " +
+                          std::to_string(sweep::kIoAttempts) +
+                          " attempts: " + cache_path;
+              p.local_log.clear();
+              return;
+            }
+            // Degrade: run uncached rather than fail the point.
+            cache_path.clear();
+            break;
           }
         }
       }
@@ -434,24 +542,38 @@ void SweepEngine::execute_point(Point& p) {
     if (!cache_path.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(options_.cache_dir, ec);
-      // Write-then-rename keeps concurrent writers from tearing a file;
-      // last rename wins and both wrote identical bytes.
-      const std::string tmp =
-          cache_path + ".tmp." +
-          std::to_string(std::hash<std::thread::id>{}(
-              std::this_thread::get_id()));
-      std::ofstream out(tmp, std::ios::trunc);
-      if (out) {
-        out << serialize_measured_run(p.result, key);
-        out.close();
-        if (out.good()) {
-          std::filesystem::rename(tmp, cache_path, ec);
-        }
-        if (ec) std::filesystem::remove(tmp, ec);
+      if (sweep::write_file_atomic(cache_path,
+                                   serialize_measured_run(p.result, key)) !=
+          sweep::IoResult::kOk) {
+        // A lost cache write only costs a future recompute — degrade, count
+        // it, and surface one warning at drain() instead of failing the
+        // point (or worse, staying silent).
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        ++impl_->cache_io_errors;
       }
     }
+    record_in_journal(key, p.result);
+  } catch (const sim::PointTimeout& e) {
+    p.status = PointStatus::kTimeout;
+    p.message = e.what();
+    p.local_log.clear();
+  } catch (const std::exception& e) {
+    p.status = PointStatus::kSimError;
+    p.message = e.what();
+    p.local_log.clear();
   } catch (...) {
-    p.error = std::current_exception();
+    p.status = PointStatus::kSimError;
+    p.message = "unknown error";
+    p.local_log.clear();
+  }
+}
+
+void SweepEngine::record_in_journal(const std::string& key,
+                                    const MeasuredRun& run) {
+  if (key.empty() || !impl_->journal.is_open()) return;
+  if (!impl_->journal.append(key, run)) {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->cache_io_errors;
   }
 }
 
@@ -462,25 +584,95 @@ void SweepEngine::drain() {
   while (impl_->flushed < impl_->points.size()) {
     Point& p = *impl_->points[impl_->flushed];
     ++impl_->flushed;
-    if (p.error != nullptr) {
-      std::rethrow_exception(p.error);
-    }
+    if (p.status != PointStatus::kOk) continue;  // failed points flush nothing
     for (auto& rec : p.local_log) {
       append_run_log(std::move(rec));
     }
     p.local_log.clear();
   }
+  const std::uint64_t io_errors =
+      impl_->cache_io_errors + impl_->journal.io_errors();
+  if (io_errors > 0 && !impl_->io_warning_emitted) {
+    impl_->io_warning_emitted = true;
+    std::fprintf(stderr,
+                 "warning: sweep: %llu cache/journal I/O error(s); affected "
+                 "points ran uncached (results are unaffected)\n",
+                 static_cast<unsigned long long>(io_errors));
+  }
 }
 
 const MeasuredRun& SweepEngine::result(std::size_t index) const {
   const std::lock_guard<std::mutex> lock(impl_->mu);
-  if (index >= impl_->points.size() || !impl_->points[index]->has_result) {
-    throw std::logic_error("SweepEngine::result: point " +
-                           std::to_string(index) +
-                           " has no measurement (not drained, a task, or "
-                           "failed)");
+  if (index < impl_->points.size() && impl_->points[index]->has_result) {
+    return impl_->points[index]->result;
   }
-  return impl_->points[index]->result;
+  std::string why = "not drained or a task";
+  if (index < impl_->points.size()) {
+    const Point& p = *impl_->points[index];
+    if (p.status != PointStatus::kOk) {
+      why = std::string(to_string(p.status)) + ": " + p.message +
+            "; replay: rerun with --jobs=1 --replay-point=" +
+            std::to_string(index);
+    }
+  }
+  throw std::logic_error("SweepEngine::result: point " +
+                         std::to_string(index) + " has no measurement (" +
+                         why + ")");
+}
+
+const MeasuredRun* SweepEngine::result_or_null(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (index >= impl_->points.size() || !impl_->points[index]->has_result) {
+    return nullptr;
+  }
+  return &impl_->points[index]->result;
+}
+
+PointOutcome SweepEngine::outcome(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  PointOutcome out;
+  if (index >= impl_->points.size()) {
+    out.status = PointStatus::kSimError;
+    out.message = "no such point";
+    return out;
+  }
+  const Point& p = *impl_->points[index];
+  out.status = p.status;
+  out.message = p.message;
+  out.seed = p.seed;
+  out.from_cache = p.from_cache;
+  out.from_journal = p.from_journal;
+  return out;
+}
+
+std::vector<FailedPoint> SweepEngine::failed_points() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<FailedPoint> out;
+  for (const auto& pp : impl_->points) {
+    const Point& p = *pp;
+    if (p.status == PointStatus::kOk || p.status == PointStatus::kSkipped) {
+      continue;
+    }
+    FailedPoint f;
+    f.index = p.index;
+    f.status = p.status;
+    f.message = p.message;
+    f.seed = p.seed;
+    f.is_task = p.is_task;
+    f.config = p.config;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::size_t SweepEngine::submitted_points() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->points.size();
+}
+
+std::size_t SweepEngine::ok_points() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->executed + impl_->cache_hits + impl_->journal_hits;
 }
 
 std::size_t SweepEngine::executed_points() const {
@@ -491,6 +683,21 @@ std::size_t SweepEngine::executed_points() const {
 std::size_t SweepEngine::cache_hits() const {
   const std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->cache_hits;
+}
+
+std::size_t SweepEngine::journal_hits() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->journal_hits;
+}
+
+std::uint64_t SweepEngine::cache_io_errors() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->cache_io_errors + impl_->journal.io_errors();
+}
+
+std::size_t SweepEngine::quarantined_files() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->quarantined;
 }
 
 }  // namespace am::bench

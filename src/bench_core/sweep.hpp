@@ -51,6 +51,41 @@ std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t index) noexcept;
 /// the combination is fine (@p jobs <= 1, or no trace requested).
 std::string jobs_trace_conflict(std::int64_t jobs, bool trace_requested);
 
+// --- per-point outcomes ------------------------------------------------------
+
+/// Terminal state of one sweep point. A failed point never aborts the sweep:
+/// it surfaces as a degraded table row and a failed_points report entry while
+/// every other point completes normally.
+enum class PointStatus : std::uint8_t {
+  kOk,          ///< measured (or served from cache/journal)
+  kTimeout,     ///< sim::PointTimeout — watchdog budget or livelock
+  kSimError,    ///< simulator/backend/task threw
+  kCacheError,  ///< cache I/O failure escalated (IoFaults::escalate_read)
+  kCancelled,   ///< cancel requested (SIGINT) before the point started
+  kSkipped,     ///< not this point (replay mode runs exactly one index)
+};
+
+const char* to_string(PointStatus s) noexcept;
+
+/// Everything known about how one point ended.
+struct PointOutcome {
+  PointStatus status = PointStatus::kOk;
+  std::string message;  ///< one-line failure description; empty when ok
+  std::uint64_t seed = 0;
+  bool from_cache = false;
+  bool from_journal = false;
+};
+
+/// Report-facing record of a point that did not produce a measurement.
+struct FailedPoint {
+  std::size_t index = 0;
+  PointStatus status = PointStatus::kSimError;
+  std::string message;
+  std::uint64_t seed = 0;
+  bool is_task = false;
+  WorkloadConfig config;  ///< meaningful only when !is_task
+};
+
 struct SweepOptions {
   /// Pool width. 0 = hardware_concurrency, 1 = serial (same seeds/results).
   unsigned jobs = 0;
@@ -59,6 +94,14 @@ struct SweepOptions {
   std::string cache_dir;
   /// Base seed for per-point seed derivation (--base-seed).
   std::uint64_t base_seed = 1;
+  /// Crash-safe completed-point journal (--sweep-journal); empty disables.
+  /// See sweep_journal.hpp — a rerun after SIGKILL/SIGINT skips journaled
+  /// points even with the result cache disabled.
+  std::string journal_path;
+  /// When >= 0, run exactly this submission index (serially, bypassing cache
+  /// and journal) and mark every other point kSkipped — the replay command
+  /// printed for failed points (--replay-point).
+  std::int64_t replay_point = -1;
 };
 
 class SweepEngine {
@@ -86,19 +129,49 @@ class SweepEngine {
   /// Enqueues a free-form task (not cached); returns its index.
   std::size_t submit_task(Task task);
 
-  /// Blocks until every submitted point has executed, then flushes their
-  /// recorded runs into the process-wide run log in submission order.
-  /// Rethrows the first point failure (by submission order), after flushing
-  /// the points that preceded it. More points may be submitted afterwards.
+  /// Blocks until every submitted point has reached a terminal state, then
+  /// flushes the recorded runs of the ok points into the process-wide run
+  /// log in submission order. Never rethrows point failures — inspect
+  /// outcome()/failed_points(). Emits a once-per-sweep stderr warning when
+  /// cache/journal I/O errors degraded the sweep. More points may be
+  /// submitted afterwards.
   void drain();
 
-  /// Measurement of workload point @p index; valid after drain().
+  /// Measurement of workload point @p index; valid after drain(). Throws
+  /// std::logic_error for a failed point — the message carries the outcome
+  /// and a --jobs=1 --replay-point=N replay hint. Prefer result_or_null()
+  /// when degraded rows are acceptable.
   const MeasuredRun& result(std::size_t index) const;
+  /// Like result(), but nullptr instead of throwing for failed/task points.
+  const MeasuredRun* result_or_null(std::size_t index) const;
+  /// How point @p index ended; valid after drain().
+  PointOutcome outcome(std::size_t index) const;
+  /// Every point that reached a non-ok, non-skipped terminal state, in
+  /// submission order.
+  std::vector<FailedPoint> failed_points() const;
 
+  /// Points submitted so far.
+  std::size_t submitted_points() const;
+  /// Points that reached PointStatus::kOk so far.
+  std::size_t ok_points() const;
   /// Points actually executed (cache misses + tasks) so far.
   std::size_t executed_points() const;
   /// Points served from the result cache so far.
   std::size_t cache_hits() const;
+  /// Points served from the crash-recovery journal so far.
+  std::size_t journal_hits() const;
+  /// Cache/journal I/O failures survived so far (the sweep degraded to
+  /// uncached/unjournaled execution instead of failing).
+  std::uint64_t cache_io_errors() const;
+  /// Corrupt or key-mismatched cache files moved to <cache_dir>/quarantine/.
+  std::size_t quarantined_files() const;
+
+  /// Process-wide cooperative cancel, async-signal-safe: a SIGINT handler
+  /// calls request_cancel(); workers finish in-flight points, mark unstarted
+  /// ones kCancelled, and drain() returns with partial results.
+  static void request_cancel() noexcept;
+  static bool cancel_requested() noexcept;
+  static void clear_cancel() noexcept;  ///< test isolation
   /// Effective pool width.
   unsigned jobs() const noexcept { return jobs_; }
   std::uint64_t base_seed() const noexcept { return options_.base_seed; }
@@ -109,6 +182,7 @@ class SweepEngine {
 
   void worker_loop();
   void execute_point(Point& p);
+  void record_in_journal(const std::string& key, const MeasuredRun& run);
 
   BackendFactory factory_;
   SweepOptions options_;

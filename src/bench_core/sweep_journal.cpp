@@ -1,0 +1,274 @@
+#include "bench_core/sweep_journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_core/sweep.hpp"
+#include "common/json.hpp"
+
+namespace am::bench::sweep {
+
+namespace {
+
+std::atomic<IoFaults*> g_faults{nullptr};
+
+void backoff_sleep(int attempt) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(kIoBackoffBaseMs << attempt));
+}
+
+/// write(2) the whole buffer, honoring injected faults. A torn-write fault
+/// deliberately leaves a half-written prefix behind — the crash shape the
+/// journal loader must tolerate.
+bool faulty_write_all(int fd, const char* data, std::size_t len,
+                      std::string* err) {
+  IoFaults* f = io_faults();
+  if (f != nullptr && IoFaults::consume(f->torn_write)) {
+    const std::size_t half = len / 2;
+    if (half > 0) (void)!::write(fd, data, half);
+    if (err != nullptr) *err = "injected torn write";
+    return false;
+  }
+  if (f != nullptr && IoFaults::consume(f->write_enospc)) {
+    if (err != nullptr) *err = "injected ENOSPC";
+    return false;
+  }
+  while (len > 0) {
+    const ::ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err != nullptr) *err = std::strerror(errno);
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Flushes the entry containing @p path so a rename survives power loss.
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool IoFaults::consume(std::atomic<int>& counter) noexcept {
+  int v = counter.load(std::memory_order_relaxed);
+  for (;;) {
+    if (v == 0) return false;
+    if (v < 0) return true;  // inject always
+    if (counter.compare_exchange_weak(v, v - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void set_io_faults(IoFaults* faults) noexcept {
+  g_faults.store(faults, std::memory_order_release);
+}
+
+IoFaults* io_faults() noexcept {
+  return g_faults.load(std::memory_order_acquire);
+}
+
+IoResult read_file_with_retry(const std::string& path, std::string& out) {
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    IoFaults* f = io_faults();
+    if (f != nullptr && IoFaults::consume(f->read_eio)) continue;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return IoResult::kMissing;
+      continue;
+    }
+    out.clear();
+    char buf[1 << 16];
+    bool ok = true;
+    for (;;) {
+      const ::ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (ok) return IoResult::kOk;
+  }
+  return IoResult::kError;
+}
+
+IoResult write_file_atomic(const std::string& path, const std::string& bytes) {
+  // A unique temp name keeps concurrent writers (pool threads racing on one
+  // cache key) from tearing each other; last rename wins with equal bytes.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      "." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) continue;
+    std::string err;
+    bool ok = faulty_write_all(fd, bytes.data(), bytes.size(), &err);
+    if (ok && ::fsync(fd) != 0) ok = false;
+    ::close(fd);
+    if (ok) {
+      IoFaults* f = io_faults();
+      if (f != nullptr && IoFaults::consume(f->rename_eio)) {
+        ok = false;
+      } else if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      fsync_parent_dir(path);
+      return IoResult::kOk;
+    }
+    ::unlink(tmp.c_str());
+  }
+  return IoResult::kError;
+}
+
+bool quarantine_file(const std::string& cache_dir, const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path qdir = fs::path(cache_dir) / "quarantine";
+  fs::create_directories(qdir, ec);
+  const fs::path dest = qdir / fs::path(path).filename();
+  fs::rename(path, dest, ec);
+  if (!ec) return true;
+  // Last resort: drop the corrupt file so the sweep cannot keep re-reading
+  // the same bad bytes on every rerun.
+  fs::remove(path, ec);
+  return false;
+}
+
+// --- SweepJournal ------------------------------------------------------------
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SweepJournal::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  entries_.clear();
+  loaded_ = 0;
+
+  std::string content;
+  const IoResult r = read_file_with_retry(path, content);
+  if (r == IoResult::kError) {
+    ++io_errors_;
+    return false;
+  }
+
+  bool needs_rewrite = false;
+  if (r == IoResult::kOk && !content.empty()) {
+    std::istringstream in(content);
+    std::string line;
+    bool header_ok = false;
+    if (std::getline(in, line) && line == kJournalVersion &&
+        content.find('\n') != std::string::npos) {
+      header_ok = true;
+    }
+    if (!header_ok) {
+      // Not a journal (or a headerless torn stump): set it aside rather than
+      // silently destroying whatever it was.
+      std::error_code ec;
+      std::filesystem::rename(path, path + ".corrupt", ec);
+      if (ec) std::filesystem::remove(path, ec);
+      needs_rewrite = true;
+    } else {
+      // content ends with '\n' for every complete entry; a torn tail is the
+      // suffix after the last newline (or an unparseable line mid-file).
+      while (std::getline(in, line)) {
+        const bool complete_line =
+            static_cast<std::size_t>(in.tellg()) <= content.size() ||
+            content.back() == '\n';
+        const auto doc = JsonValue::parse(line);
+        const JsonValue* key = doc.has_value() ? doc->find("key") : nullptr;
+        if (!complete_line || key == nullptr ||
+            key->type() != JsonValue::Type::kString ||
+            !parse_measured_run(line, key->as_string()).has_value()) {
+          needs_rewrite = true;  // torn tail / corrupt entry: drop the rest
+          break;
+        }
+        entries_[key->as_string()] = line;
+      }
+      loaded_ = entries_.size();
+    }
+  }
+
+  if (needs_rewrite || r == IoResult::kMissing) {
+    std::string compact = std::string(kJournalVersion) + "\n";
+    for (const auto& [k, text] : entries_) compact += text + "\n";
+    if (write_file_atomic(path, compact) != IoResult::kOk) {
+      ++io_errors_;
+      return false;
+    }
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    ++io_errors_;
+    return false;
+  }
+  return true;
+}
+
+std::optional<MeasuredRun> SweepJournal::lookup(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return parse_measured_run(it->second, key);
+}
+
+bool SweepJournal::write_all(int fd, const char* data, std::size_t len) {
+  std::string err;
+  if (!faulty_write_all(fd, data, len, &err)) return false;
+  return ::fsync(fd) == 0;
+}
+
+bool SweepJournal::append(const std::string& key, const MeasuredRun& run) {
+  if (key.empty()) return false;
+  const std::string line = serialize_measured_run(run, key);  // '\n'-terminated
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return false;
+  if (!write_all(fd_, line.data(), line.size())) {
+    ++io_errors_;
+    return false;
+  }
+  entries_[key] = line.substr(0, line.size() - 1);
+  return true;
+}
+
+std::size_t SweepJournal::loaded_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return loaded_;
+}
+
+std::uint64_t SweepJournal::io_errors() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return io_errors_;
+}
+
+}  // namespace am::bench::sweep

@@ -1,0 +1,129 @@
+// Crash-safe sweep infrastructure: the completed-point journal and the
+// fault-injectable cache I/O layer.
+//
+// The journal (`am-sweep-journal/1`) records every completed sweep point —
+// keyed by sweep_cache_key, carrying the full bit-exact MeasuredRun — in an
+// append-only, fsync'd file. Rerunning the same command after a SIGKILL or
+// SIGINT skips the recorded points even with the result cache disabled, and
+// the rerun's report is byte-identical to an uninterrupted run. A torn tail
+// (crash mid-append) is tolerated on load and compacted away by an
+// atomic-rename rotation.
+//
+// All cache/journal file I/O funnels through the helpers here so that
+// (a) transient errors retry with bounded exponential backoff before the
+// sweep degrades to uncached execution, and (b) tests can inject torn
+// writes, ENOSPC and EIO through sweep::IoFaults to prove every failure
+// path without a faulty disk.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "bench_core/result.hpp"
+
+namespace am::bench::sweep {
+
+// --- fault injection ---------------------------------------------------------
+
+/// Test hook injecting I/O failures into the sweep cache/journal layer.
+/// Each counter is consumed once per matching operation; 0 injects nothing,
+/// a negative value injects on every operation.
+struct IoFaults {
+  std::atomic<int> read_eio{0};      ///< file reads fail with EIO
+  std::atomic<int> write_enospc{0};  ///< file writes fail with ENOSPC
+  std::atomic<int> torn_write{0};    ///< write half the bytes, then fail
+  std::atomic<int> rename_eio{0};    ///< the atomic-rename publish fails
+  /// When set, an injected *read* fault escalates to a failed point
+  /// (PointStatus::kCacheError) instead of degrading to uncached execution —
+  /// proves the cache_error outcome propagates end to end.
+  std::atomic<bool> escalate_read{false};
+
+  /// Consumes one injection from @p counter; true when the op must fail.
+  static bool consume(std::atomic<int>& counter) noexcept;
+};
+
+/// Attaches @p faults to the sweep I/O layer (nullptr detaches). Not owned;
+/// the caller keeps it alive for the duration. Test-only.
+void set_io_faults(IoFaults* faults) noexcept;
+IoFaults* io_faults() noexcept;
+
+// --- retrying file I/O -------------------------------------------------------
+
+enum class IoResult : std::uint8_t {
+  kOk,
+  kMissing,  ///< file does not exist (reads only)
+  kError,    ///< failed after every retry
+};
+
+/// Retry schedule: attempt k sleeps kIoBackoffBaseMs << k before retrying.
+inline constexpr int kIoAttempts = 3;
+inline constexpr int kIoBackoffBaseMs = 1;
+
+/// Reads the whole file into @p out, retrying transient errors with bounded
+/// exponential backoff.
+IoResult read_file_with_retry(const std::string& path, std::string& out);
+
+/// Writes @p bytes to @p path via a unique temp file and atomic rename, with
+/// the same retry policy. On failure the temp file is removed and the
+/// destination left untouched.
+IoResult write_file_atomic(const std::string& path, const std::string& bytes);
+
+/// Moves an unreadable/mismatched cache file into `<cache_dir>/quarantine/`
+/// for postmortem instead of silently overwriting it. Returns false when
+/// the move itself failed (the file is removed as a last resort so the
+/// sweep cannot livelock re-reading the same corrupt bytes).
+bool quarantine_file(const std::string& cache_dir, const std::string& path);
+
+// --- the journal -------------------------------------------------------------
+
+inline constexpr const char* kJournalVersion = "am-sweep-journal/1";
+
+/// Append-only completed-point journal. Thread-safe: pool workers append
+/// concurrently. I/O failures never throw — they count into io_errors() and
+/// the sweep continues without the crashed-run safety net.
+class SweepJournal {
+ public:
+  SweepJournal() = default;
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at @p path and loads every
+  /// complete entry. A torn tail or corrupt line stops the load there and
+  /// the valid prefix is rewritten in place via atomic rename; a file that
+  /// is not a journal at all is set aside as `<path>.corrupt`. Returns
+  /// false when the file cannot be opened for appending.
+  bool open(const std::string& path);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Completed run recorded under @p key, if any.
+  std::optional<MeasuredRun> lookup(const std::string& key) const;
+
+  /// Appends one completed point and fsyncs. Returns false on I/O failure
+  /// (counted in io_errors(); the sweep continues unjournaled).
+  bool append(const std::string& key, const MeasuredRun& run);
+
+  /// Entries loaded from disk at open().
+  std::size_t loaded_entries() const;
+  /// Append/load failures survived so far.
+  std::uint64_t io_errors() const;
+
+ private:
+  bool write_all(int fd, const char* data, std::size_t len);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  int fd_ = -1;
+  std::unordered_map<std::string, std::string> entries_;  ///< key -> line
+  std::size_t loaded_ = 0;
+  std::uint64_t io_errors_ = 0;
+};
+
+}  // namespace am::bench::sweep

@@ -9,6 +9,22 @@
 
 namespace am::sim {
 
+PointTimeout::PointTimeout(Kind k, Cycles at, std::uint64_t events)
+    : std::runtime_error(std::string("watchdog: ") + to_string(k) +
+                         " at cycle " + std::to_string(at) + " after " +
+                         std::to_string(events) + " events"),
+      kind(k),
+      at_cycle(at),
+      events_processed(events) {}
+
+const char* to_string(PointTimeout::Kind k) noexcept {
+  switch (k) {
+    case PointTimeout::Kind::kCycleBudget: return "cycle budget exceeded";
+    case PointTimeout::Kind::kNoProgress: return "no forward progress";
+  }
+  return "?";
+}
+
 Machine::Machine(MachineConfig config, std::uint64_t seed)
     : config_(std::move(config)),
       interconnect_(config_.make_interconnect()),
@@ -181,15 +197,48 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
 
   for (CoreId c = 0; c < active_cores; ++c) schedule(0, EventKind::kFetchNext, c);
 
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    now_ = ev.time;
-    switch (ev.kind) {
-      case EventKind::kFetchNext: handle_fetch_next(ev); break;
-      case EventKind::kIssue: handle_issue(ev); break;
-      case EventKind::kOpDone: handle_op_done(ev); break;
+  // Watchdog state: the budget is on simulated time, the livelock check on
+  // events dispatched without a grant or an op retirement in between.
+  progress_marks_ = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t last_marks = 0;
+  std::uint64_t last_progress_event = 0;
+
+  try {
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      if (watchdog_.max_cycles != 0 && now_ > watchdog_.max_cycles) {
+        throw PointTimeout(PointTimeout::Kind::kCycleBudget, now_,
+                           events_processed);
+      }
+      switch (ev.kind) {
+        case EventKind::kFetchNext: handle_fetch_next(ev); break;
+        case EventKind::kIssue: handle_issue(ev); break;
+        case EventKind::kOpDone: handle_op_done(ev); break;
+      }
+      ++events_processed;
+      if (progress_marks_ != last_marks) {
+        last_marks = progress_marks_;
+        last_progress_event = events_processed;
+      } else if (watchdog_.progress_events != 0 &&
+                 events_processed - last_progress_event >=
+                     watchdog_.progress_events) {
+        throw PointTimeout(PointTimeout::Kind::kNoProgress, now_,
+                           events_processed);
+      }
     }
+  } catch (...) {
+    // The machine is mid-transaction (busy lines, queued requests) and must
+    // be discarded; leave it consistent enough to destroy and keep any
+    // attached trace well-formed.
+    events_ = {};
+    if (sink_ != nullptr) sink_->on_run_end();
+    program_ = nullptr;
+    stats_ = nullptr;
+    energy_ = nullptr;
+    throw;
   }
 
   energy.add_static(measure);
@@ -600,6 +649,7 @@ void Machine::try_grant(LineId id) {
   }
 
   if (config_.paranoid_checks) check_line_invariants(ls, id);
+  ++progress_marks_;  // a directory grant moved a line: forward progress
   note_grant(id, req.core, supply, xfer,
              static_cast<std::uint32_t>(ls.queue.size()),
              /*counts_acquisition=*/true);
@@ -782,6 +832,7 @@ void Machine::handle_op_done(const Event& ev) {
   }
   if (EpochSample* ep = epoch_at(now_)) ++ep->ops;
   adjust_outstanding(-1);
+  ++progress_marks_;  // an operation retired: forward progress
 
   if (in_window && ev.core < stats_->threads.size()) {
     record_completion(ev.core, result, latency);

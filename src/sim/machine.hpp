@@ -20,6 +20,7 @@
 #include <list>
 #include <memory>
 #include <queue>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,35 @@
 #include "sim/types.hpp"
 
 namespace am::sim {
+
+/// Structured watchdog failure: a run exceeded its simulated-cycle budget or
+/// processed many events without any line grant / op retirement (livelock —
+/// e.g. a mis-calibrated config whose CAS loop can never succeed). The sweep
+/// engine catches this and marks the point `timeout` instead of hanging a
+/// pool thread forever. The machine that threw is left mid-transaction and
+/// must be discarded, not reused.
+struct PointTimeout : std::runtime_error {
+  enum class Kind : std::uint8_t {
+    kCycleBudget,  ///< simulated time passed WatchdogConfig::max_cycles
+    kNoProgress,   ///< progress_events events without a grant or retirement
+  };
+  PointTimeout(Kind k, Cycles at, std::uint64_t events);
+
+  Kind kind;
+  Cycles at_cycle;               ///< simulated time when the watchdog fired
+  std::uint64_t events_processed;  ///< events handled by the run so far
+};
+
+const char* to_string(PointTimeout::Kind k) noexcept;
+
+/// Budgets enforced by the run() event loop. Zero disables a check; the
+/// defaults keep raw Machine users (oracle, calibration probes with huge
+/// open-ended windows) unlimited — SimBackend arms generous budgets for
+/// sweep points.
+struct WatchdogConfig {
+  Cycles max_cycles = 0;            ///< simulated-cycle ceiling (0 = none)
+  std::uint64_t progress_events = 0;  ///< livelock window in events (0 = none)
+};
 
 class Machine {
  public:
@@ -106,6 +136,12 @@ class Machine {
   /// Enables the epoch sampler: RunStats::epochs gets one EpochSample per
   /// @p window cycles of the measurement window (0 disables).
   void set_epoch_cycles(Cycles window) { epoch_cycles_ = window; }
+
+  /// Arms the run watchdog; run() throws PointTimeout when a budget is
+  /// exceeded. A machine whose run threw is mid-transaction and must be
+  /// rebuilt before the next run.
+  void set_watchdog(WatchdogConfig wd) noexcept { watchdog_ = wd; }
+  const WatchdogConfig& watchdog() const noexcept { return watchdog_; }
 
  private:
   // --- event machinery -----------------------------------------------------
@@ -261,6 +297,11 @@ class Machine {
   Cycles epoch_cycles_ = 0;
   std::vector<EpochSample> epochs_;
   std::uint32_t outstanding_ = 0;
+
+  WatchdogConfig watchdog_{};
+  /// Bumped on every line grant and op retirement; the run loop compares it
+  /// across events to detect livelock (events flowing, nothing advancing).
+  std::uint64_t progress_marks_ = 0;
 
   // Per-run context.
   ThreadProgram* program_ = nullptr;

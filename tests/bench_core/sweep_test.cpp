@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -19,7 +20,9 @@
 #include "bench_core/report.hpp"
 #include "bench_core/sim_backend.hpp"
 #include "bench_core/sweep.hpp"
+#include "bench_core/sweep_journal.hpp"
 #include "sim/config.hpp"
+#include "sim/machine.hpp"
 
 namespace am::bench {
 namespace {
@@ -307,22 +310,417 @@ TEST(SweepStress, MixedPointsAndTasksKeepSubmissionOrder) {
   clear_run_log();
 }
 
-TEST(SweepEngineErrors, DrainRethrowsFirstFailureAfterFlushingPredecessors) {
+// --- failure isolation -------------------------------------------------------
+
+// Magic workload seeds that make FlakyBackend fail a point in a chosen way;
+// every other seed produces a normal (fast, deterministic) fake result.
+constexpr std::uint64_t kSeedSimError = 1001;
+constexpr std::uint64_t kSeedTimeout = 1002;
+
+class FlakyBackend final : public ExecutionBackend {
+ public:
+  explicit FlakyBackend(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "flaky"; }
+  std::string machine_name() const override { return "flaky"; }
+  std::uint32_t max_threads() const override { return 64; }
+  double freq_ghz() const override { return 1.0; }
+
+ protected:
+  MeasuredRun do_run(const WorkloadConfig& config) override {
+    if (config.seed == kSeedSimError) {
+      throw std::runtime_error("point exploded");
+    }
+    if (config.seed == kSeedTimeout) {
+      throw sim::PointTimeout(sim::PointTimeout::Kind::kCycleBudget, 12'345,
+                              99);
+    }
+    MeasuredRun r;
+    r.backend = "flaky";
+    r.machine = "flaky";
+    r.duration_cycles = 1000.0;
+    ThreadResult t;
+    t.ops = seed_ ^ config.seed;
+    r.threads.push_back(t);
+    return r;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+SweepEngine::BackendFactory flaky_factory() {
+  return [](std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
+    return std::make_unique<FlakyBackend>(seed);
+  };
+}
+
+// The core isolation contract: a sweep with failing points drains without
+// throwing, surviving results stay intact in submission order, and the run
+// log (hence the report) is byte-identical at any --jobs.
+std::string run_flaky_grid(unsigned jobs, SweepEngine** out = nullptr,
+                           std::vector<std::size_t>* indices = nullptr) {
+  clear_run_log();
+  SweepOptions opts;
+  opts.jobs = jobs;
+  opts.base_seed = 5;
+  static std::unique_ptr<SweepEngine> engine;  // kept alive for the caller
+  engine = std::make_unique<SweepEngine>(flaky_factory(), opts);
+  constexpr int kPoints = 10;
+  for (int i = 0; i < kPoints; ++i) {
+    WorkloadConfig w;
+    w.seed = i == 2 ? kSeedSimError
+                    : i == 5 ? kSeedTimeout : static_cast<std::uint64_t>(i);
+    const std::size_t idx = engine->submit(w);
+    if (indices != nullptr) indices->push_back(idx);
+  }
+  engine->drain();
+  if (out != nullptr) *out = engine.get();
+  return report_of_run_log();
+}
+
+TEST(SweepFailureIsolation, FailedPointsDegradeSurvivorsIntact) {
+  SweepEngine* engine = nullptr;
+  const std::string report = run_flaky_grid(4, &engine);
+
+  // 2 of 10 points failed; the other 8 flush in submission order.
+  ASSERT_EQ(run_log().size(), 8u);
+  std::vector<std::uint64_t> expect_seeds = {0, 1, 3, 4, 6, 7, 8, 9};
+  for (std::size_t i = 0; i < run_log().size(); ++i) {
+    EXPECT_EQ(run_log()[i].workload.seed, expect_seeds[i]) << "slot " << i;
+  }
+
+  EXPECT_EQ(engine->ok_points(), 8u);
+  EXPECT_EQ(engine->outcome(2).status, PointStatus::kSimError);
+  EXPECT_NE(engine->outcome(2).message.find("point exploded"),
+            std::string::npos);
+  EXPECT_EQ(engine->outcome(5).status, PointStatus::kTimeout);
+  EXPECT_NE(engine->outcome(5).message.find("cycle budget"),
+            std::string::npos);
+  EXPECT_EQ(engine->result_or_null(2), nullptr);
+  EXPECT_NE(engine->result_or_null(3), nullptr);
+
+  const auto failed = engine->failed_points();
+  ASSERT_EQ(failed.size(), 2u);
+  EXPECT_EQ(failed[0].index, 2u);
+  EXPECT_EQ(failed[0].status, PointStatus::kSimError);
+  EXPECT_EQ(failed[1].index, 5u);
+  EXPECT_EQ(failed[1].status, PointStatus::kTimeout);
+  EXPECT_EQ(failed[0].seed, point_seed(5, 2));
+
+  // result() on a failed point explains itself and names the replay flag.
+  try {
+    (void)engine->result(5);
+    FAIL() << "result(5) on a timed-out point must throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timeout"), std::string::npos) << what;
+    EXPECT_NE(what.find("--replay-point=5"), std::string::npos) << what;
+  }
+  clear_run_log();
+}
+
+TEST(SweepFailureIsolation, ReportBytesIdenticalAcrossJobsWithFailures) {
+  const std::string serial = run_flaky_grid(1);
+  const std::string pooled = run_flaky_grid(8);
+  EXPECT_EQ(serial, pooled);
+  clear_run_log();
+}
+
+TEST(SweepFailureIsolation, FailedTaskIsIsolatedToo) {
   clear_run_log();
   SweepOptions opts;
   opts.jobs = 2;
-  SweepEngine engine(
-      [](std::uint64_t seed) -> std::unique_ptr<ExecutionBackend> {
-        return std::make_unique<SleepingBackend>(seed);
-      },
-      opts);
+  SweepEngine engine(flaky_factory(), opts);
   engine.submit(WorkloadConfig{});
   engine.submit_task([](std::uint64_t, std::vector<RecordedRun>&) {
-    throw std::runtime_error("point exploded");
+    throw std::runtime_error("task exploded");
   });
   engine.submit(WorkloadConfig{});
-  EXPECT_THROW(engine.drain(), std::runtime_error);
-  EXPECT_EQ(run_log().size(), 1u) << "points before the failure still flush";
+  engine.drain();  // must not throw
+  EXPECT_EQ(run_log().size(), 2u) << "both healthy points flush";
+  const auto failed = engine.failed_points();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].index, 1u);
+  EXPECT_TRUE(failed[0].is_task);
+  EXPECT_EQ(failed[0].status, PointStatus::kSimError);
+  clear_run_log();
+}
+
+// --- cancellation ------------------------------------------------------------
+
+TEST(SweepCancel, PreCancelledSweepDrainsWithAllPointsCancelled) {
+  clear_run_log();
+  SweepEngine::request_cancel();
+  SweepOptions opts;
+  opts.jobs = 2;
+  SweepEngine engine(flaky_factory(), opts);
+  for (int i = 0; i < 4; ++i) engine.submit(WorkloadConfig{});
+  engine.drain();  // completes despite nothing running
+  SweepEngine::clear_cancel();
+
+  EXPECT_EQ(run_log().size(), 0u);
+  EXPECT_EQ(engine.ok_points(), 0u);
+  const auto failed = engine.failed_points();
+  ASSERT_EQ(failed.size(), 4u);
+  for (const auto& f : failed) {
+    EXPECT_EQ(f.status, PointStatus::kCancelled);
+  }
+  clear_run_log();
+}
+
+// --- crash-recovery journal --------------------------------------------------
+
+MeasuredRun tiny_run(std::uint64_t mark) {
+  MeasuredRun r;
+  r.backend = "sim";
+  r.machine = "test";
+  r.duration_cycles = 1000.0;
+  ThreadResult t;
+  t.ops = mark;
+  r.threads.push_back(t);
+  return r;
+}
+
+TEST(SweepJournalFile, TornTailToleratedAndCompacted) {
+  TempDir dir("journal");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = (dir.path / "sweep.journal").string();
+  {
+    sweep::SweepJournal j;
+    ASSERT_TRUE(j.open(path));
+    EXPECT_EQ(j.loaded_entries(), 0u);
+    ASSERT_TRUE(j.append("k1", tiny_run(1)));
+    ASSERT_TRUE(j.append("k2", tiny_run(2)));
+  }
+  // Crash mid-append: a torn, newline-less JSON stump at the tail.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"v\":\"am-sweep-cache/1\",\"key\":\"k3\",\"backend";
+  }
+  {
+    sweep::SweepJournal j;
+    ASSERT_TRUE(j.open(path));
+    EXPECT_EQ(j.loaded_entries(), 2u) << "torn tail must not kill the prefix";
+    const auto r1 = j.lookup("k1");
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->threads.at(0).ops, 1u);
+    EXPECT_FALSE(j.lookup("k3").has_value());
+    // The load compacted the torn tail away and the file stays appendable.
+    ASSERT_TRUE(j.append("k3", tiny_run(3)));
+  }
+  {
+    sweep::SweepJournal j;
+    ASSERT_TRUE(j.open(path));
+    EXPECT_EQ(j.loaded_entries(), 3u);
+  }
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, sweep::kJournalVersion);
+}
+
+TEST(SweepJournalFile, ForeignFileSetAsideNotDestroyed) {
+  TempDir dir("journal_foreign");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = (dir.path / "notes.txt").string();
+  {
+    std::ofstream out(path);
+    out << "user data, not a journal\n";
+  }
+  sweep::SweepJournal j;
+  ASSERT_TRUE(j.open(path));
+  EXPECT_EQ(j.loaded_entries(), 0u);
+  std::ifstream aside(path + ".corrupt");
+  std::string line;
+  std::getline(aside, line);
+  EXPECT_EQ(line, "user data, not a journal")
+      << "a non-journal file must be preserved as <path>.corrupt";
+}
+
+TEST(SweepJournalFile, RerunSkipsJournaledPointsWithoutCache) {
+  TempDir dir("journal_rerun");
+  std::filesystem::create_directories(dir.path);
+  const std::string path = (dir.path / "sweep.journal").string();
+  const std::size_t n = sample_grid().size();
+
+  auto run_with_journal = [&](std::size_t* executed, std::size_t* jhits) {
+    clear_run_log();
+    SweepOptions opts;
+    opts.jobs = 3;
+    opts.base_seed = 42;
+    opts.journal_path = path;  // note: no cache_dir — journal alone
+    SweepEngine engine(test_sim_factory(), opts);
+    for (const WorkloadConfig& w : sample_grid()) engine.submit(w);
+    engine.drain();
+    *executed = engine.executed_points();
+    *jhits = engine.journal_hits();
+    return report_of_run_log();
+  };
+
+  std::size_t executed = 0, jhits = 0;
+  const std::string first = run_with_journal(&executed, &jhits);
+  EXPECT_EQ(executed, n);
+  EXPECT_EQ(jhits, 0u);
+
+  const std::string second = run_with_journal(&executed, &jhits);
+  EXPECT_EQ(executed, 0u) << "journaled rerun must simulate zero points";
+  EXPECT_EQ(jhits, n);
+  EXPECT_EQ(first, second) << "journal replay must be bit-exact";
+  clear_run_log();
+}
+
+// --- cache self-healing ------------------------------------------------------
+
+TEST(SweepCacheHealing, CorruptCacheFileQuarantinedAndRecomputed) {
+  TempDir dir("heal");
+  const std::string cache = dir.path.string();
+  std::size_t executed = 0, hits = 0;
+  const std::string cold = run_grid(2, cache, &executed, &hits);
+  const std::size_t n = sample_grid().size();
+  ASSERT_EQ(executed, n);
+
+  // Corrupt one cache file in place.
+  std::string victim;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path)) {
+    if (e.path().extension() == ".json") {
+      victim = e.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::ofstream out(victim, std::ios::trunc);
+    out << "garbage bytes, not a cached run";
+  }
+
+  clear_run_log();
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = cache;
+  opts.base_seed = 42;
+  SweepEngine engine(test_sim_factory(), opts);
+  for (const WorkloadConfig& w : sample_grid()) engine.submit(w);
+  engine.drain();
+  EXPECT_EQ(engine.cache_hits(), n - 1);
+  EXPECT_EQ(engine.executed_points(), 1u) << "only the corrupt point reruns";
+  EXPECT_EQ(engine.quarantined_files(), 1u);
+  EXPECT_EQ(report_of_run_log(), cold) << "healed rerun stays byte-identical";
+
+  // The bad file moved into <cache>/quarantine/ for postmortem.
+  const auto qdir = dir.path / "quarantine";
+  ASSERT_TRUE(std::filesystem::is_directory(qdir));
+  EXPECT_EQ(std::distance(std::filesystem::directory_iterator(qdir),
+                          std::filesystem::directory_iterator()),
+            1);
+  clear_run_log();
+}
+
+TEST(SweepCacheHealing, WriteFailuresDegradeAndAreCounted) {
+  TempDir dir("enospc");
+  sweep::IoFaults faults;
+  faults.write_enospc = -1;  // every cache write fails, every retry
+  sweep::set_io_faults(&faults);
+  std::size_t executed = 0, hits = 0;
+  (void)run_grid(2, dir.path.string(), &executed, &hits);
+  sweep::set_io_faults(nullptr);
+  const std::size_t n = sample_grid().size();
+  EXPECT_EQ(executed, n) << "results must not be lost to cache I/O errors";
+
+  // Nothing was cached, so a clean rerun re-executes everything.
+  clear_run_log();
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = dir.path.string();
+  opts.base_seed = 42;
+  SweepEngine engine(test_sim_factory(), opts);
+  for (const WorkloadConfig& w : sample_grid()) engine.submit(w);
+  engine.drain();
+  EXPECT_EQ(engine.cache_hits(), 0u);
+  EXPECT_EQ(engine.executed_points(), n);
+  clear_run_log();
+}
+
+TEST(SweepCacheHealing, TransientWriteFaultIsRetriedAway) {
+  TempDir dir("transient");
+  sweep::IoFaults faults;
+  faults.write_enospc = 1;  // exactly one injected failure, then healthy
+  sweep::set_io_faults(&faults);
+  std::size_t executed = 0, hits = 0;
+  (void)run_grid(1, dir.path.string(), &executed, &hits);
+  sweep::set_io_faults(nullptr);
+  const std::size_t n = sample_grid().size();
+  EXPECT_EQ(executed, n);
+
+  // The retry absorbed the fault: the warm rerun hits every point.
+  (void)run_grid(1, dir.path.string(), &executed, &hits);
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(hits, n);
+  clear_run_log();
+}
+
+TEST(SweepCacheHealing, EscalatedReadFaultFailsPointsAsCacheError) {
+  TempDir dir("escalate");
+  std::size_t executed = 0, hits = 0;
+  (void)run_grid(1, dir.path.string(), &executed, &hits);  // warm the cache
+  const std::size_t n = sample_grid().size();
+  ASSERT_EQ(executed, n);
+
+  sweep::IoFaults faults;
+  faults.read_eio = -1;
+  faults.escalate_read = true;
+  sweep::set_io_faults(&faults);
+  clear_run_log();
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.cache_dir = dir.path.string();
+  opts.base_seed = 42;
+  SweepEngine engine(test_sim_factory(), opts);
+  for (const WorkloadConfig& w : sample_grid()) engine.submit(w);
+  engine.drain();
+  sweep::set_io_faults(nullptr);
+
+  EXPECT_EQ(engine.ok_points(), 0u);
+  EXPECT_GE(engine.cache_io_errors(), n);
+  const auto failed = engine.failed_points();
+  ASSERT_EQ(failed.size(), n);
+  for (const auto& f : failed) {
+    EXPECT_EQ(f.status, PointStatus::kCacheError);
+    EXPECT_NE(f.message.find("cache read failed"), std::string::npos);
+  }
+  clear_run_log();
+}
+
+// --- replay ------------------------------------------------------------------
+
+TEST(SweepReplay, ReplayPointRunsExactlyOneBypassingCache) {
+  TempDir dir("replay");
+  std::size_t executed = 0, hits = 0;
+  (void)run_grid(2, dir.path.string(), &executed, &hits);  // warm the cache
+  clear_run_log();
+
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.cache_dir = dir.path.string();
+  opts.base_seed = 42;
+  opts.replay_point = 2;
+  SweepEngine engine(test_sim_factory(), opts);
+  const auto grid = sample_grid();
+  for (const WorkloadConfig& w : grid) engine.submit(w);
+  engine.drain();
+
+  EXPECT_EQ(engine.executed_points(), 1u)
+      << "replay must re-execute despite a warm cache";
+  EXPECT_EQ(engine.cache_hits(), 0u);
+  EXPECT_EQ(engine.outcome(0).status, PointStatus::kSkipped);
+  ASSERT_NE(engine.result_or_null(2), nullptr);
+
+  // The replayed result equals the original pooled one bit-exactly.
+  SimBackend reference(sim::preset_by_name("test"), kFastSim, point_seed(42, 2));
+  std::vector<RecordedRun> local;
+  reference.set_run_recorder(&local);
+  const MeasuredRun expect = reference.run(grid[2]);
+  EXPECT_EQ(serialize_measured_run(*engine.result_or_null(2), "k"),
+            serialize_measured_run(expect, "k"));
   clear_run_log();
 }
 
