@@ -3,15 +3,18 @@
 
 Usage: scripts/plot_results.py [results-dir]
 
-Two input kinds live in the results directory:
+Three input kinds live in the results directory:
   *.csv  — the rendered result tables (one per bench binary);
   *.json — am-run-report/1 run reports carrying the full per-run payload
            (per-thread stats, per-line hot-line profiles, epoch
-           time-series), written by the benches' --json-out flag.
+           time-series), written by the benches' --json-out flag;
+  *.json — am-serve-load/1 reports from the serving daemon's closed-loop
+           load generator (bench_s1_service, docs/service.md).
 
 The figure series comes from the CSVs; the epoch time-series and hot-line
-heatmap figures need the JSON reports. Requires matplotlib; falls back to
-printing a summary when it is missing (this repo's CI environment is
+heatmap figures need the JSON reports; the load reports feed a
+connections-vs-qps/p99 saturation figure. Requires matplotlib; falls back
+to printing a summary when it is missing (this repo's CI environment is
 offline)."""
 import csv
 import json
@@ -19,6 +22,7 @@ import os
 import sys
 
 SCHEMA = "am-run-report/1"
+LOAD_SCHEMA = "am-serve-load/1"
 
 
 def read_csv(path):
@@ -27,16 +31,21 @@ def read_csv(path):
     return rows
 
 
-def read_report(path):
-    """Loads one am-run-report/1 document; None when it isn't one."""
+def read_json(path, schema):
+    """Loads one JSON document of the given schema; None when it isn't one."""
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError):
         return None
-    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+    if not isinstance(doc, dict) or doc.get("schema") != schema:
         return None
     return doc
+
+
+def read_report(path):
+    """Loads one am-run-report/1 document; None when it isn't one."""
+    return read_json(path, SCHEMA)
 
 
 def reports_in(results):
@@ -131,6 +140,44 @@ def plot_hot_lines(name, doc, results, plt):
     return out
 
 
+def load_reports_in(results):
+    for name in sorted(os.listdir(results)):
+        if not name.endswith(".json"):
+            continue
+        doc = read_json(os.path.join(results, name), LOAD_SCHEMA)
+        if doc is not None:
+            yield name[: -len(".json")], doc
+
+
+def plot_saturation(name, doc, results, plt):
+    """Connections vs qps (left axis) and p99 latency (right axis) from an
+    am-serve-load/1 saturation sweep: where the worker pool saturates, qps
+    flattens and the tail takes off."""
+    rows = [r for r in doc.get("rows", []) if r.get("connections")]
+    if len(rows) < 2:
+        return None
+    rows.sort(key=lambda r: r["connections"])
+    xs = [r["connections"] for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(xs, [r["qps"] for r in rows], marker="o", color="tab:blue",
+            label="qps")
+    ax.set_xlabel("closed-loop connections")
+    ax.set_ylabel("requests / s", color="tab:blue")
+    ax.set_xscale("log", base=2)
+    ax2 = ax.twinx()
+    ax2.plot(xs, [r["latency_us"]["p99"] for r in rows], marker="s",
+             color="tab:red", label="p99 latency")
+    ax2.set_ylabel("p99 latency (us)", color="tab:red")
+    ax2.set_yscale("log")
+    ax.set_title(f"{name}: am_serve saturation "
+                 f"({doc.get('distinct_requests', '?')} distinct requests)")
+    out = os.path.join(results, f"{name}_saturation.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    return out
+
+
 def summarize(results):
     for name in sorted(os.listdir(results)):
         path = os.path.join(results, name)
@@ -140,14 +187,21 @@ def summarize(results):
                   f"{', '.join(rows[0].keys()) if rows else '-'}")
         elif name.endswith(".json"):
             doc = read_report(path)
-            if doc is None:
+            if doc is not None:
+                runs = doc.get("runs", [])
+                epochs = sum(len(r.get("epochs", [])) for r in runs)
+                hot = sum(len(r.get("hot_lines", [])) for r in runs)
+                print(f"{name}: report '{doc['meta'].get('title', '')}', "
+                      f"{len(runs)} runs, {epochs} epoch samples, "
+                      f"{hot} line profiles")
                 continue
-            runs = doc.get("runs", [])
-            epochs = sum(len(r.get("epochs", [])) for r in runs)
-            hot = sum(len(r.get("hot_lines", [])) for r in runs)
-            print(f"{name}: report '{doc['meta'].get('title', '')}', "
-                  f"{len(runs)} runs, {epochs} epoch samples, "
-                  f"{hot} line profiles")
+            doc = read_json(path, LOAD_SCHEMA)
+            if doc is not None:
+                rows = doc.get("rows", [])
+                peak = max((r.get("qps", 0.0) for r in rows), default=0.0)
+                print(f"{name}: serve-load report ({doc.get('mode', '?')}), "
+                      f"{len(rows)} steps, peak {peak:.0f} qps, "
+                      f"{doc.get('verify_failures', 0)} verify failures")
 
 
 def main():
@@ -212,6 +266,13 @@ def main():
             if out:
                 print(f"wrote {out}")
                 made += 1
+
+    # Serving-daemon saturation figures from am-serve-load/1 reports.
+    for name, doc in load_reports_in(results):
+        out = plot_saturation(name, doc, results, plt)
+        if out:
+            print(f"wrote {out}")
+            made += 1
 
     if made == 0:
         print("no known CSVs or reports found; "

@@ -2,16 +2,27 @@
 # Regenerates every table/figure of the reproduction and drops the ASCII
 # tables, CSVs and JSON run reports (am-run-report/1, consumed by
 # scripts/plot_results.py) into results/. Usage:
-#   scripts/run_all_experiments.sh [build-dir] [backend] [jobs]
+#   scripts/run_all_experiments.sh [build-dir] [backend] [jobs] [--with-service]
 # backend defaults to sim:xeon; pass "hw" on a many-core host.
 # jobs defaults to the host's core count; simulated sweep points run on a
 # bounded pool (docs/sweep.md) and outputs are byte-identical at any jobs.
 # Set AM_SWEEP_CACHE=dir to reuse simulated points across invocations.
+# --with-service appends the am_serve saturation sweep (docs/service.md);
+# it is opt-in because it measures this host's scheduler, not the paper.
 set -euo pipefail
 
-BUILD="${1:-build}"
-BACKEND="${2:-sim:xeon}"
-JOBS="${3:-0}"
+WITH_SERVICE=0
+POSITIONAL=()
+for arg in "$@"; do
+  case "$arg" in
+    --with-service) WITH_SERVICE=1 ;;
+    *) POSITIONAL+=("$arg") ;;
+  esac
+done
+
+BUILD="${POSITIONAL[0]:-build}"
+BACKEND="${POSITIONAL[1]:-sim:xeon}"
+JOBS="${POSITIONAL[2]:-0}"
 OUT="results"
 mkdir -p "$OUT"
 
@@ -49,5 +60,15 @@ run bench_e5_zipf        "${SWEEP_FLAGS[@]}"
 # Raw host microbenchmarks (google-benchmark).
 "$BUILD/bench/bench_hw_primitives" --benchmark_min_time=0.05 \
   | tee "$OUT/bench_hw_primitives.txt"
+
+# Opt-in: the serving daemon's closed-loop saturation sweep (spawns an
+# in-process am_serve on an ephemeral port; am-serve-load/1 JSON feeds the
+# connections-vs-qps/p99 figure in plot_results.py).
+if [[ "$WITH_SERVICE" -eq 1 ]]; then
+  echo "== bench_s1_service =="
+  "$BUILD/bench/bench_s1_service" --duration-ms 1000 --distinct 64 \
+    --csv="$OUT/bench_s1_service.csv" \
+    --json-out="$OUT/bench_s1_service.json" | tee "$OUT/bench_s1_service.txt"
+fi
 
 echo "all experiment outputs in $OUT/"

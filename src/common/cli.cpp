@@ -39,6 +39,8 @@ const char* kind_name(CliParser::FlagKind kind) {
     case CliParser::FlagKind::kDouble:  return "a number";
     case CliParser::FlagKind::kBool:    return "a boolean (true/false)";
     case CliParser::FlagKind::kIntList: return "a comma-separated integer list";
+    case CliParser::FlagKind::kEndpoint:
+      return "an endpoint (host:port or unix:path)";
   }
   return "a value";
 }
@@ -71,11 +73,25 @@ bool value_matches_kind(const std::string& v, CliParser::FlagKind kind) {
       }
       return true;
     }
+    case CliParser::FlagKind::kEndpoint:
+      return CliParser::is_endpoint(v);
   }
   return false;
 }
 
 }  // namespace
+
+bool CliParser::is_endpoint(const std::string& value) {
+  if (value.rfind("unix:", 0) == 0) return value.size() > 5;
+  // host:port — split on the LAST colon so a future bracketed-IPv6 host
+  // with embedded colons keeps working; host and port must be non-empty.
+  const auto colon = value.find_last_of(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string port = value.substr(colon + 1);
+  std::uint64_t p = 0;
+  if (!parse_full(port, p)) return false;
+  return p <= 65535;
+}
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}

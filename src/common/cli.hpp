@@ -24,7 +24,13 @@ class CliParser {
     kDouble,   ///< full-string floating point
     kBool,     ///< true/false/1/0/yes/no/on/off
     kIntList,  ///< non-empty comma-separated signed integers
+    kEndpoint, ///< socket endpoint: host:port (port 0-65535) or unix:path
   };
+
+  /// True when @p value is a well-formed socket endpoint ("host:port" with a
+  /// numeric port in [0, 65535], or "unix:path" with a non-empty path). The
+  /// service binaries validate --listen/--connect with this at parse time.
+  static bool is_endpoint(const std::string& value);
 
   CliParser(std::string program_description);
 

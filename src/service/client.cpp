@@ -1,0 +1,77 @@
+#include "service/client.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace am::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+bool ServiceClient::connect(const Endpoint& ep, std::string* error) {
+  close();
+  fd_ = connect_to(ep, error);
+  return fd_ >= 0;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+bool ServiceClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  if (!line.empty() && line.back() == '\n') return write_all(fd_, line);
+  return write_all(fd_, line + "\n");
+}
+
+bool ServiceClient::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error mid-line
+  }
+}
+
+std::optional<std::string> ServiceClient::roundtrip(const std::string& line,
+                                                    std::string* error) {
+  if (!send_line(line)) {
+    if (error != nullptr) *error = "send failed (connection closed?)";
+    return std::nullopt;
+  }
+  std::string response;
+  if (!recv_line(&response)) {
+    if (error != nullptr) *error = "connection closed before response";
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace am::service

@@ -1,0 +1,48 @@
+// Minimal blocking client for the am-serve/1 protocol: one connection,
+// line-oriented request/response. Shared by the am_client CLI and the
+// bench_s1_service load generator (each load-generator connection owns one
+// ServiceClient).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "service/net.hpp"
+
+namespace am::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+
+  /// Connects (blocking). False with @p error filled on failure.
+  bool connect(const Endpoint& ep, std::string* error);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request line ('\n' appended when missing).
+  bool send_line(const std::string& line);
+
+  /// Reads the next response line (without the trailing '\n'). False on
+  /// EOF/error before a complete line arrived.
+  bool recv_line(std::string* line);
+
+  /// send_line + recv_line. Returns nullopt with @p error filled on
+  /// transport failure (protocol-level errors come back as error
+  /// envelopes, not nullopt).
+  std::optional<std::string> roundtrip(const std::string& line,
+                                       std::string* error);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace am::service

@@ -1,0 +1,70 @@
+// Request execution for the am-serve daemon.
+//
+// ServiceCore is the transport-free heart of the service: it takes a parsed
+// Request, consults the sharded LRU prediction cache, and computes misses
+// with the repo's existing engines —
+//   predict   -> model::BouncingModel closed forms,
+//   advise    -> model::advise_counter / advise_lock /
+//                recommended_backoff_cycles,
+//   calibrate -> model::calibrate over a backend that replays the client's
+//                probe samples (serving per-machine calibrated parameter
+//                sets instead of recomputing them per query),
+//   simulate  -> a bounded sim::Machine run dispatched through a
+//                single-point SweepEngine with the watchdog armed and the
+//                on-disk sweep result cache attached, so repeated deep
+//                queries are served from disk exactly like sweep points.
+// Results are serialized once and cached as bytes, which is what makes
+// responses byte-identical across worker threads and cache temperature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/lru_cache.hpp"
+#include "service/protocol.hpp"
+
+namespace am::service {
+
+struct ServiceConfig {
+  /// Total in-memory prediction cache entries (0 disables).
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+  /// On-disk result cache directory for simulate points (empty disables);
+  /// shared format with --sweep-cache, so daemon and batch sweeps can share
+  /// a cache directory.
+  std::string sim_cache_dir;
+  /// Per-simulation watchdog budget in simulated cycles: 0 = auto (64x the
+  /// warmup+measure window), negative = watchdog off. Mirrors
+  /// --max-point-cycles.
+  std::int64_t max_point_cycles = 0;
+};
+
+class ServiceCore {
+ public:
+  explicit ServiceCore(ServiceConfig config);
+
+  struct HandleResult {
+    std::string response;  ///< full response line, '\n'-terminated
+    bool ok = true;        ///< envelope carried a result (not an error)
+    bool cache_hit = false;
+  };
+
+  /// Executes @p r (any kind except kStats, which needs server-wide
+  /// counters and is answered by the Server). Never throws: failures become
+  /// error envelopes.
+  HandleResult handle(const Request& r);
+
+  const ShardedLruCache& cache() const noexcept { return cache_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  std::string run_predict(const PointQuery& q, std::string* error);
+  std::string run_advise(const AdviseQuery& q, std::string* error);
+  std::string run_calibrate(const CalibrateQuery& q, std::string* error);
+  std::string run_simulate(const PointQuery& q, std::string* error);
+
+  ServiceConfig config_;
+  ShardedLruCache cache_;
+};
+
+}  // namespace am::service

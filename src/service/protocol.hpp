@@ -1,0 +1,125 @@
+// The am-serve/1 wire protocol: newline-delimited JSON requests/responses.
+//
+// One request is one line holding one JSON object; the daemon answers with
+// exactly one line per request, in request order. The protocol is versioned
+// through the "v" member (missing defaults to am-serve/1; anything else is
+// rejected) so the format can evolve without breaking deployed clients.
+//
+// Canonicalization is the serving contract's backbone: a parsed request is
+// re-serialized into a *canonical* compact JSON string with a fixed member
+// order, normalized numbers and only the members its kind/mode actually
+// consumes. Two requests that differ in member order, whitespace, number
+// spelling ("16" vs "16.0") or irrelevant members canonicalize identically,
+// hit the same prediction-cache entry, and receive byte-identical results.
+// The cache key is a splitmix64-chained hash of the canonical form (the
+// same mixing the sweep engine uses for per-point seeds).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+
+namespace am::service {
+
+inline constexpr const char* kProtocolVersion = "am-serve/1";
+
+enum class RequestKind : std::uint8_t {
+  kPredict,    ///< model point: throughput/latency/energy from closed forms
+  kAdvise,     ///< structured design advice (counter / lock / backoff)
+  kCalibrate,  ///< fit model params from client-supplied probe samples
+  kSimulate,   ///< bounded sim::Machine run (watchdog armed, disk-cached)
+  kStats,      ///< server-side counters; never cached, always fresh
+  kPing,       ///< liveness probe
+};
+
+const char* to_string(RequestKind k) noexcept;
+std::optional<RequestKind> parse_kind(std::string_view name) noexcept;
+
+/// Workload shape shared by predict and simulate. `mode` mirrors the
+/// WorkloadMode subset both the model and the simulator serve.
+struct PointQuery {
+  std::string machine = "xeon";  ///< sim preset: xeon | knl | test
+  std::string mode = "shared";   ///< shared | private | mixed | zipf
+  Primitive prim = Primitive::kFaa;
+  std::uint32_t threads = 1;
+  double work = 0.0;
+  double write_fraction = 0.1;    ///< mixed only
+  std::uint64_t zipf_lines = 64;  ///< zipf only
+  double zipf_s = 0.99;           ///< zipf only
+  std::uint64_t seed = 1;         ///< simulate only
+};
+
+struct AdviseQuery {
+  std::string machine = "xeon";
+  std::string target = "counter";  ///< counter | lock | backoff
+  std::uint32_t threads = 1;
+  double work = 0.0;       ///< counter: cycles between increments
+  double critical = 100.0; ///< lock: cycles inside the critical section
+  double outside = 0.0;    ///< lock: cycles between acquisitions
+};
+
+/// One client-measured probe point for calibration. `mode` is "private"
+/// (the single-threaded local-cost probes) or "shared" (the FAA
+/// high-contention sweep); `cycles_per_op` is the aggregate cycles per
+/// completed operation the client observed.
+struct CalibrateSample {
+  std::string mode = "private";
+  Primitive prim = Primitive::kFaa;
+  std::uint32_t threads = 1;
+  double cycles_per_op = 0.0;
+};
+
+struct CalibrateQuery {
+  std::string machine = "xeon";  ///< skeleton supplying topology structure
+  std::vector<CalibrateSample> samples;
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  std::string id;  ///< echoed back verbatim; never part of the cache key
+  PointQuery point;
+  AdviseQuery advise;
+  CalibrateQuery calibrate;
+
+  /// True for kinds whose responses are deterministic functions of the
+  /// canonical request and therefore cacheable.
+  bool cacheable() const noexcept {
+    return kind == RequestKind::kPredict || kind == RequestKind::kAdvise ||
+           kind == RequestKind::kCalibrate || kind == RequestKind::kSimulate;
+  }
+};
+
+/// Parses one request line. On failure returns nullopt and fills @p error
+/// with a one-line diagnostic (sent back as an error response).
+std::optional<Request> parse_request(std::string_view line, std::string* error);
+
+/// The canonical compact-JSON form of @p r (see file comment). Excludes the
+/// id; includes only the members the request's kind/mode consumes.
+std::string canonical_request(const Request& r);
+
+/// Stable cache key: two independent splitmix64-chained hashes of the
+/// canonical form, rendered as 32 hex digits (the same collision posture as
+/// the sweep result cache).
+std::string request_cache_key(const Request& r);
+
+/// splitmix64-chained hash of @p bytes with @p seed_salt folded in first.
+std::uint64_t chain_hash(std::string_view bytes,
+                         std::uint64_t seed_salt) noexcept;
+
+// --- response envelopes ------------------------------------------------------
+// Responses keep a fixed member order so identical results serialize to
+// identical bytes: {"v","id"?,"kind","ok",("result"|"error")}.
+
+/// Success envelope wrapping an already-serialized result object.
+std::string make_result_response(const Request& r,
+                                 const std::string& result_json);
+
+/// Error envelope; @p id may be empty (omitted from the line).
+std::string make_error_response(const std::string& id,
+                                const std::string& message);
+
+}  // namespace am::service

@@ -99,5 +99,37 @@ TEST(CliNegative, JobsTraceConflict) {
   EXPECT_EQ(bench::jobs_trace_conflict(4, false), "");
 }
 
+TEST(CliNegative, EndpointKindValidatesAtParseTime) {
+  for (const char* good :
+       {"--listen=127.0.0.1:7787", "--listen=0.0.0.0:0",
+        "--listen=localhost:65535", "--listen=unix:/tmp/am.sock",
+        "--listen=unix:rel/path.sock"}) {
+    CliParser p("endpoint test");
+    p.add_flag("listen", "endpoint", "127.0.0.1:7787",
+               CliParser::FlagKind::kEndpoint);
+    const char* argv[] = {"prog", good};
+    EXPECT_TRUE(p.parse(2, argv)) << good;
+  }
+  for (const char* bad :
+       {"--listen=", "--listen=nohost", "--listen=:7787", "--listen=host:",
+        "--listen=host:abc", "--listen=host:70000", "--listen=host:-1",
+        "--listen=unix:", "--listen=host:12x"}) {
+    CliParser p("endpoint test");
+    p.add_flag("listen", "endpoint", "127.0.0.1:7787",
+               CliParser::FlagKind::kEndpoint);
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(p.parse(2, argv)) << bad;
+  }
+}
+
+TEST(CliNegative, IsEndpointHelper) {
+  EXPECT_TRUE(CliParser::is_endpoint("a:1"));
+  EXPECT_TRUE(CliParser::is_endpoint("unix:/x"));
+  EXPECT_FALSE(CliParser::is_endpoint("a"));
+  EXPECT_FALSE(CliParser::is_endpoint("unix:"));
+  EXPECT_FALSE(CliParser::is_endpoint(":1"));
+  EXPECT_FALSE(CliParser::is_endpoint("a:99999"));
+}
+
 }  // namespace
 }  // namespace am

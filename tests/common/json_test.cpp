@@ -202,6 +202,48 @@ TEST(JsonValue, MalformedCorpusIsRejectedWithoutCrashing) {
   EXPECT_TRUE(JsonValue::parse(valid).has_value());
 }
 
+TEST(JsonRoundTrip, AllSingleByteStringsSurvive) {
+  // Every possible byte, including NUL and bytes >= 0x80 (which must not
+  // sign-extend through json_escape's \u formatting into "￿ff80").
+  for (int b = 0; b < 256; ++b) {
+    const std::string s(1, static_cast<char>(b));
+    const std::string escaped = json_escape(s);
+    if (b < 0x20) {
+      // Control bytes escape to exactly one short sequence ("\n", "").
+      EXPECT_LE(escaped.size(), 6u) << "byte " << b << " -> " << escaped;
+    }
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_array();
+    w.value(s);
+    w.end_array();
+    std::string error;
+    const auto doc = JsonValue::parse(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << "byte " << b << ": " << error;
+    EXPECT_EQ(doc->at(0)->as_string(), s) << "byte " << b;
+  }
+}
+
+TEST(JsonRoundTrip, EmbeddedNulAndControlsInsideLongerStrings) {
+  std::string s = "head";
+  s += '\0';
+  s += "\x01\x1f\x7f";
+  s += static_cast<char>(0x80);
+  s += static_cast<char>(0xff);
+  s += "tail";
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("s", s);
+  w.end_object();
+  // NUL must be escaped, not emitted raw (it would truncate C consumers).
+  EXPECT_EQ(os.str().find('\0'), std::string::npos);
+  EXPECT_NE(os.str().find("\\u0000"), std::string::npos);
+  const auto doc = JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), s);
+}
+
 TEST(JsonRoundTrip, WriterOutputParsesBackIdentically) {
   std::ostringstream os;
   JsonWriter w(os);

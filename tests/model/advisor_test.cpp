@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "model/advisor.hpp"
 #include "sim/config.hpp"
 
@@ -83,6 +85,69 @@ TEST(LockAdvice, TasCompetitiveWhenAlone) {
     if (o.name == "TAS") tas = o.throughput_mops;
   }
   EXPECT_GT(tas, a.options.front().throughput_mops * 0.5);
+}
+
+// --- boundary pins ----------------------------------------------------------
+// The serving daemon exposes the advisor verbatim, so its edge behavior is
+// part of the wire contract: a single thread, zero local work, and both
+// machine presets must produce a sorted option list whose head is the
+// recommendation.
+
+BouncingModel knl_model() {
+  return BouncingModel(ModelParams::from_machine(sim::knl_64()));
+}
+
+void expect_sorted_and_recommended(const Advice& a) {
+  ASSERT_FALSE(a.options.empty());
+  EXPECT_EQ(a.recommended, a.options.front().name);
+  for (std::size_t i = 0; i + 1 < a.options.size(); ++i) {
+    EXPECT_GE(a.options[i].throughput_mops, a.options[i + 1].throughput_mops)
+        << a.options[i].name << " before " << a.options[i + 1].name;
+  }
+  for (const auto& o : a.options) {
+    EXPECT_GT(o.throughput_mops, 0.0) << o.name;
+    EXPECT_TRUE(std::isfinite(o.throughput_mops)) << o.name;
+  }
+}
+
+TEST(AdvisorBoundaries, SingleThreadCounterAndLock) {
+  // threads=1: no contention exists, but the ranking contract must hold and
+  // nothing may divide by (N-1) into NaN.
+  for (const BouncingModel& m : {xeon_model(), knl_model()}) {
+    expect_sorted_and_recommended(advise_counter(m, 1, 0.0));
+    expect_sorted_and_recommended(advise_counter(m, 1, 10'000.0));
+    expect_sorted_and_recommended(advise_lock(m, 1, 100.0, 0.0));
+  }
+}
+
+TEST(AdvisorBoundaries, ZeroLocalWorkAtFullContention) {
+  // work=0 is the paper's high-contention limit — the regime where option
+  // ordering matters most. Both presets, full core counts.
+  expect_sorted_and_recommended(advise_counter(xeon_model(), 36, 0.0));
+  expect_sorted_and_recommended(advise_counter(knl_model(), 64, 0.0));
+  expect_sorted_and_recommended(advise_lock(xeon_model(), 36, 0.0, 0.0));
+  expect_sorted_and_recommended(advise_lock(knl_model(), 64, 0.0, 0.0));
+}
+
+TEST(AdvisorBoundaries, KnlBouncePricierThanXeon) {
+  // The KNL mesh's longer hand-offs make every contended option slower than
+  // on the Xeon at the same thread count — the preset must actually matter.
+  const Advice xeon = advise_counter(xeon_model(), 32, 0.0);
+  const Advice knl = advise_counter(knl_model(), 32, 0.0);
+  auto mops = [](const Advice& a, const std::string& name) {
+    for (const auto& o : a.options) {
+      if (o.name == name) return o.throughput_mops;
+    }
+    return 0.0;
+  };
+  EXPECT_LT(mops(knl, "FAA"), mops(xeon, "FAA"));
+  EXPECT_LT(mops(knl, "CAS-loop"), mops(xeon, "CAS-loop"));
+}
+
+TEST(AdvisorBoundaries, BackoffZeroAtOneThreadOnBothPresets) {
+  EXPECT_DOUBLE_EQ(recommended_backoff_cycles(xeon_model(), 1), 0.0);
+  EXPECT_DOUBLE_EQ(recommended_backoff_cycles(knl_model(), 1), 0.0);
+  EXPECT_GT(recommended_backoff_cycles(knl_model(), 2), 0.0);
 }
 
 TEST(Backoff, RecommendationIsCrossover) {

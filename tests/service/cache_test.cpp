@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/lru_cache.hpp"
+
+namespace am::service {
+namespace {
+
+TEST(LruCache, HitMissAndCounters) {
+  ShardedLruCache cache(8, 1);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", "1");
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "1");
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.insertions, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and assertable.
+  ShardedLruCache cache(2, 1);
+  cache.put("a", "A");
+  cache.put("b", "B");
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh a; b is now LRU
+  cache.put("c", "C");                      // evicts b
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(cache.counters().entries, 2u);
+}
+
+TEST(LruCache, PutRefreshesExistingKey) {
+  ShardedLruCache cache(2, 1);
+  cache.put("a", "old");
+  cache.put("b", "B");
+  cache.put("a", "new");  // refresh, not insert: b stays, a moves to front
+  cache.put("c", "C");    // evicts b (LRU), not a
+  EXPECT_EQ(cache.get("a").value_or(""), "new");
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.counters().insertions, 3u);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  ShardedLruCache cache(0, 16);
+  cache.put("a", "1");
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.counters().entries, 0u);
+  EXPECT_EQ(cache.counters().insertions, 0u);
+}
+
+TEST(LruCache, ShardCountCappedByCapacity) {
+  // 16 requested shards with capacity 2 must shrink so no shard has a zero
+  // budget (which would evict everything it is handed).
+  ShardedLruCache cache(2, 16);
+  EXPECT_LE(cache.shard_count(), 2u);
+  ShardedLruCache pow2(100, 5);  // rounds up to 8
+  EXPECT_EQ(pow2.shard_count(), 8u);
+}
+
+TEST(LruCache, TotalCapacityHolds) {
+  ShardedLruCache cache(64, 4);
+  for (int i = 0; i < 1000; ++i) {
+    cache.put("key-" + std::to_string(i), std::to_string(i));
+  }
+  const CacheCounters c = cache.counters();
+  EXPECT_LE(c.entries, 64u);
+  EXPECT_EQ(c.insertions, 1000u);
+  EXPECT_EQ(c.evictions, c.insertions - c.entries);
+}
+
+TEST(LruCache, ConcurrentMixedLoadStaysConsistent) {
+  ShardedLruCache cache(128, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "k" + std::to_string((i * 7 + t) % 200);
+        if (i % 3 == 0) {
+          cache.put(key, key + "-v");
+        } else if (const auto v = cache.get(key); v.has_value()) {
+          // A hit must carry the value its key was inserted with.
+          EXPECT_EQ(*v, key + "-v");
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CacheCounters c = cache.counters();
+  EXPECT_LE(c.entries, 128u);
+  // Per thread: 667 of 2000 iterations put (i % 3 == 0), 1333 get.
+  EXPECT_EQ(c.hits + c.misses, 8u * 1333u);
+}
+
+}  // namespace
+}  // namespace am::service

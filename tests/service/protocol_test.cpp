@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "service/protocol.hpp"
+
+namespace am::service {
+namespace {
+
+Request must_parse(const std::string& line) {
+  std::string error;
+  const auto r = parse_request(line, &error);
+  EXPECT_TRUE(r.has_value()) << line << " -> " << error;
+  return r.value_or(Request{});
+}
+
+TEST(Protocol, ParsesEveryKind) {
+  EXPECT_EQ(must_parse(R"({"kind":"ping"})").kind, RequestKind::kPing);
+  EXPECT_EQ(must_parse(R"({"kind":"stats"})").kind, RequestKind::kStats);
+  const Request p = must_parse(
+      R"({"kind":"predict","machine":"knl","mode":"shared","prim":"CAS","threads":16,"work":250})");
+  EXPECT_EQ(p.kind, RequestKind::kPredict);
+  EXPECT_EQ(p.point.machine, "knl");
+  EXPECT_EQ(p.point.prim, Primitive::kCas);
+  EXPECT_EQ(p.point.threads, 16u);
+  EXPECT_DOUBLE_EQ(p.point.work, 250.0);
+  const Request a = must_parse(
+      R"({"kind":"advise","target":"lock","threads":8,"critical":120,"outside":30})");
+  EXPECT_EQ(a.advise.target, "lock");
+  EXPECT_DOUBLE_EQ(a.advise.critical, 120.0);
+  const Request c = must_parse(
+      R"({"kind":"calibrate","machine":"test","samples":[)"
+      R"({"mode":"private","prim":"FAA","threads":1,"cycles_per_op":12},)"
+      R"({"mode":"shared","prim":"FAA","threads":4,"cycles_per_op":130}]})");
+  ASSERT_EQ(c.calibrate.samples.size(), 2u);
+  EXPECT_EQ(c.calibrate.samples[1].mode, "shared");
+  const Request s = must_parse(
+      R"({"kind":"simulate","machine":"test","prim":"FAA","threads":4,"seed":7})");
+  EXPECT_EQ(s.point.seed, 7u);
+}
+
+TEST(Protocol, VersionGate) {
+  EXPECT_EQ(must_parse(R"({"v":"am-serve/1","kind":"ping"})").kind,
+            RequestKind::kPing);
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"v":"am-serve/2","kind":"ping"})", &error));
+  EXPECT_NE(error.find("am-serve/2"), std::string::npos);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  std::string error;
+  EXPECT_FALSE(parse_request("", &error));
+  EXPECT_FALSE(parse_request("not json", &error));
+  EXPECT_FALSE(parse_request("[1,2]", &error));
+  EXPECT_FALSE(parse_request(R"({"kind":"nope"})", &error));
+  EXPECT_FALSE(parse_request(R"({"kind":"predict","prim":"XYZ"})", &error));
+  EXPECT_FALSE(
+      parse_request(R"({"kind":"predict","threads":0})", &error));
+  EXPECT_FALSE(
+      parse_request(R"({"kind":"predict","threads":100000})", &error));
+  EXPECT_FALSE(
+      parse_request(R"({"kind":"predict","machine":"mips"})", &error));
+  EXPECT_FALSE(
+      parse_request(R"({"kind":"predict","mode":"weird"})", &error));
+  EXPECT_FALSE(parse_request(R"({"kind":"advise","target":"x"})", &error));
+  EXPECT_FALSE(parse_request(R"({"kind":"calibrate","samples":[]})", &error));
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"calibrate","samples":[{"mode":"private","prim":"FAA","threads":1,"cycles_per_op":-1}]})",
+      &error));
+}
+
+TEST(Canonical, InsensitiveToOrderWhitespaceAndNumberSpelling) {
+  const Request a = must_parse(
+      R"({"kind":"predict","machine":"xeon","mode":"shared","prim":"FAA","threads":16,"work":100})");
+  const Request b = must_parse(
+      R"({ "work": 100.0, "prim": "FAA", "threads": 16.0, "kind": "predict",
+           "mode": "shared", "machine": "xeon" })");
+  EXPECT_EQ(canonical_request(a), canonical_request(b));
+  EXPECT_EQ(request_cache_key(a), request_cache_key(b));
+}
+
+TEST(Canonical, IrrelevantMembersDoNotChangeTheKey) {
+  // zipf parameters are irrelevant in shared mode; the id never keys.
+  const Request a = must_parse(
+      R"({"kind":"predict","mode":"shared","prim":"FAA","threads":8})");
+  const Request b = must_parse(
+      R"({"kind":"predict","mode":"shared","prim":"FAA","threads":8,
+          "zipf_lines":999,"zipf_s":1.5,"id":"req-42"})");
+  EXPECT_EQ(request_cache_key(a), request_cache_key(b));
+  EXPECT_EQ(b.id, "req-42");
+  // ...but in zipf mode they are load-bearing.
+  const Request z1 = must_parse(
+      R"({"kind":"predict","mode":"zipf","prim":"FAA","threads":8,"zipf_lines":64})");
+  const Request z2 = must_parse(
+      R"({"kind":"predict","mode":"zipf","prim":"FAA","threads":8,"zipf_lines":128})");
+  EXPECT_NE(request_cache_key(z1), request_cache_key(z2));
+}
+
+TEST(Canonical, DistinctRequestsGetDistinctKeys) {
+  const char* lines[] = {
+      R"({"kind":"predict","prim":"FAA","threads":8})",
+      R"({"kind":"predict","prim":"CAS","threads":8})",
+      R"({"kind":"predict","prim":"FAA","threads":9})",
+      R"({"kind":"predict","prim":"FAA","threads":8,"work":1})",
+      R"({"kind":"simulate","prim":"FAA","threads":8})",
+      R"({"kind":"advise","threads":8})",
+  };
+  std::set<std::string> keys;
+  for (const char* line : lines) {
+    const std::string key = request_cache_key(must_parse(line));
+    EXPECT_EQ(key.size(), 32u);
+    keys.insert(key);
+  }
+  EXPECT_EQ(keys.size(), std::size(lines));
+}
+
+TEST(Canonical, FormIsItselfValidJson) {
+  const Request r = must_parse(
+      R"({"kind":"simulate","mode":"zipf","prim":"CASLOOP","threads":4,
+          "work":12.5,"zipf_lines":32,"zipf_s":0.8,"seed":9})");
+  const std::string canon = canonical_request(r);
+  std::string error;
+  const auto doc = JsonValue::parse(canon, &error);
+  ASSERT_TRUE(doc.has_value()) << canon << " -> " << error;
+  // Canonicalizing the canonical form is a fixed point.
+  const Request again = must_parse(canon);
+  EXPECT_EQ(canonical_request(again), canon);
+}
+
+TEST(ChainHash, SaltsAndContentBothMatter) {
+  EXPECT_EQ(chain_hash("abc", 1), chain_hash("abc", 1));
+  EXPECT_NE(chain_hash("abc", 1), chain_hash("abc", 2));
+  EXPECT_NE(chain_hash("abc", 1), chain_hash("abd", 1));
+  EXPECT_NE(chain_hash("", 1), chain_hash("", 2));
+  // Length is folded in: a trailing NUL is not invisible.
+  EXPECT_NE(chain_hash(std::string("a\0", 2), 1), chain_hash("a", 1));
+}
+
+TEST(Envelopes, ResultAndErrorShape) {
+  Request r = must_parse(R"({"kind":"ping","id":"p1"})");
+  const std::string ok = make_result_response(r, R"({"pong":true})");
+  ASSERT_FALSE(ok.empty());
+  EXPECT_EQ(ok.back(), '\n');
+  const auto doc = JsonValue::parse(std::string_view(ok.data(), ok.size() - 1));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("v")->as_string(), "am-serve/1");
+  EXPECT_EQ(doc->find("id")->as_string(), "p1");
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  EXPECT_TRUE(doc->find("result")->find("pong")->as_bool());
+
+  const std::string err = make_error_response("", "bad \"thing\"\n");
+  const auto edoc =
+      JsonValue::parse(std::string_view(err.data(), err.size() - 1));
+  ASSERT_TRUE(edoc.has_value()) << err;
+  EXPECT_FALSE(edoc->find("ok")->as_bool());
+  EXPECT_EQ(edoc->find("error")->as_string(), "bad \"thing\"\n");
+  EXPECT_EQ(edoc->find("id"), nullptr);  // empty id omitted
+}
+
+}  // namespace
+}  // namespace am::service

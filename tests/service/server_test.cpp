@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/server.hpp"
+
+namespace am::service {
+namespace {
+
+// --- ServiceCore (no sockets) ------------------------------------------------
+
+Request parse_or_die(const std::string& line) {
+  std::string error;
+  const auto r = parse_request(line, &error);
+  EXPECT_TRUE(r.has_value()) << line << " -> " << error;
+  return r.value_or(Request{});
+}
+
+TEST(ServiceCore, PredictIsDeterministicAndCached) {
+  ServiceCore core({});
+  const Request r = parse_or_die(
+      R"({"kind":"predict","prim":"FAA","threads":16,"work":100})");
+  const auto first = core.handle(r);
+  const auto second = core.handle(r);
+  EXPECT_TRUE(first.ok);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.response, second.response);  // byte-identical
+  EXPECT_NE(first.response.find("\"throughput_mops\""), std::string::npos);
+}
+
+TEST(ServiceCore, EquivalentSpellingsShareOneCacheEntry) {
+  ServiceCore core({});
+  const auto a = core.handle(parse_or_die(
+      R"({"kind":"predict","prim":"FAA","threads":16,"work":100})"));
+  const auto b = core.handle(parse_or_die(
+      R"({"work":100.0,"threads":16.0,"prim":"FAA","kind":"predict","id":"x"})"));
+  EXPECT_TRUE(b.cache_hit);
+  // Same result payload; only the echoed id differs.
+  EXPECT_NE(b.response.find("\"id\":\"x\""), std::string::npos);
+  EXPECT_EQ(core.cache().counters().entries, 1u);
+  (void)a;
+}
+
+TEST(ServiceCore, ThreadsBeyondMachineCoresIsAnError) {
+  ServiceCore core({});
+  const auto r = core.handle(parse_or_die(
+      R"({"kind":"predict","machine":"test","prim":"FAA","threads":5})"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.response.find("\"error\""), std::string::npos);
+  EXPECT_NE(r.response.find("4 cores"), std::string::npos);
+}
+
+TEST(ServiceCore, AdviseTargetsAllAnswer) {
+  ServiceCore core({});
+  for (const char* line : {
+           R"({"kind":"advise","target":"counter","threads":16})",
+           R"({"kind":"advise","target":"lock","threads":16,"critical":100})",
+           R"({"kind":"advise","target":"backoff","threads":16})",
+       }) {
+    const auto r = core.handle(parse_or_die(line));
+    EXPECT_TRUE(r.ok) << line << " -> " << r.response;
+  }
+}
+
+TEST(ServiceCore, CalibrateReplaysClientSamples) {
+  ServiceCore core({});
+  const auto r = core.handle(parse_or_die(
+      R"({"kind":"calibrate","machine":"test","samples":[)"
+      R"({"mode":"private","prim":"FAA","threads":1,"cycles_per_op":12},)"
+      R"({"mode":"shared","prim":"FAA","threads":2,"cycles_per_op":120},)"
+      R"({"mode":"shared","prim":"FAA","threads":4,"cycles_per_op":130}]})"));
+  ASSERT_TRUE(r.ok) << r.response;
+  EXPECT_NE(r.response.find("\"t_near\""), std::string::npos);
+  EXPECT_NE(r.response.find("\"amp1\":\"amp1\\n"), std::string::npos);
+  // Missing the shared sweep: calibration must fail loudly, not fabricate.
+  const auto bad = core.handle(parse_or_die(
+      R"({"kind":"calibrate","machine":"test","samples":[)"
+      R"({"mode":"private","prim":"FAA","threads":1,"cycles_per_op":12}]})"));
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(ServiceCore, SimulateRunsAndCaches) {
+  ServiceCore core({});
+  const Request r = parse_or_die(
+      R"({"kind":"simulate","machine":"test","prim":"CAS","threads":4})");
+  const auto first = core.handle(r);
+  ASSERT_TRUE(first.ok) << first.response;
+  EXPECT_NE(first.response.find("\"duration_cycles\""), std::string::npos);
+  const auto second = core.handle(r);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.response, second.response);
+  // A different seed is a different point.
+  const auto other = core.handle(parse_or_die(
+      R"({"kind":"simulate","machine":"test","prim":"CAS","threads":4,"seed":2})"));
+  EXPECT_FALSE(other.cache_hit);
+}
+
+// --- Server over real sockets ------------------------------------------------
+
+struct LiveServer {
+  ServiceCore core;
+  Server server;
+  Endpoint endpoint;
+
+  explicit LiveServer(ServerConfig config = {}, ServiceConfig core_cfg = {})
+      : core(std::move(core_cfg)),
+        server(core,
+               [&config] {
+                 if (config.listen.empty()) {
+                   Endpoint ep;
+                   ep.host = "127.0.0.1";
+                   ep.port = 0;
+                   config.listen.push_back(ep);
+                 }
+                 return config;
+               }()) {
+    std::string error;
+    if (!server.start(&error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+      return;
+    }
+    endpoint = server.bound_endpoints().front();
+  }
+
+  ~LiveServer() {
+    Server::request_shutdown();
+    server.wait();
+  }
+};
+
+std::string roundtrip_or_die(ServiceClient& client, const std::string& line) {
+  std::string error;
+  const auto response = client.roundtrip(line, &error);
+  EXPECT_TRUE(response.has_value()) << line << " -> " << error;
+  return response.value_or("");
+}
+
+TEST(Server, ServesAllKindsOverTcp) {
+  LiveServer live;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+  EXPECT_NE(roundtrip_or_die(client, R"({"kind":"ping"})")
+                .find("\"pong\":true"),
+            std::string::npos);
+  EXPECT_NE(roundtrip_or_die(
+                client, R"({"kind":"predict","prim":"FAA","threads":8})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(roundtrip_or_die(client,
+                             R"({"kind":"advise","target":"backoff","threads":8})")
+                .find("backoff_cycles"),
+            std::string::npos);
+  const std::string stats = roundtrip_or_die(client, R"({"kind":"stats"})");
+  EXPECT_NE(stats.find("am-serve-stats/1"), std::string::npos);
+  // A malformed line gets an error envelope, and the connection survives.
+  EXPECT_NE(roundtrip_or_die(client, "this is not json")
+                .find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(roundtrip_or_die(client, R"({"kind":"ping"})")
+                .find("\"pong\""),
+            std::string::npos);
+}
+
+TEST(Server, ServesOverUnixSocket) {
+  const std::string path =
+      testing::TempDir() + "/am_serve_test_" + std::to_string(::getpid()) +
+      ".sock";
+  ServerConfig config;
+  Endpoint unix_ep;
+  unix_ep.kind = Endpoint::Kind::kUnix;
+  unix_ep.path = path;
+  config.listen.push_back(unix_ep);
+  {
+    LiveServer live(config);
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+    EXPECT_NE(roundtrip_or_die(client, R"({"kind":"ping"})")
+                  .find("\"pong\""),
+              std::string::npos);
+  }
+  // Drained server removed its socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(Server, ByteIdenticalResponsesAcrossConnectionsAndWorkers) {
+  ServerConfig config;
+  config.service_threads = 4;
+  LiveServer live(config);
+  const std::string line =
+      R"({"kind":"predict","prim":"CAS","threads":12,"work":50})";
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 16;
+  // Warm the cache first so every request below is deterministically a hit
+  // (concurrent cold misses on one key would all compute it).
+  {
+    ServiceClient warm;
+    std::string error;
+    ASSERT_TRUE(warm.connect(live.endpoint, &error)) << error;
+    roundtrip_or_die(warm, line);
+  }
+  std::vector<std::thread> threads;
+  std::vector<std::set<std::string>> seen(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceClient client;
+      std::string error;
+      ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+      for (int i = 0; i < kPerClient; ++i) {
+        seen[c].insert(roundtrip_or_die(client, line));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::string> all;
+  for (const auto& s : seen) all.insert(s.begin(), s.end());
+  EXPECT_EQ(all.size(), 1u);  // every response byte-identical
+
+  // The daemon's stats must show the repeats were cache hits.
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+  const std::string stats = roundtrip_or_die(client, R"({"kind":"stats"})");
+  const auto doc = JsonValue::parse(stats);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* cache = doc->find("result")->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("hits")->as_number(), kClients * kPerClient * 1.0);
+  EXPECT_EQ(cache->find("misses")->as_number(), 1.0);
+  EXPECT_EQ(cache->find("entries")->as_number(), 1.0);
+}
+
+TEST(Server, Sustains64ConcurrentClosedLoopConnections) {
+  ServerConfig config;
+  config.service_threads = 4;  // far fewer workers than connections
+  LiveServer live(config);
+  constexpr int kConns = 64;
+  constexpr int kPerConn = 5;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConns; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceClient client;
+      std::string error;
+      if (!client.connect(live.endpoint, &error)) return;
+      for (int i = 0; i < kPerConn; ++i) {
+        const std::string line =
+            R"({"kind":"predict","prim":"FAA","threads":)" +
+            std::to_string(1 + (c + i) % 36) + "}";
+        std::string response;
+        if (!client.send_line(line) || !client.recv_line(&response)) return;
+        if (response.find("\"ok\":true") != std::string::npos) ++ok_count;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kConns * kPerConn);
+}
+
+TEST(Server, DrainFinishesInFlightRequestsThenExits) {
+  ServerConfig config;
+  config.service_threads = 2;
+  LiveServer live(config);
+  // Keep a few clients mid-conversation while the drain lands.
+  std::atomic<int> answered{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      ServiceClient client;
+      std::string error;
+      if (!client.connect(live.endpoint, &error)) return;
+      for (int i = 0; i < 50; ++i) {
+        const auto response =
+            client.roundtrip(R"({"kind":"predict","prim":"FAA","threads":8})",
+                             &error);
+        if (!response.has_value()) return;  // drain closed us: fine
+        if (response->find("\"ok\":true") != std::string::npos) ++answered;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Server::request_shutdown();
+  live.server.wait();  // must return: drain completes despite open loops
+  for (auto& t : threads) t.join();
+  // Every response that was sent was a complete, well-formed line.
+  EXPECT_GT(answered.load(), 0);
+}
+
+TEST(Server, StatsCountsKindsAndErrors) {
+  LiveServer live;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+  roundtrip_or_die(client, R"({"kind":"ping"})");
+  roundtrip_or_die(client, R"({"kind":"predict","prim":"FAA","threads":4})");
+  roundtrip_or_die(client, "garbage");
+  const std::string stats = roundtrip_or_die(client, R"({"kind":"stats"})");
+  const auto doc = JsonValue::parse(stats);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* req = doc->find("result")->find("requests");
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->find("ping")->as_number(), 1.0);
+  EXPECT_EQ(req->find("predict")->as_number(), 1.0);
+  EXPECT_EQ(req->find("parse_errors")->as_number(), 1.0);
+  // The stats snapshot is taken before the stats request itself is
+  // recorded, so it does not count itself.
+  EXPECT_EQ(req->find("stats")->as_number(), 0.0);
+  EXPECT_EQ(req->find("total")->as_number(), 3.0);
+}
+
+}  // namespace
+}  // namespace am::service

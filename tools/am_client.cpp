@@ -1,0 +1,126 @@
+// am_client: one-shot CLI client for an am_serve daemon.
+//
+// Builds one am-serve/1 request from flags (or sends --raw verbatim),
+// prints each response line to stdout and exits 0 iff every response was a
+// success envelope.
+//
+//   am_client --connect=127.0.0.1:7787 --kind=ping
+//   am_client --kind=predict --machine=xeon --mode=shared --prim=FAA \
+//             --threads=16 --work=100
+//   am_client --kind=advise --target=lock --threads=32 --critical=200
+//   am_client --kind=simulate --prim=CAS --threads=8 --repeat=2
+//   am_client --raw='{"kind":"calibrate","machine":"xeon","samples":[...]}'
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+std::string build_request(const am::CliParser& cli) {
+  const std::string kind = cli.get("kind");
+  std::ostringstream os;
+  am::JsonWriter w(os);
+  w.begin_object();
+  w.kv("v", "am-serve/1");
+  w.kv("kind", kind);
+  if (!cli.get("id").empty()) w.kv("id", cli.get("id"));
+  if (kind == "predict" || kind == "simulate") {
+    w.kv("machine", cli.get("machine"));
+    w.kv("mode", cli.get("mode"));
+    w.kv("prim", cli.get("prim"));
+    w.kv("threads", static_cast<std::uint64_t>(cli.get_int("threads")));
+    w.kv("work", cli.get_double("work"));
+    if (cli.get("mode") == "mixed") {
+      w.kv("write_fraction", cli.get_double("write-fraction"));
+    }
+    if (cli.get("mode") == "zipf") {
+      w.kv("zipf_lines", cli.get_uint64("zipf-lines"));
+      w.kv("zipf_s", cli.get_double("zipf-s"));
+    }
+    if (kind == "simulate") w.kv("seed", cli.get_uint64("seed"));
+  } else if (kind == "advise") {
+    w.kv("machine", cli.get("machine"));
+    w.kv("target", cli.get("target"));
+    w.kv("threads", static_cast<std::uint64_t>(cli.get_int("threads")));
+    if (cli.get("target") == "lock") {
+      w.kv("critical", cli.get_double("critical"));
+      w.kv("outside", cli.get_double("outside"));
+    } else {
+      w.kv("work", cli.get_double("work"));
+    }
+  }
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using am::CliParser;
+  CliParser cli("one-shot client for the am-serve/1 protocol");
+  cli.add_flag("connect", "daemon endpoint (host:port or unix:path)",
+               "127.0.0.1:7787", CliParser::FlagKind::kEndpoint);
+  cli.add_flag("kind", "request kind: ping|stats|predict|advise|simulate",
+               "ping");
+  cli.add_flag("id", "request id echoed back by the daemon", "");
+  cli.add_flag("machine", "sim preset: xeon|knl|test", "xeon");
+  cli.add_flag("mode", "workload mode: shared|private|mixed|zipf", "shared");
+  cli.add_flag("prim", "primitive (LOAD|STORE|SWP|TAS|FAA|CAS|CASLOOP)",
+               "FAA");
+  cli.add_flag("threads", "thread count", "1", CliParser::FlagKind::kInt);
+  cli.add_flag("work", "local work between ops, cycles", "0",
+               CliParser::FlagKind::kDouble);
+  cli.add_flag("write-fraction", "mixed mode write fraction", "0.1",
+               CliParser::FlagKind::kDouble);
+  cli.add_flag("zipf-lines", "zipf mode line count", "64",
+               CliParser::FlagKind::kUint64);
+  cli.add_flag("zipf-s", "zipf exponent", "0.99",
+               CliParser::FlagKind::kDouble);
+  cli.add_flag("seed", "simulate seed", "1", CliParser::FlagKind::kUint64);
+  cli.add_flag("target", "advise target: counter|lock|backoff", "counter");
+  cli.add_flag("critical", "advise lock: cycles inside the critical section",
+               "100", CliParser::FlagKind::kDouble);
+  cli.add_flag("outside", "advise lock: cycles between acquisitions", "0",
+               CliParser::FlagKind::kDouble);
+  cli.add_flag("raw", "send this JSON line verbatim instead of building one",
+               "");
+  cli.add_flag("repeat", "send the request this many times", "1",
+               CliParser::FlagKind::kInt);
+  if (!cli.parse(argc, argv)) return 2;
+
+  std::string error;
+  const auto endpoint = am::service::parse_endpoint(cli.get("connect"), &error);
+  if (!endpoint.has_value()) {
+    std::cerr << "am_client: --connect: " << error << "\n";
+    return 2;
+  }
+
+  const std::string line =
+      cli.get("raw").empty() ? build_request(cli) : cli.get("raw");
+  const std::int64_t repeat = std::max<std::int64_t>(1, cli.get_int("repeat"));
+
+  am::service::ServiceClient client;
+  if (!client.connect(*endpoint, &error)) {
+    std::cerr << "am_client: " << error << "\n";
+    return 1;
+  }
+
+  bool all_ok = true;
+  for (std::int64_t i = 0; i < repeat; ++i) {
+    const auto response = client.roundtrip(line, &error);
+    if (!response.has_value()) {
+      std::cerr << "am_client: " << error << "\n";
+      return 1;
+    }
+    std::cout << *response << "\n";
+    const auto doc = am::JsonValue::parse(*response);
+    const am::JsonValue* ok = doc.has_value() ? doc->find("ok") : nullptr;
+    if (ok == nullptr || !ok->as_bool()) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
