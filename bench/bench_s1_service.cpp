@@ -38,6 +38,7 @@
 #include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/handlers.hpp"
 #include "service/server.hpp"
@@ -53,11 +54,56 @@ struct LoadResult {
   std::uint64_t verify_failures = 0;
   double duration_s = 0.0;
   std::vector<double> latency_us;
+  /// Completion time of each sample, seconds since the step started.
+  /// Parallel to latency_us; feeds the per-step timeline buckets.
+  std::vector<double> t_s;
 
   double qps() const {
     return duration_s > 0.0 ? static_cast<double>(requests) / duration_s : 0.0;
   }
 };
+
+/// One rolling bucket of a step's timeline: client-side view of throughput
+/// and tail latency over time, the counterpart of the daemon's server-side
+/// rolling windows.
+struct TimelineBucket {
+  double t_s = 0.0;  ///< bucket start, seconds since the step began
+  double width_s = 0.0;
+  std::uint64_t requests = 0;
+  double qps = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Buckets a step's timestamped samples into fixed-width spans. Width adapts
+/// to the step duration so short CI runs still get a few buckets.
+std::vector<TimelineBucket> build_timeline(const LoadResult& r,
+                                           double duration_s) {
+  std::vector<TimelineBucket> timeline;
+  if (r.latency_us.empty()) return timeline;
+  const double width = std::clamp(duration_s / 8.0, 0.125, 1.0);
+  std::vector<std::vector<double>> buckets;
+  for (std::size_t i = 0; i < r.latency_us.size(); ++i) {
+    const auto b = static_cast<std::size_t>(std::max(0.0, r.t_s[i]) / width);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(r.latency_us[i]);
+  }
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b].empty()) continue;
+    const am::Summary s = am::summarize(buckets[b]);
+    TimelineBucket out;
+    out.t_s = static_cast<double>(b) * width;
+    out.width_s = width;
+    out.requests = buckets[b].size();
+    out.qps = static_cast<double>(buckets[b].size()) / width;
+    out.p50 = s.p50;
+    out.p90 = s.p90;
+    out.p99 = s.p99;
+    timeline.push_back(out);
+  }
+  return timeline;
+}
 
 /// The request lines one connection cycles through. Distinct `work` values
 /// make distinct canonical requests, so `distinct` directly sets the
@@ -124,10 +170,11 @@ LoadResult run_load(const Endpoint& endpoint, unsigned connections,
           ++mine.errors;
           break;  // transport down; this loop is done
         }
+        const auto r1 = std::chrono::steady_clock::now();
         mine.latency_us.push_back(
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - r0)
-                .count());
+            std::chrono::duration<double, std::micro>(r1 - r0).count());
+        mine.t_s.push_back(
+            std::chrono::duration<double>(r1 - t0).count());
         ++mine.requests;
         if (response->find("\"ok\":true") == std::string::npos) ++mine.errors;
         if (verify_map != nullptr) {
@@ -150,6 +197,7 @@ LoadResult run_load(const Endpoint& endpoint, unsigned connections,
     total.verify_failures += r.verify_failures;
     total.latency_us.insert(total.latency_us.end(), r.latency_us.begin(),
                             r.latency_us.end());
+    total.t_s.insert(total.t_s.end(), r.t_s.begin(), r.t_s.end());
   }
   if (failed_connect.load()) ++total.errors;
   return total;
@@ -224,6 +272,10 @@ int main(int argc, char** argv) {
   cli.add_flag("cache-capacity",
                "prediction cache entries of the in-process daemon", "4096",
                CliParser::FlagKind::kInt);
+  cli.add_flag("metrics",
+               "telemetry in the in-process daemon; --metrics=false is the "
+               "overhead A/B baseline (ignored with --connect)",
+               "true", CliParser::FlagKind::kBool);
   cli.add_flag("csv", "write the table as CSV to this path (empty = skip)",
                "");
   cli.add_flag("json-out", "write an am-serve-load/1 JSON report here", "");
@@ -242,9 +294,15 @@ int main(int argc, char** argv) {
     }
     endpoint = *parsed;
   } else {
+    const bool metrics_on = cli.get_bool("metrics");
+    // Same contract as am_serve --metrics=false: the global switch also
+    // gates simulator/sweep publication, so the A/B compares a truly
+    // instrumentation-free hot path.
+    am::obs::metrics::set_enabled(metrics_on);
     am::service::ServiceConfig core_config;
     core_config.cache_capacity = static_cast<std::size_t>(
         std::max<std::int64_t>(0, cli.get_int("cache-capacity")));
+    core_config.metrics = metrics_on;
     core = std::make_unique<am::service::ServiceCore>(std::move(core_config));
     am::service::ServerConfig server_config;
     Endpoint ephemeral;
@@ -253,6 +311,7 @@ int main(int argc, char** argv) {
     server_config.listen.push_back(ephemeral);
     server_config.service_threads = static_cast<unsigned>(
         std::max<std::int64_t>(1, cli.get_int("service-threads")));
+    server_config.metrics = metrics_on;
     server = std::make_unique<am::service::Server>(*core, server_config);
     if (!server->start(&error)) {
       std::cerr << "bench_s1_service: cannot start in-process daemon: "
@@ -384,6 +443,19 @@ int main(int argc, char** argv) {
       w.kv("p99", s.p99);
       w.kv("max", s.max);
       w.end_object();
+      w.key("timeline").begin_array();
+      for (const TimelineBucket& b : build_timeline(row.result, duration_s)) {
+        w.begin_object();
+        w.kv("t_s", b.t_s);
+        w.kv("width_s", b.width_s);
+        w.kv("requests", b.requests);
+        w.kv("qps", b.qps);
+        w.kv("p50_us", b.p50);
+        w.kv("p90_us", b.p90);
+        w.kv("p99_us", b.p99);
+        w.end_object();
+      }
+      w.end_array();
       w.end_object();
     }
     w.end_array();

@@ -178,6 +178,40 @@ def plot_saturation(name, doc, results, plt):
     return out
 
 
+def plot_timeline(name, doc, results, plt):
+    """Per-step client-side timeline from an am-serve-load/1 report: qps and
+    rolling p50/p99 latency over the step's wall clock, one subplot per row.
+    Shows warm-up (cache filling) and any mid-step stalls that a whole-step
+    percentile hides."""
+    rows = [r for r in doc.get("rows", []) if len(r.get("timeline", [])) >= 2]
+    if not rows:
+        return None
+    fig, axes = plt.subplots(len(rows), 1, figsize=(6, 2.2 * len(rows)),
+                             sharex=True, squeeze=False)
+    for ax, row in zip(axes[:, 0], rows):
+        tl = row["timeline"]
+        ts = [b["t_s"] + b["width_s"] / 2.0 for b in tl]
+        ax.plot(ts, [b["qps"] for b in tl], marker=".", color="tab:blue",
+                label="qps")
+        ax.set_ylabel("qps", color="tab:blue")
+        ax2 = ax.twinx()
+        ax2.plot(ts, [b["p50_us"] for b in tl], color="tab:orange",
+                 linestyle="--", label="p50")
+        ax2.plot(ts, [b["p99_us"] for b in tl], color="tab:red", label="p99")
+        ax2.set_ylabel("latency (us)", color="tab:red")
+        label = (f"{row['connections']} conns"
+                 + (f" @ {row['target_qps']:.0f} qps"
+                    if row.get("target_qps") else ""))
+        ax.set_title(label, fontsize=9)
+    axes[-1, 0].set_xlabel("time into step (s)")
+    fig.suptitle(f"{name}: load timeline")
+    out = os.path.join(results, f"{name}_timeline.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    return out
+
+
 def summarize(results):
     for name in sorted(os.listdir(results)):
         path = os.path.join(results, name)
@@ -267,12 +301,13 @@ def main():
                 print(f"wrote {out}")
                 made += 1
 
-    # Serving-daemon saturation figures from am-serve-load/1 reports.
+    # Serving-daemon figures from am-serve-load/1 reports.
     for name, doc in load_reports_in(results):
-        out = plot_saturation(name, doc, results, plt)
-        if out:
-            print(f"wrote {out}")
-            made += 1
+        for plot in (plot_saturation, plot_timeline):
+            out = plot(name, doc, results, plt)
+            if out:
+                print(f"wrote {out}")
+                made += 1
 
     if made == 0:
         print("no known CSVs or reports found; "

@@ -12,9 +12,78 @@
 
 #include "bench_core/sweep_journal.hpp"
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
 #include "sim/machine.hpp"
 
 namespace am::bench {
+
+namespace {
+
+/// Outcome counter, one per PointStatus label. The registry interns each
+/// (name, labels) pair once; the per-point cost is a single sharded
+/// fetch-add.
+obs::metrics::Counter& point_status_counter(PointStatus s) {
+  namespace m = obs::metrics;
+  const auto make = [](const char* status) -> m::Counter& {
+    return m::default_registry().counter(
+        "am_sweep_points_total", "Sweep points finished, by outcome",
+        {{"status", status}});
+  };
+  switch (s) {
+    case PointStatus::kOk: { static m::Counter& c = make("ok"); return c; }
+    case PointStatus::kTimeout: {
+      static m::Counter& c = make("timeout");
+      return c;
+    }
+    case PointStatus::kSimError: {
+      static m::Counter& c = make("sim_error");
+      return c;
+    }
+    case PointStatus::kCacheError: {
+      static m::Counter& c = make("cache_error");
+      return c;
+    }
+    case PointStatus::kCancelled: {
+      static m::Counter& c = make("cancelled");
+      return c;
+    }
+    case PointStatus::kSkipped: {
+      static m::Counter& c = make("skipped");
+      return c;
+    }
+  }
+  static m::Counter& unknown = make("unknown");
+  return unknown;
+}
+
+/// Where an ok result came from: fresh execution or one of the reuse tiers.
+enum class PointSource { kExecuted, kCache, kJournal };
+
+obs::metrics::Counter& point_source_counter(PointSource s) {
+  namespace m = obs::metrics;
+  const auto make = [](const char* src) -> m::Counter& {
+    return m::default_registry().counter(
+        "am_sweep_point_results_total",
+        "Successful sweep-point results, by source",
+        {{"source", src}});
+  };
+  switch (s) {
+    case PointSource::kCache: {
+      static m::Counter& c = make("cache");
+      return c;
+    }
+    case PointSource::kJournal: {
+      static m::Counter& c = make("journal");
+      return c;
+    }
+    case PointSource::kExecuted:
+      break;
+  }
+  static m::Counter& c = make("executed");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
@@ -436,7 +505,23 @@ void SweepEngine::worker_loop() {
       point->status = PointStatus::kCancelled;
       point->message = "cancelled before execution (SIGINT)";
     } else {
+      if (obs::metrics::enabled()) {
+        static obs::metrics::Counter& started =
+            obs::metrics::default_registry().counter(
+                "am_sweep_points_started_total",
+                "Sweep points picked up by a worker");
+        started.inc();
+      }
       execute_point(*point);
+    }
+    if (obs::metrics::enabled()) {
+      point_status_counter(point->status).inc();
+      if (point->status == PointStatus::kOk) {
+        point_source_counter(point->from_cache     ? PointSource::kCache
+                             : point->from_journal ? PointSource::kJournal
+                                                   : PointSource::kExecuted)
+            .inc();
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(impl_->mu);

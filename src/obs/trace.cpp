@@ -168,7 +168,7 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
                   kCoresPid, e.core);
       os_ << ",\"dur\":" << lat << ",\"args\":{\"line\":" << e.line
           << ",\"ok\":" << (e.success ? "true" : "false")
-          << ",\"value\":" << e.value << "}}";
+          << ",\"value\":" << e.value << ",\"req_id\":" << e.req_id << "}}";
       if (e.hold_cycles > 0) {
         ensure_track(kLinesPid, e.line, "line");
         emit_prefix("X", supply_name(e.supply), "hold",
@@ -191,6 +191,25 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
       break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// SynchronizedTraceSink
+// ---------------------------------------------------------------------------
+
+void SynchronizedTraceSink::on_run_begin(const TraceRunInfo& info) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  inner_.on_run_begin(info);
+}
+
+void SynchronizedTraceSink::on_event(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  inner_.on_event(event);
+}
+
+void SynchronizedTraceSink::on_run_end() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  inner_.on_run_end();
 }
 
 // ---------------------------------------------------------------------------

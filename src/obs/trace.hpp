@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -120,6 +121,24 @@ class ChromeTraceSink final : public TraceSink {
   std::uint64_t base_ = 0;      ///< timeline offset of the current run
   std::uint64_t max_ts_ = 0;    ///< largest offset timestamp written
   std::unordered_set<std::uint64_t> named_tracks_;
+};
+
+/// Serializes a shared sink behind a mutex. Trace sinks are written for a
+/// single simulator thread; a server whose worker pool runs concurrent
+/// simulate requests against one trace file wraps the file sink in this so
+/// whole run-begin/events/run-end spans interleave at event granularity
+/// without corrupting the underlying stream.
+class SynchronizedTraceSink final : public TraceSink {
+ public:
+  explicit SynchronizedTraceSink(TraceSink& inner) : inner_(inner) {}
+
+  void on_run_begin(const TraceRunInfo& info) override;
+  void on_event(const TraceEvent& event) override;
+  void on_run_end() override;
+
+ private:
+  std::mutex mu_;
+  TraceSink& inner_;
 };
 
 /// ChromeTraceSink bound to a file it owns. `ok()` is false when the file

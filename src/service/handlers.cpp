@@ -126,9 +126,14 @@ class SampleReplayBackend final : public bench::ExecutionBackend {
 
 ServiceCore::ServiceCore(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_capacity, config_.cache_shards) {}
+      cache_(config_.cache_capacity, config_.cache_shards) {
+  if (config_.metrics) {
+    cache_.attach_metrics(obs::metrics::default_registry());
+  }
+}
 
-ServiceCore::HandleResult ServiceCore::handle(const Request& r) {
+ServiceCore::HandleResult ServiceCore::handle(const Request& r,
+                                              const RequestContext* ctx) {
   HandleResult out;
   if (r.kind == RequestKind::kPing) {
     out.response = make_result_response(r, "{\"pong\":true}");
@@ -153,9 +158,12 @@ ServiceCore::HandleResult ServiceCore::handle(const Request& r) {
     case RequestKind::kCalibrate:
       result = run_calibrate(r.calibrate, &error);
       break;
-    case RequestKind::kSimulate: result = run_simulate(r.point, &error); break;
+    case RequestKind::kSimulate:
+      result = run_simulate(r.point, &error, ctx);
+      break;
     case RequestKind::kStats:
     case RequestKind::kPing:
+    case RequestKind::kMetrics:
       error = "kind not handled by ServiceCore";
       break;
   }
@@ -288,8 +296,8 @@ std::string ServiceCore::run_calibrate(const CalibrateQuery& q,
   return os.str();
 }
 
-std::string ServiceCore::run_simulate(const PointQuery& q,
-                                      std::string* error) {
+std::string ServiceCore::run_simulate(const PointQuery& q, std::string* error,
+                                      const RequestContext* ctx) {
   const sim::MachineConfig mc = machine_for(q.machine);
   if (q.threads > mc.cores) {
     *error = "threads=" + std::to_string(q.threads) + " exceeds " + q.machine +
@@ -311,8 +319,14 @@ std::string ServiceCore::run_simulate(const PointQuery& q,
   opts.cache_dir = config_.sim_cache_dir;
   opts.base_seed = q.seed;
   const std::int64_t budget = config_.max_point_cycles;
+  // Trace continuity: a sink in the request context makes the simulator's
+  // protocol-level events (issue/grant/done per coherence transaction) land
+  // in the same trace file as the server's request span, so a slow simulate
+  // can be drilled into by request id. Cached/journal hits run no machine
+  // and emit nothing — response bytes are identical either way.
+  obs::TraceSink* trace = ctx != nullptr ? ctx->trace : nullptr;
   bench::SweepEngine engine(
-      [&mc, budget](std::uint64_t seed) {
+      [&mc, budget, trace](std::uint64_t seed) {
         bench::SimBackendOptions options;
         if (budget >= 0) {
           options.watchdog.max_cycles =
@@ -321,7 +335,9 @@ std::string ServiceCore::run_simulate(const PointQuery& q,
                                  options.measure_cycles);
           options.watchdog.progress_events = 1'000'000;
         }
-        return std::make_unique<bench::SimBackend>(mc, options, seed);
+        auto backend = std::make_unique<bench::SimBackend>(mc, options, seed);
+        if (trace != nullptr) backend->set_sink(trace);
+        return backend;
       },
       opts);
   const std::size_t index = engine.submit(workload);

@@ -20,10 +20,20 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "service/lru_cache.hpp"
 #include "service/protocol.hpp"
 
 namespace am::service {
+
+/// Per-request observability context, minted by the transport when a request
+/// line is dequeued. Carried through the handlers so a simulate run's
+/// protocol-level trace events land in the same sink (and on the same
+/// timeline) as the server's own request span.
+struct RequestContext {
+  std::uint64_t req_id = 0;          ///< server-wide request sequence number
+  obs::TraceSink* trace = nullptr;   ///< shared sink; must be thread-safe
+};
 
 struct ServiceConfig {
   /// Total in-memory prediction cache entries (0 disables).
@@ -37,6 +47,9 @@ struct ServiceConfig {
   /// warmup+measure window), negative = watchdog off. Mirrors
   /// --max-point-cycles.
   std::int64_t max_point_cycles = 0;
+  /// Mirror prediction-cache hit/miss/insert/evict events into
+  /// obs::metrics::default_registry() counters.
+  bool metrics = true;
 };
 
 class ServiceCore {
@@ -49,10 +62,12 @@ class ServiceCore {
     bool cache_hit = false;
   };
 
-  /// Executes @p r (any kind except kStats, which needs server-wide
-  /// counters and is answered by the Server). Never throws: failures become
-  /// error envelopes.
-  HandleResult handle(const Request& r);
+  /// Executes @p r (any kind except kStats/kMetrics, which need server-wide
+  /// state and are answered by the Server). Never throws: failures become
+  /// error envelopes. @p ctx is optional observability context; it never
+  /// affects response bytes (responses stay byte-identical with and without
+  /// tracing attached).
+  HandleResult handle(const Request& r, const RequestContext* ctx = nullptr);
 
   const ShardedLruCache& cache() const noexcept { return cache_; }
   const ServiceConfig& config() const noexcept { return config_; }
@@ -61,7 +76,8 @@ class ServiceCore {
   std::string run_predict(const PointQuery& q, std::string* error);
   std::string run_advise(const AdviseQuery& q, std::string* error);
   std::string run_calibrate(const CalibrateQuery& q, std::string* error);
-  std::string run_simulate(const PointQuery& q, std::string* error);
+  std::string run_simulate(const PointQuery& q, std::string* error,
+                           const RequestContext* ctx);
 
   ServiceConfig config_;
   ShardedLruCache cache_;

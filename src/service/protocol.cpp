@@ -191,6 +191,7 @@ const char* to_string(RequestKind k) noexcept {
     case RequestKind::kSimulate: return "simulate";
     case RequestKind::kStats: return "stats";
     case RequestKind::kPing: return "ping";
+    case RequestKind::kMetrics: return "metrics";
   }
   return "?";
 }
@@ -198,7 +199,8 @@ const char* to_string(RequestKind k) noexcept {
 std::optional<RequestKind> parse_kind(std::string_view name) noexcept {
   for (RequestKind k :
        {RequestKind::kPredict, RequestKind::kAdvise, RequestKind::kCalibrate,
-        RequestKind::kSimulate, RequestKind::kStats, RequestKind::kPing}) {
+        RequestKind::kSimulate, RequestKind::kStats, RequestKind::kPing,
+        RequestKind::kMetrics}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -230,7 +232,8 @@ std::optional<Request> parse_request(std::string_view line,
   const auto k = parse_kind(kind);
   if (!k.has_value()) {
     return fail("unknown kind '" + kind +
-                "' (want predict|advise|calibrate|simulate|stats|ping)");
+                "' (want predict|advise|calibrate|simulate|stats|ping|"
+                "metrics)");
   }
   r.kind = *k;
 
@@ -249,6 +252,7 @@ std::optional<Request> parse_request(std::string_view line,
       break;
     case RequestKind::kStats:
     case RequestKind::kPing:
+    case RequestKind::kMetrics:
       break;
   }
   if (!err.empty()) return fail(err);
@@ -327,6 +331,7 @@ std::string canonical_request(const Request& r) {
     }
     case RequestKind::kStats:
     case RequestKind::kPing:
+    case RequestKind::kMetrics:
       break;
   }
   s += '}';

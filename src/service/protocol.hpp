@@ -34,7 +34,11 @@ enum class RequestKind : std::uint8_t {
   kSimulate,   ///< bounded sim::Machine run (watchdog armed, disk-cached)
   kStats,      ///< server-side counters; never cached, always fresh
   kPing,       ///< liveness probe
+  kMetrics,    ///< Prometheus text exposition; never cached, always fresh
 };
+
+/// Number of RequestKind values (sized per-kind counter arrays).
+inline constexpr std::size_t kRequestKindCount = 7;
 
 const char* to_string(RequestKind k) noexcept;
 std::optional<RequestKind> parse_kind(std::string_view name) noexcept;

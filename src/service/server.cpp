@@ -7,10 +7,14 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/rolling.hpp"
 
 namespace am::service {
 
@@ -44,6 +48,73 @@ void set_nonblocking(int fd) {
 }
 
 }  // namespace
+
+/// Server-side instruments plus the rolling-window machinery. Instruments
+/// live in the process-wide default registry — one scrape shows request
+/// counters next to the simulator/sweep/cache counters the handlers bump —
+/// and are interned once here; the per-request cost is relaxed fetch-adds.
+struct Server::Telemetry {
+  explicit Telemetry(obs::metrics::Registry& reg) : windows(reg) {
+    namespace m = obs::metrics;
+    static constexpr const char* kKinds[kRequestKindCount] = {
+        "predict", "advise", "calibrate", "simulate",
+        "stats",   "ping",   "metrics"};
+    for (std::size_t i = 0; i < kRequestKindCount; ++i) {
+      by_kind[i] =
+          &reg.counter("am_server_requests_total", "Requests handled, by kind",
+                       {{"kind", kKinds[i]}});
+    }
+    responses = &reg.counter("am_server_responses_total",
+                             "Response lines written (incl. parse errors)");
+    parse_errors = &reg.counter("am_server_parse_errors_total",
+                                "Request lines that failed to parse");
+    handler_errors = &reg.counter("am_server_handler_errors_total",
+                                  "Parsed requests answered with an error");
+    cache_hit_responses =
+        &reg.counter("am_server_cache_hit_responses_total",
+                     "Responses served from the prediction cache");
+    accepted = &reg.counter("am_server_connections_accepted_total",
+                            "Client connections accepted");
+    slow_requests = &reg.counter(
+        "am_server_slow_requests_total",
+        "Requests over the --slow-request-us latency threshold");
+    latency = &reg.histogram("am_server_request_latency_us",
+                             "Service latency per request (microseconds)");
+    active_connections =
+        &reg.gauge("am_server_active_connections", "Open client connections");
+    uptime_seconds =
+        &reg.gauge("am_server_uptime_seconds", "Seconds since start()");
+    // The cache / simulator counters consulted for derived scrape families;
+    // interning here guarantees they exist even before any handler ran.
+    cache_hits = &reg.counter("am_cache_hits_total",
+                              "Prediction-cache lookups served from memory");
+    cache_misses =
+        &reg.counter("am_cache_misses_total",
+                     "Prediction-cache lookups that fell through");
+    sim_cycles = &reg.counter("am_sim_cycles_total",
+                              "Simulated cycles elapsed across all runs");
+  }
+
+  obs::metrics::Counter* by_kind[kRequestKindCount] = {};
+  obs::metrics::Counter* responses = nullptr;
+  obs::metrics::Counter* parse_errors = nullptr;
+  obs::metrics::Counter* handler_errors = nullptr;
+  obs::metrics::Counter* cache_hit_responses = nullptr;
+  obs::metrics::Counter* accepted = nullptr;
+  obs::metrics::Counter* slow_requests = nullptr;
+  obs::metrics::Histogram* latency = nullptr;
+  obs::metrics::Gauge* active_connections = nullptr;
+  obs::metrics::Gauge* uptime_seconds = nullptr;
+  obs::metrics::Counter* cache_hits = nullptr;
+  obs::metrics::Counter* cache_misses = nullptr;
+  obs::metrics::Counter* sim_cycles = nullptr;
+
+  obs::metrics::RollingWindows windows;
+  std::thread sampler;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+};
 
 Server::Server(ServiceCore& core, ServerConfig config)
     : core_(core), config_(std::move(config)) {
@@ -104,6 +175,21 @@ bool Server::start(std::string* error) {
   }
 
   start_time_ = std::chrono::steady_clock::now();
+  if (config_.metrics) {
+    telemetry_ = std::make_unique<Telemetry>(obs::metrics::default_registry());
+    telemetry_->windows.sample(0);  // t=0 baseline: windows answer from boot
+    telemetry_->sampler = std::thread([this] {
+      Telemetry& t = *telemetry_;
+      std::unique_lock<std::mutex> lock(t.mu);
+      while (!t.stop) {
+        t.cv.wait_for(lock, std::chrono::milliseconds(250));
+        if (t.stop) break;
+        lock.unlock();
+        t.windows.sample(uptime_ms());
+        lock.lock();
+      }
+    });
+  }
   for (unsigned i = 0; i < config_.service_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -121,7 +207,22 @@ void Server::wait() {
   }
   job_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  if (telemetry_ != nullptr && telemetry_->sampler.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(telemetry_->mu);
+      telemetry_->stop = true;
+    }
+    telemetry_->cv.notify_all();
+    telemetry_->sampler.join();
+  }
   joined_ = true;
+}
+
+std::uint64_t Server::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
 }
 
 void Server::poll_loop() {
@@ -213,6 +314,7 @@ void Server::poll_loop() {
               std::lock_guard<std::mutex> slock(stats_mu_);
               ++accepted_;
             }
+            if (telemetry_ != nullptr) telemetry_->accepted->inc();
           }
         }
       }
@@ -323,6 +425,14 @@ void Server::process(std::shared_ptr<Connection> conn) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
+  // The request id is minted when the line is dequeued, before any handler
+  // runs, so the trace events a simulate emits mid-flight and the request's
+  // own issue/done span agree on the id.
+  std::uint64_t req_id = 0;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    req_id = ++next_req_id_;
+  }
   std::string response;
   RequestKind kind = RequestKind::kPing;
   bool ok = true;
@@ -339,8 +449,17 @@ void Server::process(std::shared_ptr<Connection> conn) {
     kind = request->kind;
     if (request->kind == RequestKind::kStats) {
       response = make_result_response(*request, stats_json());
+    } else if (request->kind == RequestKind::kMetrics) {
+      // Prometheus text travels inside the JSON envelope: the protocol stays
+      // one-line-JSON-per-request, scrapers unwrap result.text.
+      std::string body = "{\"content_type\":\"text/plain; version=0.0.4\","
+                         "\"text\":\"";
+      body += json_escape(metrics_text());
+      body += "\"}";
+      response = make_result_response(*request, body);
     } else {
-      ServiceCore::HandleResult result = core_.handle(*request);
+      const RequestContext ctx{req_id, config_.trace};
+      ServiceCore::HandleResult result = core_.handle(*request, &ctx);
       response = std::move(result.response);
       ok = result.ok;
       cache_hit = result.cache_hit;
@@ -353,7 +472,20 @@ void Server::process(std::shared_ptr<Connection> conn) {
           std::chrono::steady_clock::now() - t0)
           .count();
   record_request(kind, request.has_value(), ok, cache_hit, latency_us,
-                 conn->id);
+                 conn->id, req_id);
+  if (config_.slow_request_us > 0.0 && latency_us >= config_.slow_request_us) {
+    if (telemetry_ != nullptr) telemetry_->slow_requests->inc();
+    // One structured line per slow request; req_id is the join key into the
+    // trace file.
+    std::fprintf(stderr,
+                 "{\"slow_request\":true,\"req_id\":%llu,\"kind\":\"%s\","
+                 "\"conn\":%u,\"latency_us\":%.1f,\"ok\":%s,"
+                 "\"threshold_us\":%.1f}\n",
+                 static_cast<unsigned long long>(req_id),
+                 request.has_value() ? to_string(kind) : "parse_error",
+                 conn->id, latency_us, ok ? "true" : "false",
+                 config_.slow_request_us);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   conn->done = true;
@@ -363,8 +495,7 @@ void Server::process(std::shared_ptr<Connection> conn) {
 
 void Server::record_request(RequestKind kind, bool parsed, bool ok,
                             bool cache_hit, double latency_us,
-                            std::uint32_t conn_id) {
-  std::uint64_t req_id = 0;
+                            std::uint32_t conn_id, std::uint64_t req_id) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     // Unparseable lines have no kind; they are tallied as parse_errors only.
@@ -372,7 +503,19 @@ void Server::record_request(RequestKind kind, bool parsed, bool ok,
     if (parsed && !ok) ++handler_errors_;
     if (cache_hit) ++cache_hit_responses_;
     latency_us_.add(latency_us);
-    req_id = ++next_req_id_;
+  }
+  if (telemetry_ != nullptr) {
+    Telemetry& t = *telemetry_;
+    t.responses->inc();
+    if (parsed) {
+      t.by_kind[static_cast<std::size_t>(kind)]->inc();
+      if (!ok) t.handler_errors->inc();
+    } else {
+      t.parse_errors->inc();
+    }
+    if (cache_hit) t.cache_hit_responses->inc();
+    t.latency->observe(
+        static_cast<std::uint64_t>(latency_us < 0.0 ? 0.0 : latency_us));
   }
   if (config_.trace != nullptr) {
     // One issue/done pair per request on the structured trace seam: the
@@ -400,7 +543,7 @@ void Server::record_request(RequestKind kind, bool parsed, bool ok,
 }
 
 std::string Server::stats_json() const {
-  std::uint64_t by_kind[6];
+  std::uint64_t by_kind[kRequestKindCount];
   std::uint64_t parse_errors = 0;
   std::uint64_t handler_errors = 0;
   std::uint64_t cache_hit_responses = 0;
@@ -410,7 +553,9 @@ std::string Server::stats_json() const {
          lat_p99 = 0.0, lat_min = 0.0, lat_max = 0.0;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    for (std::size_t i = 0; i < 6; ++i) by_kind[i] = requests_by_kind_[i];
+    for (std::size_t i = 0; i < kRequestKindCount; ++i) {
+      by_kind[i] = requests_by_kind_[i];
+    }
     parse_errors = parse_errors_;
     handler_errors = handler_errors_;
     cache_hit_responses = cache_hit_responses_;
@@ -446,7 +591,33 @@ std::string Server::stats_json() const {
   w.begin_object();
   w.kv("schema", "am-serve-stats/1");
   w.kv("uptime_s", uptime_s);
+  // Lifetime average — misleading for a long-lived daemon with bursty load
+  // (it decays towards zero between bursts), kept for compatibility. The
+  // rolling-window rates next to it are what dashboards should read.
   w.kv("qps", uptime_s > 0.0 ? static_cast<double>(total) / uptime_s : 0.0);
+  {
+    const double lifetime =
+        uptime_s > 0.0 ? static_cast<double>(total) / uptime_s : 0.0;
+    double q1 = lifetime, q10 = lifetime, q60 = lifetime;
+    if (telemetry_ != nullptr) {
+      const std::uint64_t now = uptime_ms();
+      if (const auto d = telemetry_->windows.delta(*telemetry_->responses,
+                                                   1.0, now)) {
+        q1 = d->rate();
+      }
+      if (const auto d = telemetry_->windows.delta(*telemetry_->responses,
+                                                   10.0, now)) {
+        q10 = d->rate();
+      }
+      if (const auto d = telemetry_->windows.delta(*telemetry_->responses,
+                                                   60.0, now)) {
+        q60 = d->rate();
+      }
+    }
+    w.kv("qps_1s", q1);
+    w.kv("qps_10s", q10);
+    w.kv("qps_60s", q60);
+  }
   w.key("requests").begin_object();
   w.kv("total", total);
   w.kv("predict", by_kind[static_cast<std::size_t>(RequestKind::kPredict)]);
@@ -456,6 +627,7 @@ std::string Server::stats_json() const {
   w.kv("simulate", by_kind[static_cast<std::size_t>(RequestKind::kSimulate)]);
   w.kv("stats", by_kind[static_cast<std::size_t>(RequestKind::kStats)]);
   w.kv("ping", by_kind[static_cast<std::size_t>(RequestKind::kPing)]);
+  w.kv("metrics", by_kind[static_cast<std::size_t>(RequestKind::kMetrics)]);
   w.kv("parse_errors", parse_errors);
   w.kv("handler_errors", handler_errors);
   w.end_object();
@@ -490,6 +662,80 @@ std::string Server::stats_json() const {
   w.kv("draining", draining);
   w.end_object();
   return os.str();
+}
+
+std::string Server::metrics_text() const {
+  namespace m = obs::metrics;
+  if (telemetry_ != nullptr) {
+    // Point-in-time gauges refresh at scrape time — there is no sampler for
+    // values that are cheap to read exactly.
+    std::size_t active = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active = connections_.size();
+    }
+    telemetry_->active_connections->set(static_cast<double>(active));
+    telemetry_->uptime_seconds->set(static_cast<double>(uptime_ms()) /
+                                    1000.0);
+  }
+
+  std::string out;
+  m::PromWriter w(out);
+  m::render_prometheus(m::default_registry(), w);
+  if (telemetry_ == nullptr) return out;
+
+  // Derived rolling-window families. These are scrape-time arithmetic over
+  // the snapshot ring — the write path never sees them.
+  Telemetry& t = *telemetry_;
+  const std::uint64_t now = uptime_ms();
+  struct Win {
+    const char* label;
+    double seconds;
+  };
+  static constexpr Win kWins[] = {{"1s", 1.0}, {"10s", 10.0}, {"60s", 60.0}};
+
+  w.family("am_qps", "Requests per second over a rolling window",
+           m::Type::kGauge);
+  for (const Win& win : kWins) {
+    const auto d = t.windows.delta(*t.responses, win.seconds, now);
+    w.sample("am_qps", {{"window", win.label}}, d ? d->rate() : 0.0);
+  }
+
+  w.family("am_request_latency_window_us",
+           "Request latency quantiles over a rolling window (microseconds)",
+           m::Type::kGauge);
+  for (const Win& win : kWins) {
+    const auto h = t.windows.histogram_delta(*t.latency, win.seconds, now);
+    for (const double q : {50.0, 90.0, 99.0}) {
+      char qbuf[8];
+      std::snprintf(qbuf, sizeof qbuf, "%g", q / 100.0);
+      w.sample("am_request_latency_window_us",
+               {{"window", win.label}, {"quantile", qbuf}},
+               h ? h->percentile(q) : 0.0);
+    }
+  }
+
+  w.family("am_cache_hit_ratio",
+           "Prediction-cache hit ratio over a rolling window",
+           m::Type::kGauge);
+  for (const Win& win : kWins) {
+    const auto hits = t.windows.delta(*t.cache_hits, win.seconds, now);
+    const auto misses = t.windows.delta(*t.cache_misses, win.seconds, now);
+    const double h = hits ? static_cast<double>(hits->count) : 0.0;
+    const double miss = misses ? static_cast<double>(misses->count) : 0.0;
+    w.sample("am_cache_hit_ratio", {{"window", win.label}},
+             h + miss > 0.0 ? h / (h + miss) : 0.0);
+  }
+
+  w.family("am_sim_cycles_per_second",
+           "Simulated cycles retired per wall-clock second (rolling)",
+           m::Type::kGauge);
+  for (const Win& win : kWins) {
+    const auto d = t.windows.delta(*t.sim_cycles, win.seconds, now);
+    w.sample("am_sim_cycles_per_second", {{"window", win.label}},
+             d ? d->rate() : 0.0);
+  }
+  return out;
 }
 
 }  // namespace am::service

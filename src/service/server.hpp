@@ -39,8 +39,17 @@ struct ServerConfig {
   std::size_t max_line_bytes = 1 << 20;  ///< request-line size cap
   /// Per-request structured logging: a kIssue event when a request line is
   /// dequeued and a kOpDone with the service latency when its response is
-  /// written. Not owned; nullptr disables.
+  /// written; simulate requests additionally stream their machine's
+  /// protocol events through the same sink. Not owned; nullptr disables.
+  /// Must be thread-safe (wrap in obs::SynchronizedTraceSink) — workers and
+  /// embedded simulator runs emit concurrently.
   obs::TraceSink* trace = nullptr;
+  /// Registers server instruments in obs::metrics::default_registry() and
+  /// runs the rolling-window sampler thread. Off for overhead A/B runs.
+  bool metrics = true;
+  /// Requests whose service latency exceeds this many microseconds are
+  /// logged to stderr as one structured JSON line each. 0 disables.
+  double slow_request_us = 0.0;
 };
 
 class Server {
@@ -73,6 +82,13 @@ class Server {
   /// The stats response body (also served to `{"kind":"stats"}` requests).
   std::string stats_json() const;
 
+  /// Prometheus text exposition (format 0.0.4): every instrument in
+  /// obs::metrics::default_registry() plus scrape-time derived families
+  /// (rolling qps, window latency quantiles, cache hit ratio, simulated
+  /// cycles/s). Served to `{"kind":"metrics"}` requests wrapped in a JSON
+  /// envelope as result.text.
+  std::string metrics_text() const;
+
  private:
   struct Connection {
     int fd = -1;
@@ -91,7 +107,11 @@ class Server {
   void process(std::shared_ptr<Connection> conn);
   void close_connection(const std::shared_ptr<Connection>& conn);
   void record_request(RequestKind kind, bool parsed, bool ok, bool cache_hit,
-                      double latency_us, std::uint32_t conn_id);
+                      double latency_us, std::uint32_t conn_id,
+                      std::uint64_t req_id);
+  /// Milliseconds of steady-clock time since start() — the rolling-window
+  /// sampler's clock.
+  std::uint64_t uptime_ms() const;
 
   ServiceCore& core_;
   ServerConfig config_;
@@ -112,7 +132,7 @@ class Server {
 
   // --- stats (guarded by stats_mu_) ---------------------------------------
   mutable std::mutex stats_mu_;
-  std::uint64_t requests_by_kind_[6] = {};  ///< indexed by RequestKind
+  std::uint64_t requests_by_kind_[kRequestKindCount] = {};
   std::uint64_t parse_errors_ = 0;
   std::uint64_t handler_errors_ = 0;
   std::uint64_t cache_hit_responses_ = 0;
@@ -120,6 +140,14 @@ class Server {
   LogHistogram latency_us_{0.1, 1e8, 16};
   std::chrono::steady_clock::time_point start_time_;
   std::uint64_t next_req_id_ = 0;
+
+  // --- telemetry (registry instruments + rolling windows) ------------------
+  // Defined in server.cpp; created by start() when config_.metrics. The
+  // instruments live in the process-wide default registry (so simulator and
+  // sweep counters appear in the same scrape); Telemetry holds borrowed
+  // pointers plus the sampler thread feeding the snapshot ring.
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
 
   std::condition_variable job_cv_;
 };

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace am::sim {
 
 PointTimeout::PointTimeout(Kind k, Cycles at, std::uint64_t events)
@@ -182,6 +184,10 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
   line_prof_.clear();
   epochs_.clear();
   outstanding_ = 0;
+  run_ops_ = 0;
+  run_grants_ = 0;
+  run_transitions_ = 0;
+  run_invalidations_ = 0;
   stats.epoch_cycles = epoch_cycles_;
   if (sink_ != nullptr) {
     sink_->on_run_begin(obs::TraceRunInfo{config_.name, active_cores, warmup,
@@ -235,6 +241,7 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
     // attached trace well-formed.
     events_ = {};
     if (sink_ != nullptr) sink_->on_run_end();
+    flush_metrics(now_);
     program_ = nullptr;
     stats_ = nullptr;
     energy_ = nullptr;
@@ -273,6 +280,7 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
     stats.epochs = epochs_;
   }
   if (sink_ != nullptr) sink_->on_run_end();
+  flush_metrics(now_);
 
   program_ = nullptr;
   stats_ = nullptr;
@@ -546,6 +554,8 @@ void Machine::invalidate_copy(LineState& ls, LineId id, CoreId core) {
     had_copy = true;
   }
   if (had_copy) {
+    ++run_invalidations_;
+    ++run_transitions_;  // some valid state -> I
     if (stats_ != nullptr && in_measure_window(now_)) ++stats_->invalidations;
     if (profile_lines_ && in_measure_window(now_)) {
       ++line_prof_[id].invalidations;
@@ -649,6 +659,11 @@ void Machine::try_grant(LineId id) {
   }
 
   if (config_.paranoid_checks) check_line_invariants(ls, id);
+  ++run_grants_;
+  // A grant that supplied the line from anywhere but the requester's own
+  // cache changed the requester's MESI state (I/S -> M/E/S); a local hit
+  // kept it. Invalidations triggered inside apply_grant counted already.
+  if (supply != Supply::kLocalHit) ++run_transitions_;
   ++progress_marks_;  // a directory grant moved a line: forward progress
   note_grant(id, req.core, supply, xfer,
              static_cast<std::uint32_t>(ls.queue.size()),
@@ -832,6 +847,7 @@ void Machine::handle_op_done(const Event& ev) {
   }
   if (EpochSample* ep = epoch_at(now_)) ++ep->ops;
   adjust_outstanding(-1);
+  ++run_ops_;
   ++progress_marks_;  // an operation retired: forward progress
 
   if (in_window && ev.core < stats_->threads.size()) {
@@ -841,6 +857,31 @@ void Machine::handle_op_done(const Event& ev) {
   program_->on_result(ev.core, result);
   try_grant(cs.pending.line);
   schedule(now_, EventKind::kFetchNext, ev.core);
+}
+
+void Machine::flush_metrics(std::uint64_t cycles) {
+  namespace m = obs::metrics;
+  if (!m::enabled()) return;
+  // One registry lookup per process (the instruments are immortal), one
+  // sharded fetch-add per counter per run.
+  static m::Counter& runs = m::default_registry().counter(
+      "am_sim_runs_total", "Machine::run calls completed (incl. watchdog)");
+  static m::Counter& sim_cycles = m::default_registry().counter(
+      "am_sim_cycles_total", "Simulated cycles elapsed across all runs");
+  static m::Counter& ops = m::default_registry().counter(
+      "am_sim_ops_total", "Atomic operations retired by the simulator");
+  static m::Counter& grants = m::default_registry().counter(
+      "am_sim_directory_grants_total", "Directory line-slot grants served");
+  static m::Counter& transitions = m::default_registry().counter(
+      "am_sim_mesi_transitions_total", "MESI line-state transitions applied");
+  static m::Counter& invals = m::default_registry().counter(
+      "am_sim_invalidations_total", "Cache-line copies invalidated");
+  runs.inc();
+  sim_cycles.inc(cycles);
+  ops.inc(run_ops_);
+  grants.inc(run_grants_);
+  transitions.inc(run_transitions_);
+  invals.inc(run_invalidations_);
 }
 
 Cycles Machine::measure_single_op(CoreId core, Primitive prim, LineId id) {

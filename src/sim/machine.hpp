@@ -303,6 +303,16 @@ class Machine {
   /// across events to detect livelock (events flowing, nothing advancing).
   std::uint64_t progress_marks_ = 0;
 
+  // Per-run telemetry tallies, published to obs::metrics::default_registry()
+  // once per run() (success and watchdog paths both flush). The event loop
+  // only bumps plain members — the shared counters are touched exactly once
+  // per run, so simulation throughput is unaffected by telemetry.
+  void flush_metrics(std::uint64_t cycles);
+  std::uint64_t run_ops_ = 0;           ///< operations retired
+  std::uint64_t run_grants_ = 0;        ///< directory line grants
+  std::uint64_t run_transitions_ = 0;   ///< MESI state transitions applied
+  std::uint64_t run_invalidations_ = 0; ///< copies invalidated
+
   // Per-run context.
   ThreadProgram* program_ = nullptr;
   CoreId active_cores_ = 0;

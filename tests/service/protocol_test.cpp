@@ -21,6 +21,7 @@ Request must_parse(const std::string& line) {
 TEST(Protocol, ParsesEveryKind) {
   EXPECT_EQ(must_parse(R"({"kind":"ping"})").kind, RequestKind::kPing);
   EXPECT_EQ(must_parse(R"({"kind":"stats"})").kind, RequestKind::kStats);
+  EXPECT_EQ(must_parse(R"({"kind":"metrics"})").kind, RequestKind::kMetrics);
   const Request p = must_parse(
       R"({"kind":"predict","machine":"knl","mode":"shared","prim":"CAS","threads":16,"work":250})");
   EXPECT_EQ(p.kind, RequestKind::kPredict);
@@ -41,6 +42,17 @@ TEST(Protocol, ParsesEveryKind) {
   const Request s = must_parse(
       R"({"kind":"simulate","machine":"test","prim":"FAA","threads":4,"seed":7})");
   EXPECT_EQ(s.point.seed, 7u);
+}
+
+TEST(Protocol, MetricsKindRoundTrips) {
+  const Request r = must_parse(R"({"v":"am-serve/1","kind":"metrics"})");
+  EXPECT_EQ(r.kind, RequestKind::kMetrics);
+  EXPECT_STREQ(to_string(RequestKind::kMetrics), "metrics");
+  // Canonical form is stable and re-parses to the same kind.
+  const std::string canon = canonical_request(r);
+  const Request again = must_parse(canon);
+  EXPECT_EQ(again.kind, RequestKind::kMetrics);
+  EXPECT_EQ(canonical_request(again), canon);
 }
 
 TEST(Protocol, VersionGate) {

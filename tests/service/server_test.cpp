@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/prometheus.hpp"
 #include "service/client.hpp"
 #include "service/handlers.hpp"
 #include "service/server.hpp"
@@ -318,6 +319,95 @@ TEST(Server, StatsCountsKindsAndErrors) {
   // recorded, so it does not count itself.
   EXPECT_EQ(req->find("stats")->as_number(), 0.0);
   EXPECT_EQ(req->find("total")->as_number(), 3.0);
+}
+
+TEST(Server, StatsReportsRollingQps) {
+  LiveServer live;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+  roundtrip_or_die(client, R"({"kind":"ping"})");
+  const std::string stats = roundtrip_or_die(client, R"({"kind":"stats"})");
+  const auto doc = JsonValue::parse(stats);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr);
+  // The lifetime field survives unchanged; the rolling fields ride along.
+  for (const char* key : {"qps", "qps_1s", "qps_10s", "qps_60s"}) {
+    const JsonValue* v = result->find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_GE(v->as_number(), 0.0) << key;
+  }
+}
+
+TEST(Server, MetricsScrapeExposesPrometheusText) {
+  LiveServer live;
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+  roundtrip_or_die(client, R"({"kind":"ping"})");
+  roundtrip_or_die(client, R"({"kind":"predict","prim":"FAA","threads":4})");
+  roundtrip_or_die(client, R"({"kind":"predict","prim":"FAA","threads":4})");
+
+  const std::string response =
+      roundtrip_or_die(client, R"({"v":"am-serve/1","kind":"metrics"})");
+  const auto doc = JsonValue::parse(response);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("content_type")->as_string(),
+            "text/plain; version=0.0.4");
+  const std::string text = result->find("text")->as_string();
+
+  // Counters live in the process-wide default registry, shared with every
+  // other server this test binary started — assert presence and floors,
+  // not exact lifetime values.
+  const auto samples = obs::metrics::parse_prometheus_text(text);
+  EXPECT_NE(text.find("# TYPE am_server_requests_total counter"),
+            std::string::npos);
+  const auto pings = obs::metrics::find_sample(
+      samples, "am_server_requests_total", {{"kind", "ping"}});
+  ASSERT_TRUE(pings.has_value());
+  EXPECT_GE(*pings, 1.0);
+  const auto predicts = obs::metrics::find_sample(
+      samples, "am_server_requests_total", {{"kind", "predict"}});
+  ASSERT_TRUE(predicts.has_value());
+  EXPECT_GE(*predicts, 2.0);
+  // The identical predict pair produced at least one cache hit.
+  const auto hits =
+      obs::metrics::find_sample(samples, "am_cache_hits_total");
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_GE(*hits, 1.0);
+  // Latency histogram and derived rolling families are present.
+  EXPECT_TRUE(obs::metrics::find_sample(
+                  samples, "am_server_request_latency_us_count")
+                  .has_value());
+  EXPECT_TRUE(obs::metrics::find_sample(samples, "am_qps",
+                                        {{"window", "10s"}})
+                  .has_value());
+  EXPECT_TRUE(obs::metrics::find_sample(
+                  samples, "am_request_latency_window_us",
+                  {{"window", "10s"}, {"quantile", "0.99"}})
+                  .has_value());
+  EXPECT_TRUE(obs::metrics::find_sample(samples, "am_cache_hit_ratio",
+                                        {{"window", "60s"}})
+                  .has_value());
+}
+
+TEST(Server, MetricsDisabledStillAnswersStats) {
+  ServerConfig config;
+  config.metrics = false;
+  LiveServer live(config);
+  ServiceClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(live.endpoint, &error)) << error;
+  roundtrip_or_die(client, R"({"kind":"ping"})");
+  const std::string stats = roundtrip_or_die(client, R"({"kind":"stats"})");
+  const auto doc = JsonValue::parse(stats);
+  ASSERT_TRUE(doc.has_value());
+  // Rolling windows are off; the lifetime qps fallback still answers.
+  EXPECT_GE(doc->find("result")->find("qps")->as_number(), 0.0);
 }
 
 }  // namespace

@@ -65,8 +65,13 @@ int main(int argc, char** argv) {
   CliParser cli("one-shot client for the am-serve/1 protocol");
   cli.add_flag("connect", "daemon endpoint (host:port or unix:path)",
                "127.0.0.1:7787", CliParser::FlagKind::kEndpoint);
-  cli.add_flag("kind", "request kind: ping|stats|predict|advise|simulate",
+  cli.add_flag("kind",
+               "request kind: ping|stats|metrics|predict|advise|simulate",
                "ping");
+  cli.add_flag("metrics",
+               "shortcut for --kind=metrics; prints the decoded Prometheus "
+               "text instead of the JSON envelope",
+               "false", CliParser::FlagKind::kBool);
   cli.add_flag("id", "request id echoed back by the daemon", "");
   cli.add_flag("machine", "sim preset: xeon|knl|test", "xeon");
   cli.add_flag("mode", "workload mode: shared|private|mixed|zipf", "shared");
@@ -100,8 +105,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string line =
-      cli.get("raw").empty() ? build_request(cli) : cli.get("raw");
+  const bool metrics_mode = cli.get_bool("metrics");
+  std::string line;
+  if (metrics_mode) {
+    line = "{\"v\":\"am-serve/1\",\"kind\":\"metrics\"}";
+  } else {
+    line = cli.get("raw").empty() ? build_request(cli) : cli.get("raw");
+  }
   const std::int64_t repeat = std::max<std::int64_t>(1, cli.get_int("repeat"));
 
   am::service::ServiceClient client;
@@ -117,10 +127,21 @@ int main(int argc, char** argv) {
       std::cerr << "am_client: " << error << "\n";
       return 1;
     }
-    std::cout << *response << "\n";
     const auto doc = am::JsonValue::parse(*response);
     const am::JsonValue* ok = doc.has_value() ? doc->find("ok") : nullptr;
     if (ok == nullptr || !ok->as_bool()) all_ok = false;
+    if (metrics_mode && doc.has_value()) {
+      // Unwrap result.text: the scrape payload is Prometheus text, the JSON
+      // envelope is just the transport.
+      const am::JsonValue* result = doc->find("result");
+      const am::JsonValue* text =
+          result != nullptr ? result->find("text") : nullptr;
+      if (text != nullptr) {
+        std::cout << text->as_string();
+        continue;
+      }
+    }
+    std::cout << *response << "\n";
   }
   return all_ok ? 0 : 1;
 }

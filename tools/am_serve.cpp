@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "common/cli.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/handlers.hpp"
 #include "service/server.hpp"
@@ -58,6 +59,14 @@ int main(int argc, char** argv) {
                "write per-request Chrome trace events to this file", "");
   cli.add_flag("verbose", "log one line per request to stderr", "false",
                CliParser::FlagKind::kBool);
+  cli.add_flag("metrics",
+               "live telemetry: registry counters, rolling windows and the "
+               "{\"kind\":\"metrics\"} Prometheus scrape",
+               "true", CliParser::FlagKind::kBool);
+  cli.add_flag("slow-request-us",
+               "log a structured stderr line for requests slower than this "
+               "many microseconds (0 disables)",
+               "0", CliParser::FlagKind::kInt);
   if (!cli.parse(argc, argv)) return 2;
 
   am::service::ServiceConfig core_config;
@@ -67,6 +76,11 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, cli.get_int("cache-shards")));
   core_config.sim_cache_dir = cli.get("sweep-cache");
   core_config.max_point_cycles = cli.get_int("max-point-cycles");
+  const bool metrics_on = cli.get_bool("metrics");
+  core_config.metrics = metrics_on;
+  // The global switch gates the simulator/sweep publication points too, so
+  // --metrics=false is a true A/B: no fetch-adds anywhere on the hot path.
+  am::obs::metrics::set_enabled(metrics_on);
   am::service::ServiceCore core(std::move(core_config));
 
   am::service::ServerConfig server_config;
@@ -86,8 +100,15 @@ int main(int argc, char** argv) {
   server_config.service_threads = static_cast<unsigned>(
       std::max<std::int64_t>(1, cli.get_int("service-threads")));
 
+  server_config.metrics = metrics_on;
+  server_config.slow_request_us =
+      static_cast<double>(std::max<std::int64_t>(0, cli.get_int("slow-request-us")));
+
+  // The sink is shared by concurrent workers and any simulate run they
+  // dispatch, so whatever backs it gets the mutex wrapper.
   am::obs::TextTraceSink text_sink(std::cerr);
   std::unique_ptr<am::obs::ChromeTraceFileSink> chrome_sink;
+  std::unique_ptr<am::obs::SynchronizedTraceSink> shared_sink;
   if (!cli.get("trace-out").empty()) {
     chrome_sink =
         std::make_unique<am::obs::ChromeTraceFileSink>(cli.get("trace-out"));
@@ -96,10 +117,12 @@ int main(int argc, char** argv) {
                 << cli.get("trace-out") << "\n";
       return 2;
     }
-    server_config.trace = chrome_sink.get();
+    shared_sink =
+        std::make_unique<am::obs::SynchronizedTraceSink>(*chrome_sink);
   } else if (cli.get_bool("verbose")) {
-    server_config.trace = &text_sink;
+    shared_sink = std::make_unique<am::obs::SynchronizedTraceSink>(text_sink);
   }
+  if (shared_sink) server_config.trace = shared_sink.get();
 
   am::service::Server server(core, server_config);
   // Handlers are installed before start() so a drain signal arriving during
