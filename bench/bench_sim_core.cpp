@@ -1,0 +1,275 @@
+// bench_sim_core: wall-clock microbenchmark of the simulator core itself.
+//
+// Every other bench binary measures the *simulated machine*; this one
+// measures the *simulator* — how many uncached sweep points per second the
+// discrete-event loop sustains. Each "point" is what SweepEngine executes
+// with a cold cache: construct a Machine from the preset, run one workload,
+// discard. The fixed-seed point list covers the sharing patterns whose event
+// mixes differ structurally (single hot line, CAS retry storms, per-core
+// lines, sharded groups, read-mostly broadcasts).
+//
+// The frozen seed core (sim::legacy::Machine) runs the identical point list
+// in the same process, so the reported speedup is a property of the rewrite
+// alone, not of the host. scripts/check_sim_core_perf.py compares the JSON
+// emitted here against the committed BENCH_sim_core.json baseline in CI.
+//
+// Usage: bench_sim_core [--reps N] [--json-out PATH] [--scale N]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/config.hpp"
+#include "sim/legacy_machine.hpp"
+#include "sim/machine.hpp"
+#include "sim/program.hpp"
+
+namespace am {
+namespace {
+
+struct Point {
+  const char* name;
+  std::uint64_t seed;
+  sim::CoreId threads;
+  sim::Cycles warmup;
+  sim::Cycles measure;
+  /// Builds a fresh program (programs are stateful across a run).
+  std::unique_ptr<sim::ThreadProgram> (*make)();
+};
+
+std::unique_ptr<sim::ThreadProgram> hc_faa() {
+  return std::make_unique<sim::HighContentionProgram>(Primitive::kFaa, 0);
+}
+std::unique_ptr<sim::ThreadProgram> hc_cas_loop() {
+  return std::make_unique<sim::HighContentionProgram>(Primitive::kCasLoop,
+                                                      0);
+}
+std::unique_ptr<sim::ThreadProgram> hc_swap_jitter() {
+  return std::make_unique<sim::HighContentionProgram>(Primitive::kSwap,
+                                                      60, 0, 0.5);
+}
+std::unique_ptr<sim::ThreadProgram> low_contention() {
+  return std::make_unique<sim::LowContentionProgram>(Primitive::kFaa, 0);
+}
+std::unique_ptr<sim::ThreadProgram> sharded() {
+  return std::make_unique<sim::ShardedProgram>(Primitive::kFaa, 20,
+                                               /*group_size=*/4);
+}
+std::unique_ptr<sim::ThreadProgram> mixed_rw() {
+  return std::make_unique<sim::MixedReadWriteProgram>(Primitive::kCas, 0.1,
+                                                  0);
+}
+
+/// The fixed point list. Every point runs the same simulated window —
+/// exactly how SweepEngine weights a sweep row — so the aggregate
+/// points/sec reflects the real mix of event densities (a low-contention
+/// window simulates ~50x more events than a serialized hot-line window of
+/// the same simulated length). 100k cycles keeps one rep long enough that
+/// the event loop dominates construction and short enough for a best-of-3
+/// CI gate.
+const Point kPoints[] = {
+    {"hc_faa_t4", 11, 4, 1'000, 100'000, hc_faa},
+    {"hc_faa_tmax", 12, 0, 1'000, 100'000, hc_faa},
+    {"hc_casloop_t8", 13, 8, 1'000, 100'000, hc_cas_loop},
+    {"hc_casloop_tmax", 14, 0, 1'000, 100'000, hc_cas_loop},
+    {"hc_swap_jitter_tmax", 15, 0, 1'000, 100'000, hc_swap_jitter},
+    {"low_contention_tmax", 16, 0, 1'000, 100'000, low_contention},
+    {"sharded_g4_tmax", 17, 0, 1'000, 100'000, sharded},
+    {"mixed_rw_tmax", 18, 0, 1'000, 100'000, mixed_rw},
+};
+
+/// One uncached point on machine type M: cold construction + one run.
+/// Returns a digest folded from the run so the work cannot be elided and
+/// fast/legacy agreement can be asserted.
+template <class M>
+std::uint64_t run_point(const sim::MachineConfig& cfg, const Point& p) {
+  M machine(cfg, p.seed);
+  const sim::CoreId threads =
+      p.threads == 0 ? machine.core_count()
+                     : std::min<sim::CoreId>(p.threads, machine.core_count());
+  const auto prog = p.make();
+  const sim::RunStats rs = machine.run(*prog, threads, p.warmup, p.measure);
+  std::uint64_t digest = 0;
+  for (const sim::ThreadStats& t : rs.threads) {
+    digest = digest * 1315423911u + t.ops * 3u + t.attempts * 5u +
+             t.wait_cycles * 7u;
+  }
+  return digest;
+}
+
+/// Runs the whole point list once, recording per-point wall seconds into
+/// @p secs (indexed like kPoints). Returns the digest over all points.
+template <class M>
+std::uint64_t run_list(const sim::MachineConfig& cfg, int scale,
+                       double* secs) {
+  std::uint64_t digest = 0;
+  for (std::size_t i = 0; i < std::size(kPoints); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < scale; ++s) {
+      digest ^= run_point<M>(cfg, kPoints[i]);
+    }
+    secs[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return digest;
+}
+
+struct PointResult {
+  const char* name = nullptr;
+  double fast_ms = 0.0;    ///< best-of-reps wall ms (whole scale loop)
+  double legacy_ms = 0.0;
+  double speedup = 0.0;
+};
+
+struct PresetResult {
+  std::string preset;
+  double fast = 0.0;    ///< points/sec, rewritten core (best of reps)
+  double legacy = 0.0;  ///< points/sec, frozen seed core (best of reps)
+  double speedup = 0.0;
+  std::vector<PointResult> points;
+};
+
+PresetResult bench_preset(const std::string& name, int reps, int scale) {
+  const sim::MachineConfig cfg = sim::preset_by_name(name);
+  constexpr std::size_t kN = std::size(kPoints);
+  PresetResult r;
+  r.preset = name;
+  r.points.resize(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    r.points[i].name = kPoints[i].name;
+    r.points[i].fast_ms = std::numeric_limits<double>::infinity();
+    r.points[i].legacy_ms = std::numeric_limits<double>::infinity();
+  }
+  std::uint64_t fast_digest = 0;
+  std::uint64_t legacy_digest = 0;
+  double fast_secs[kN];
+  double legacy_secs[kN];
+  // Interleave fast/legacy reps so thermal or scheduler drift hits both.
+  for (int i = 0; i < reps; ++i) {
+    fast_digest = run_list<sim::Machine>(cfg, scale, fast_secs);
+    legacy_digest = run_list<sim::legacy::Machine>(cfg, scale, legacy_secs);
+    for (std::size_t p = 0; p < kN; ++p) {
+      r.points[p].fast_ms = std::min(r.points[p].fast_ms, fast_secs[p] * 1e3);
+      r.points[p].legacy_ms =
+          std::min(r.points[p].legacy_ms, legacy_secs[p] * 1e3);
+    }
+  }
+  // Aggregate throughput from the per-point bests: sum of the best times is
+  // the fastest achievable sweep, and best-of per point is the standard
+  // noise-rejection for a CI gate.
+  double fast_total = 0.0;
+  double legacy_total = 0.0;
+  for (std::size_t p = 0; p < kN; ++p) {
+    r.points[p].speedup = r.points[p].legacy_ms / r.points[p].fast_ms;
+    fast_total += r.points[p].fast_ms;
+    legacy_total += r.points[p].legacy_ms;
+  }
+  r.fast = static_cast<double>(kN * scale) / (fast_total * 1e-3);
+  r.legacy = static_cast<double>(kN * scale) / (legacy_total * 1e-3);
+  if (fast_digest != legacy_digest) {
+    // The equivalence suite proves byte identity properly; this is a cheap
+    // tripwire so a perf run can never report a speedup over different work.
+    std::cerr << "FATAL: fast/legacy digest mismatch on preset " << name
+              << "\n";
+    std::exit(2);
+  }
+  r.speedup = r.fast / r.legacy;
+  return r;
+}
+
+std::string json_escape_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+bool write_json(const std::string& path, const std::vector<PresetResult>& rs,
+                int reps, int scale) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"schema\": \"am-bench-sim-core/1\",\n"
+      << "  \"reps\": " << reps << ",\n  \"scale\": " << scale << ",\n"
+      << "  \"points_per_rep\": " << std::size(kPoints) * scale << ",\n"
+      << "  \"presets\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const PresetResult& r = rs[i];
+    out << "    {\"preset\": \"" << r.preset << "\", \"points_per_sec\": "
+        << json_escape_double(r.fast) << ", \"legacy_points_per_sec\": "
+        << json_escape_double(r.legacy) << ", \"speedup\": "
+        << json_escape_double(r.speedup) << ",\n     \"points\": [\n";
+    for (std::size_t p = 0; p < r.points.size(); ++p) {
+      const PointResult& pt = r.points[p];
+      out << "       {\"name\": \"" << pt.name << "\", \"fast_ms\": "
+          << json_escape_double(pt.fast_ms) << ", \"legacy_ms\": "
+          << json_escape_double(pt.legacy_ms) << ", \"speedup\": "
+          << json_escape_double(pt.speedup) << "}"
+          << (p + 1 < r.points.size() ? "," : "") << "\n";
+    }
+    out << "     ]}" << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+}  // namespace am
+
+int main(int argc, char** argv) {
+  using namespace am;
+  CliParser cli(
+      "Simulator-core throughput: uncached sweep points per second, "
+      "rewritten core vs the frozen seed core");
+  cli.add_flag("reps", "best-of repetitions per preset", "3",
+               CliParser::FlagKind::kInt);
+  cli.add_flag("scale", "point-list repetitions per rep (raises run length)",
+               "1", CliParser::FlagKind::kInt);
+  cli.add_flag("json-out", "result JSON path (empty = skip)",
+               "BENCH_sim_core.json");
+  if (!cli.parse(argc, argv)) return 1;
+  const int reps = std::max<int>(1, static_cast<int>(cli.get_int("reps")));
+  const int scale = std::max<int>(1, static_cast<int>(cli.get_int("scale")));
+
+  std::vector<PresetResult> results;
+  for (const std::string preset : {"xeon", "knl"}) {
+    results.push_back(bench_preset(preset, reps, scale));
+  }
+
+  Table table({"preset", "points/s (fast)", "points/s (seed)", "speedup"});
+  for (const PresetResult& r : results) {
+    table.add_row({r.preset, json_escape_double(r.fast),
+                   json_escape_double(r.legacy),
+                   json_escape_double(r.speedup) + "x"});
+  }
+  std::cout << "\n== simulator core throughput (best of " << reps
+            << ", " << std::size(kPoints) * scale << " points/rep) ==\n"
+            << table;
+
+  Table detail({"point", "preset", "fast ms", "seed ms", "speedup"});
+  for (const PresetResult& r : results) {
+    for (const PointResult& pt : r.points) {
+      detail.add_row({pt.name, r.preset, json_escape_double(pt.fast_ms),
+                      json_escape_double(pt.legacy_ms),
+                      json_escape_double(pt.speedup) + "x"});
+    }
+  }
+  std::cout << "\n" << detail;
+
+  const std::string json_path = cli.get("json-out");
+  if (!json_path.empty()) {
+    if (write_json(json_path, results, reps, scale)) {
+      std::cout << "(json written to " << json_path << ")\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

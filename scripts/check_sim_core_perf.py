@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate for the fast-path simulator core's throughput.
+
+Compares a fresh bench_sim_core result against the committed baseline
+(BENCH_sim_core.json at the repo root) and fails when the rewrite's edge
+over the frozen seed core erodes.
+
+The gated metric is the *speedup* (fast points/sec divided by the seed
+core's points/sec measured in the same process, best of N reps). Raw
+points/sec is a property of the host — CI runners and developer laptops
+differ by more than any regression we care about — while the speedup
+divides the host out: both cores ran the identical point list interleaved
+in one process, so a drop in the ratio means the fast core itself got
+slower relative to the frozen denominator.
+
+Usage:
+  scripts/check_sim_core_perf.py NEW_JSON [--baseline BENCH_sim_core.json]
+                                 [--max-drop 0.10]
+
+Exit codes: 0 ok, 1 regression or malformed input.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "am-bench-sim-core/1"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return {p["preset"]: p for p in doc.get("presets", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("new_json", help="JSON emitted by the bench run to check")
+    ap.add_argument("--baseline",
+                    default=str(pathlib.Path(__file__).resolve().parent.parent
+                                / "BENCH_sim_core.json"),
+                    help="committed baseline JSON (default: repo root)")
+    ap.add_argument("--max-drop", type=float, default=0.10,
+                    help="largest tolerated relative speedup drop "
+                         "(default: 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new_json)
+
+    failures = []
+    for preset, b in sorted(base.items()):
+        n = new.get(preset)
+        if n is None:
+            failures.append(f"{preset}: missing from {args.new_json}")
+            continue
+        b_speed = b["speedup"]
+        n_speed = n["speedup"]
+        floor = b_speed * (1.0 - args.max_drop)
+        verdict = "OK" if n_speed >= floor else "FAIL"
+        print(f"{preset:8s} baseline {b_speed:6.3f}x  new {n_speed:6.3f}x  "
+              f"floor {floor:6.3f}x  {verdict}")
+        if n_speed < floor:
+            failures.append(
+                f"{preset}: speedup {n_speed:.3f}x fell below "
+                f"{floor:.3f}x ({args.max_drop:.0%} under baseline "
+                f"{b_speed:.3f}x)")
+
+    if failures:
+        print("\nsimulator-core perf regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf the slowdown is intentional (e.g. the core gained a "
+              "feature), re-bless the baseline:\n"
+              "  build/bench/bench_sim_core --reps 3 "
+              "--json-out BENCH_sim_core.json\n"
+              "and commit the new file with an explanation.",
+              file=sys.stderr)
+        return 1
+    print("simulator-core perf gate: all presets within "
+          f"{args.max_drop:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cmake --build "$repo_root/$build_dir" --target test_sim -j
 AM_REGEN_GOLDEN=1 "$repo_root/$build_dir/tests/test_sim" \
   --gtest_filter='GoldenTrace.*'
+# The differential core-equivalence suite replays the refreshed goldens
+# against BOTH simulator cores; a failure here means the change broke the
+# fast core's byte-identity contract rather than intentionally retiming
+# the machine — fix the core, don't re-bless.
+"$repo_root/$build_dir/tests/test_sim" --gtest_filter='CoreEquivalence.*'
 echo "regenerated goldens:"
 ls -l "$repo_root"/tests/sim/golden/
 echo "review the diff before committing: git diff tests/sim/golden/"

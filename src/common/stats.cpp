@@ -113,7 +113,22 @@ std::size_t LogHistogram::index_for(double value) const noexcept {
 }
 
 void LogHistogram::add(double value) noexcept {
-  ++counts_[index_for(value)];
+  std::size_t idx;
+  if (value == memo_value_[0]) {
+    idx = memo_index_[0];
+  } else if (value == memo_value_[1]) {
+    idx = memo_index_[1];
+  } else if (value == memo_value_[2]) {
+    idx = memo_index_[2];
+  } else if (value == memo_value_[3]) {
+    idx = memo_index_[3];
+  } else {
+    idx = index_for(value);
+    memo_value_[memo_pos_] = value;
+    memo_index_[memo_pos_] = static_cast<std::uint32_t>(idx);
+    memo_pos_ = (memo_pos_ + 1) & 3;
+  }
+  ++counts_[idx];
   if (total_ == 0) {
     min_seen_ = max_seen_ = value;
   } else {

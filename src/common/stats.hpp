@@ -83,6 +83,16 @@ class LogHistogram {
   double log_lo_;
   double inv_log_step_;
   double log_step_;
+  // Memo of recent bucket lookups: latency streams draw from a handful of
+  // repeating values (an uncontended op completes in the same cycle count
+  // every time; a sharded group alternates between a few transfer
+  // distances), and index_for() pays a log10 per miss. Four slots with
+  // round-robin replacement cover the alternating patterns a single-entry
+  // memo thrashes on. Initialised to a consistent pair: index_for(-1.0) is
+  // the underflow bucket.
+  double memo_value_[4] = {-1.0, -1.0, -1.0, -1.0};
+  std::uint32_t memo_index_[4] = {0, 0, 0, 0};
+  std::uint32_t memo_pos_ = 0;
   std::vector<std::uint64_t> counts_;  // [underflow, regular..., overflow]
   std::uint64_t total_ = 0;
   double sum_ = 0.0;

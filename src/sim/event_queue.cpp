@@ -1,0 +1,199 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace am::sim {
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 8;
+
+bool before(const SchedEntry& a, const SchedEntry& b) noexcept {
+  return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+}
+
+std::size_t words_for(std::size_t nbuckets) noexcept {
+  return (nbuckets + 63) / 64;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() {
+  buckets_.resize(kMinBuckets);
+  live_.assign(words_for(kMinBuckets), 0);
+  mask_ = kMinBuckets - 1;
+  width_ = 16;  // re-inferred at the first resize
+  shift_ = 4;
+  cur_bucket_ = 0;
+  cur_top_ = width_;
+}
+
+void CalendarQueue::push_mid(Bucket& b, const SchedEntry& e) {
+  // Events are pushed in near-ascending time order, so the common (append)
+  // case is handled inline by push(); here the entry belongs somewhere in
+  // the middle, so walk back from the tail (short buckets make the linear
+  // scan cheaper than a branchy binary search).
+  auto it = b.items.end();
+  while (it != b.items.begin() + static_cast<std::ptrdiff_t>(b.head) &&
+         before(e, *(it - 1))) {
+    --it;
+  }
+  b.items.insert(it, e);
+}
+
+void CalendarQueue::compact(Bucket& b) {
+  // Reclaim the dead prefix once it dominates the bucket.
+  b.items.erase(b.items.begin(),
+                b.items.begin() + static_cast<std::ptrdiff_t>(b.head));
+  b.head = 0;
+}
+
+void CalendarQueue::seek_to(Cycles time) noexcept {
+  cur_bucket_ = bucket_of(time);
+  cur_top_ = ((time >> shift_) + 1) << shift_;
+}
+
+std::size_t CalendarQueue::next_live(std::size_t b) const noexcept {
+  const std::size_t words = live_.size();
+  const std::size_t w0 = b >> 6;
+  std::uint64_t word = live_[w0] & (~std::uint64_t{0} << (b & 63));
+  if (word != 0) {
+    return (w0 << 6) + static_cast<std::size_t>(std::countr_zero(word));
+  }
+  for (std::size_t k = 1; k <= words; ++k) {
+    const std::size_t w = (w0 + k) % words;
+    word = live_[w];
+    if (word != 0) {
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    }
+  }
+  return buckets_.size();  // unreachable when size_ > 0
+}
+
+SchedEntry CalendarQueue::pop_slow() {
+  assert(size_ > 0);
+  // One sweep over the calendar: bucket (cur_bucket_ + i) owns the due
+  // window [cur_top_ + (i-1)*w, cur_top_ + i*w). Buckets are sorted, so a
+  // bucket's front is its minimum; the first front inside its window is the
+  // global minimum of the current year. The bitmap steps the sweep straight
+  // between nonempty buckets.
+  const std::size_t n = buckets_.size();
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t b = next_live((cur_bucket_ + off) & mask_);
+    const std::size_t boff = (b - cur_bucket_) & mask_;
+    if (boff < off) break;  // wrapped past the year's end
+    Bucket& bk = buckets_[b];
+    const Cycles top = cur_top_ + static_cast<Cycles>(boff) * width_;
+    if (bk.front().time < top) {
+      cur_bucket_ = b;
+      cur_top_ = top;
+      const SchedEntry e = bk.front();
+      pop_front(bk, b);
+      --size_;
+      if (size_ < buckets_.size() / 2) maybe_shrink();
+      return e;
+    }
+    off = boff + 1;
+  }
+
+  // Nothing due this year (a long simulated-time jump): find the global
+  // minimum directly, fast-forward the cursor to its year, and pop it.
+  const Bucket* best = nullptr;
+  std::size_t best_idx = 0;
+  for (std::size_t w = 0; w < live_.size(); ++w) {
+    std::uint64_t word = live_[w];
+    while (word != 0) {
+      const std::size_t b =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      const Bucket& bk = buckets_[b];
+      if (best == nullptr || before(bk.front(), best->front())) {
+        best = &bk;
+        best_idx = b;
+      }
+    }
+  }
+  assert(best != nullptr);
+  const SchedEntry e = best->front();
+  seek_to(e.time);
+  pop_front(buckets_[best_idx], best_idx);
+  --size_;
+  return e;
+}
+
+void CalendarQueue::maybe_shrink() {
+  if (buckets_.size() > kMinBuckets) resize(buckets_.size() / 2);
+}
+
+void CalendarQueue::clear() {
+  for (Bucket& b : buckets_) {
+    b.items.clear();
+    b.head = 0;
+  }
+  std::fill(live_.begin(), live_.end(), 0);
+  size_ = 0;
+  cur_bucket_ = 0;
+  cur_top_ = width_;
+}
+
+void CalendarQueue::resize(std::size_t nbuckets) {
+  std::vector<SchedEntry> all;
+  all.reserve(size_);
+  for (Bucket& b : buckets_) {
+    all.insert(all.end(),
+               b.items.begin() + static_cast<std::ptrdiff_t>(b.head),
+               b.items.end());
+    b.items.clear();
+    b.head = 0;
+  }
+
+  // Re-derive the bucket width from the live population: aim for roughly
+  // one event per bucket across the occupied time span, rounded up to a
+  // power of two so bucket_of() is a shift rather than a 64-bit divide on
+  // every push. The width only affects scan cost, never ordering, so the
+  // formula just needs to be deterministic.
+  if (!all.empty()) {
+    Cycles lo = std::numeric_limits<Cycles>::max();
+    Cycles hi = 0;
+    for (const SchedEntry& e : all) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+    const Cycles span = hi - lo;
+    width_ = std::bit_ceil(
+        std::max<Cycles>(1, span / static_cast<Cycles>(nbuckets) + 1));
+    shift_ = static_cast<unsigned>(std::countr_zero(width_));
+  }
+
+  buckets_.assign(nbuckets, Bucket{});
+  live_.assign(words_for(nbuckets), 0);
+  mask_ = nbuckets - 1;
+  for (const SchedEntry& e : all) {
+    const std::size_t b = bucket_of(e.time);
+    Bucket& bk = buckets_[b];
+    if (bk.items.empty()) {
+      live_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    }
+    if (bk.items.empty() || !before(e, bk.items.back())) {
+      bk.items.push_back(e);
+    } else {
+      push_mid(bk, e);
+    }
+  }
+  // Park the cursor at the window of the earliest entry (or time 0).
+  Cycles first = 0;
+  bool any = false;
+  for (const SchedEntry& e : all) {
+    if (!any || e.time < first) {
+      first = e.time;
+      any = true;
+    }
+  }
+  seek_to(any ? first : 0);
+}
+
+}  // namespace am::sim

@@ -1,0 +1,146 @@
+// Calendar-queue event scheduler for the fast-path simulator core.
+//
+// The machine's event loop needs a priority queue with an *exact* total
+// order: ascending event time, FIFO (insertion sequence) among equal times.
+// The seed core used std::priority_queue over a (time, seq) comparator;
+// this replaces it with a classic Brown calendar queue — an array of time
+// buckets of width `width_` cycles that wraps every `nbuckets * width_`
+// cycles (one "year") — giving amortized O(1) push/pop for the
+// near-monotone schedules a discrete-event simulator produces, with no
+// per-event heap allocation (buckets are flat vectors that keep their
+// capacity; a popped slot is reclaimed by a head cursor, not an erase).
+//
+// Two things keep the constant factor low:
+//  * push/pop fast paths are inlined here (append-to-tail / pop-from-the
+//    cursor's own bucket cover almost every call in a near-monotone run);
+//  * a nonempty-bucket bitmap (one bit per bucket, scanned with ctz) lets
+//    the slow-path sweep step straight between occupied buckets instead of
+//    walking empty ones, which matters when inter-event gaps exceed the
+//    bucket width.
+//
+// Determinism contract (locked down by tests/sim/event_queue_test.cpp
+// against a std::priority_queue reference): pop() returns entries in
+// exactly ascending (time, seq) order regardless of bucket width, resize
+// history, year rollover, or out-of-order pushes. The simulator's
+// byte-identity guarantee rests on this queue agreeing with the seed
+// core's scheduler on every pop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+/// One scheduled event. `seq` is the caller's insertion counter and is the
+/// FIFO tie-break among equal times; `payload` is opaque to the queue.
+struct SchedEntry {
+  Cycles time = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t payload = 0;
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Inserts an entry. Pushing a time earlier than the last pop is allowed
+  /// (the cursor rewinds); the total order is still honoured.
+  void push(Cycles time, std::uint64_t seq, std::uint32_t payload) {
+    const std::size_t b = bucket_of(time);
+    Bucket& bk = buckets_[b];
+    if (bk.items.empty()) {
+      bk.items.push_back({time, seq, payload});
+      live_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    } else if (!before_time(time, seq, bk.items.back())) {
+      bk.items.push_back({time, seq, payload});
+    } else {
+      push_mid(bk, {time, seq, payload});
+    }
+    ++size_;
+    // An entry earlier than the cursor's current window would be missed by
+    // the forward scan; rewind the cursor to its window (out-of-order pushes
+    // are legal, just not the fast path).
+    if (time + width_ < cur_top_) seek_to(time);
+    if (size_ > 2 * buckets_.size()) resize(buckets_.size() * 2);
+  }
+
+  /// Removes and returns the minimum entry by (time, seq). Precondition:
+  /// !empty(). Fast path: the cursor's own bucket holds a due entry.
+  SchedEntry pop() {
+    Bucket& bk = buckets_[cur_bucket_];
+    if (bk.head < bk.items.size() && bk.items[bk.head].time < cur_top_) {
+      const SchedEntry e = bk.items[bk.head];
+      pop_front(bk, cur_bucket_);
+      --size_;
+      if (size_ < buckets_.size() / 2) maybe_shrink();
+      return e;
+    }
+    return pop_slow();
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Drops all entries but keeps bucket capacity (the watchdog abort path).
+  void clear();
+
+  // --- introspection for the property tests --------------------------------
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  Cycles bucket_width() const noexcept { return width_; }
+
+ private:
+  struct Bucket {
+    /// Entries at [head, items.size()), sorted ascending by (time, seq).
+    std::vector<SchedEntry> items;
+    std::size_t head = 0;
+
+    bool empty() const noexcept { return head >= items.size(); }
+    const SchedEntry& front() const noexcept { return items[head]; }
+  };
+
+  static bool before_time(Cycles time, std::uint64_t seq,
+                          const SchedEntry& b) noexcept {
+    return time != b.time ? time < b.time : seq < b.seq;
+  }
+
+  std::size_t bucket_of(Cycles time) const noexcept {
+    return static_cast<std::size_t>(time >> shift_) & mask_;
+  }
+  void push_mid(Bucket& b, const SchedEntry& e);
+  void pop_front(Bucket& b, std::size_t idx) {
+    ++b.head;
+    if (b.head >= b.items.size()) {
+      b.items.clear();
+      b.head = 0;
+      live_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    } else if (b.head >= 64 && b.head * 2 >= b.items.size()) {
+      compact(b);
+    }
+  }
+  void compact(Bucket& b);
+  SchedEntry pop_slow();
+  void maybe_shrink();
+  /// First live bucket at cyclic position >= @p b (wrapping). Precondition:
+  /// size_ > 0, so one exists.
+  std::size_t next_live(std::size_t b) const noexcept;
+  /// Points the cursor at the year/bucket containing @p time.
+  void seek_to(Cycles time) noexcept;
+  /// Rebuilds with @p nbuckets buckets and a width inferred from the
+  /// current population's time span.
+  void resize(std::size_t nbuckets);
+
+  std::vector<Bucket> buckets_;
+  /// Bit b set iff buckets_[b] is nonempty; sized ceil(nbuckets/64).
+  std::vector<std::uint64_t> live_;
+  std::size_t mask_ = 0;       ///< buckets_.size() - 1 (power of two)
+  Cycles width_ = 1;           ///< bucket time span; always 1 << shift_
+  unsigned shift_ = 0;         ///< log2(width_): bucket_of shifts, no divide
+  std::size_t cur_bucket_ = 0; ///< where the next pop scan starts
+  Cycles cur_top_ = 0;         ///< exclusive due-time bound of cur_bucket_
+  std::size_t size_ = 0;
+};
+
+}  // namespace am::sim

@@ -1,0 +1,204 @@
+// Flat open-addressing hash tables backing the fast-path simulator core.
+//
+// The seed core kept its line store and per-core LRU index in
+// std::unordered_map / std::list, which cost a heap allocation per node and
+// a pointer chase per lookup — both on the hottest simulate path. These
+// replacements are linear-probe tables over contiguous storage:
+//   * FlatMap64: insert-only u64 -> u32, used for LineId -> SoA slot. The
+//     machine never deletes a line (prime_line only resets contents), so
+//     the table needs no tombstones and probes stay short forever.
+//   * FlatSlotMap: u32 -> u32 with deletion via backward-shift, used for
+//     line-slot -> LRU-node inside each core's residency tracker, where
+//     evictions remove entries.
+// Neither table's iteration order is ever observed by the simulation — all
+// externally visible orderings come from explicit sorts or insertion-order
+// vectors — so growth/rehash policy cannot perturb byte-identity.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace am::sim {
+
+/// Insert-only open-addressing map from u64 keys to u32 values.
+/// find_or_insert returns the value slot for the key, creating it with
+/// @p fallback if absent (and reporting creation so the caller can
+/// initialise per-key state exactly where the old map would have).
+class FlatMap64 {
+ public:
+  explicit FlatMap64(std::size_t initial_pow2 = 64) {
+    keys_.assign(initial_pow2, kEmptyKey);
+    vals_.assign(initial_pow2, 0);
+    mask_ = initial_pow2 - 1;
+  }
+
+  /// Returns the value for @p key, or @p missing if absent.
+  std::uint32_t find(std::uint64_t key, std::uint32_t missing) const noexcept {
+    std::size_t i = index_of(key);
+    while (true) {
+      if (keys_[i] == kEmptyKey) return missing;
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns the value for @p key, inserting @p fallback first if absent.
+  /// Sets @p created accordingly.
+  std::uint32_t find_or_insert(std::uint64_t key, std::uint32_t fallback,
+                               bool& created) {
+    std::size_t i = index_of(key);
+    while (true) {
+      if (keys_[i] == kEmptyKey) {
+        keys_[i] = key;
+        vals_[i] = fallback;
+        ++size_;
+        created = true;
+        if (size_ * 4 >= keys_.size() * 3) grow();
+        return fallback;
+      }
+      if (keys_[i] == key) {
+        created = false;
+        return vals_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  std::size_t index_of(std::uint64_t key) const noexcept {
+    // splitmix64 finalizer: cheap, and scatters the small dense LineIds the
+    // programs use well enough for linear probing.
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_vals = std::move(vals_);
+    keys_.assign(old_keys.size() * 2, kEmptyKey);
+    vals_.assign(old_vals.size() * 2, 0);
+    mask_ = keys_.size() - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      std::size_t j = index_of(old_keys[i]);
+      while (keys_[j] != kEmptyKey) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing map from u32 keys to u32 values with erase support
+/// (backward-shift deletion, so no tombstone buildup). Keys are line slots;
+/// ~0u is reserved as the empty marker.
+class FlatSlotMap {
+ public:
+  explicit FlatSlotMap(std::size_t initial_pow2 = 64) {
+    keys_.assign(initial_pow2, kEmpty);
+    vals_.assign(initial_pow2, 0);
+    mask_ = initial_pow2 - 1;
+  }
+
+  std::uint32_t find(std::uint32_t key, std::uint32_t missing) const noexcept {
+    std::size_t i = index_of(key);
+    while (true) {
+      if (keys_[i] == kEmpty) return missing;
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void insert(std::uint32_t key, std::uint32_t val) {
+    assert(key != kEmpty);
+    std::size_t i = index_of(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        vals_[i] = val;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    vals_[i] = val;
+    ++size_;
+    if (size_ * 4 >= keys_.size() * 3) grow();
+  }
+
+  void erase(std::uint32_t key) {
+    std::size_t i = index_of(key);
+    while (true) {
+      if (keys_[i] == kEmpty) return;  // not present
+      if (keys_[i] == key) break;
+      i = (i + 1) & mask_;
+    }
+    --size_;
+    // Backward-shift: close the hole by moving later probe-chain members up.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (keys_[j] != kEmpty) {
+      // Move j into the hole iff the hole lies on j's probe path, i.e. the
+      // circular distance home->hole is shorter than home->j.
+      const std::size_t home = index_of(keys_[j]);
+      const std::size_t dist_hole = (hole - home) & mask_;
+      const std::size_t dist_j = (j - home) & mask_;
+      if (dist_hole < dist_j) {
+        keys_[hole] = keys_[j];
+        vals_[hole] = vals_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    keys_[hole] = kEmpty;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = ~0u;
+
+  std::size_t index_of(std::uint32_t key) const noexcept {
+    std::uint32_t x = key;
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_vals = std::move(vals_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    vals_.assign(old_vals.size() * 2, 0);
+    mask_ = keys_.size() - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      std::size_t j = index_of(old_keys[i]);
+      while (keys_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace am::sim

@@ -77,6 +77,13 @@ std::string TwoSocketInterconnect::describe() const {
   return os.str();
 }
 
+std::string TwoSocketInterconnect::identity() const {
+  std::ostringstream os;
+  os << "2socket:" << per_socket_ << ':' << same_socket_ << ':'
+     << cross_socket_;
+  return os.str();
+}
+
 // ---------------------------------------------------------------------------
 // MeshInterconnect
 // ---------------------------------------------------------------------------
@@ -127,6 +134,13 @@ std::string MeshInterconnect::describe() const {
   return os.str();
 }
 
+std::string MeshInterconnect::identity() const {
+  std::ostringstream os;
+  os << "mesh:" << width_ << ':' << height_ << ':' << base_ << ':' << per_hop_
+     << ':' << near_hops_;
+  return os.str();
+}
+
 // ---------------------------------------------------------------------------
 // PermutedInterconnect
 // ---------------------------------------------------------------------------
@@ -166,6 +180,21 @@ std::string PermutedInterconnect::describe() const {
   return inner_->describe() + " (permuted placement)";
 }
 
+std::string PermutedInterconnect::identity() const {
+  // The inner topology must expose an identity too; otherwise this wrapper
+  // opts out of sharing as well.
+  const std::string inner = inner_->identity();
+  if (inner.empty()) return std::string();
+  std::ostringstream os;
+  os << "perm[";
+  for (std::size_t i = 0; i < perm_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << perm_[i];
+  }
+  os << "]:" << inner;
+  return os.str();
+}
+
 // ---------------------------------------------------------------------------
 // UniformInterconnect
 // ---------------------------------------------------------------------------
@@ -194,6 +223,12 @@ std::uint32_t UniformInterconnect::hops(CoreId from, CoreId to) const {
 std::string UniformInterconnect::describe() const {
   std::ostringstream os;
   os << cores_ << " cores, uniform " << latency_ << "cy";
+  return os.str();
+}
+
+std::string UniformInterconnect::identity() const {
+  std::ostringstream os;
+  os << "uniform:" << cores_ << ':' << latency_;
   return os.str();
 }
 

@@ -38,6 +38,13 @@ class Interconnect {
 
   virtual CoreId core_count() const = 0;
   virtual std::string describe() const = 0;
+
+  /// Cache key for shared_route_table(): a string that uniquely determines
+  /// every value the four routing virtuals can return (all constructor
+  /// parameters, including any placement permutation). Topologies that
+  /// return the default empty string opt out of route-table sharing and
+  /// always get a freshly built table.
+  virtual std::string identity() const { return std::string(); }
 };
 
 /// Dual-socket machine: cores [0, per_socket) on socket 0, the rest on
@@ -53,6 +60,7 @@ class TwoSocketInterconnect final : public Interconnect {
   std::uint32_t hops(CoreId from, CoreId to) const override;
   CoreId core_count() const override { return 2 * per_socket_; }
   std::string describe() const override;
+  std::string identity() const override;
 
   int socket_of(CoreId c) const noexcept {
     return c < per_socket_ ? 0 : 1;
@@ -78,6 +86,7 @@ class MeshInterconnect final : public Interconnect {
   std::uint32_t hops(CoreId from, CoreId to) const override;
   CoreId core_count() const override { return width_ * height_; }
   std::string describe() const override;
+  std::string identity() const override;
 
   std::uint32_t manhattan(CoreId from, CoreId to) const noexcept;
 
@@ -104,6 +113,7 @@ class PermutedInterconnect final : public Interconnect {
   std::uint32_t hops(CoreId from, CoreId to) const override;
   CoreId core_count() const override;
   std::string describe() const override;
+  std::string identity() const override;
 
  private:
   CoreId map(CoreId c) const { return c < perm_.size() ? perm_[c] : c; }
@@ -123,6 +133,7 @@ class UniformInterconnect final : public Interconnect {
   std::uint32_t hops(CoreId from, CoreId to) const override;
   CoreId core_count() const override { return cores_; }
   std::string describe() const override;
+  std::string identity() const override;
 
  private:
   CoreId cores_;

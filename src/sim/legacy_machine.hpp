@@ -1,0 +1,238 @@
+// The pre-rewrite (seed) discrete-event machine, frozen verbatim as the
+// timing-exact reference implementation.
+//
+// The fast-path core in sim/machine.hpp restructured the simulator's data
+// layout (struct-of-arrays line state, calendar-queue scheduler, precomputed
+// routing tables, decoded op streams) under a byte-identity contract: every
+// RunStats field, trace byte and final line state must match this
+// implementation exactly. Keeping the original core compiled and linked
+// makes that contract *executable*:
+//   - tests/sim/core_equivalence_test.cpp replays a seeded conformance
+//     corpus through both cores and asserts identical digests (and checks
+//     both against committed golden snapshots, so the pair cannot drift
+//     together);
+//   - bench/bench_sim_core.cpp measures points/sec on both cores, which
+//     turns the ">= 5x uncached simulate path" target into a
+//     machine-independent ratio the CI perf gate can enforce.
+//
+// Do not modify this file except to keep it compiling: any behavioural
+// change here silently re-baselines the equivalence proof. It mirrors the
+// seed machine.cpp at the commit this file was introduced.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "atomics/primitives.hpp"
+#include "common/random.hpp"
+#include "obs/trace.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"  // PointTimeout, WatchdogConfig (shared contract)
+#include "sim/program.hpp"
+#include "sim/sim_stats.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim::legacy {
+
+/// Verbatim copy of the seed-core Machine (priority-queue scheduler,
+/// unordered_map line store, per-event interconnect virtual calls). Public
+/// surface matches sim::Machine so tests and benches can drive either
+/// through the same code paths.
+class Machine {
+ public:
+  explicit Machine(MachineConfig config, std::uint64_t seed = 1);
+
+  const MachineConfig& config() const noexcept { return config_; }
+  const Interconnect& interconnect() const noexcept { return *interconnect_; }
+  CoreId core_count() const noexcept { return cores_; }
+
+  void prime_line(LineId line, Mesi state, CoreId owner, std::uint64_t value = 0);
+
+  std::uint64_t line_value(LineId line) const;
+  Mesi line_state(LineId line, CoreId core) const;
+
+  std::vector<LineId> touched_lines() const;
+
+  using LineSnapshot = sim::Machine::LineSnapshot;
+  LineSnapshot snapshot_line(LineId line) const;
+
+  void verify_invariants() const;
+
+  RunStats run(ThreadProgram& program, CoreId active_cores, Cycles warmup,
+               Cycles measure);
+
+  Cycles measure_single_op(CoreId core, Primitive prim, LineId line);
+
+  void set_sink(obs::TraceSink* sink) noexcept {
+    sink_ = sink;
+    owned_sink_.reset();
+  }
+
+  void set_trace(std::ostream* os);
+
+  void set_line_profiling(bool on) { profile_lines_ = on; }
+
+  void set_epoch_cycles(Cycles window) { epoch_cycles_ = window; }
+
+  void set_watchdog(WatchdogConfig wd) noexcept { watchdog_ = wd; }
+  const WatchdogConfig& watchdog() const noexcept { return watchdog_; }
+
+ private:
+  // --- event machinery -----------------------------------------------------
+  enum class EventKind : std::uint8_t { kFetchNext, kIssue, kOpDone };
+
+  struct Event {
+    Cycles time;
+    std::uint64_t seq;  ///< tie-break: deterministic FIFO at equal times
+    EventKind kind;
+    CoreId core;
+    bool operator>(const Event& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  struct PendingRequest {
+    CoreId core;
+    bool exclusive;
+    Cycles arrival;
+  };
+
+  struct LineState {
+    CoreId owner = kNoCore;       ///< E/M holder
+    Mesi owner_state = Mesi::kInvalid;
+    std::vector<CoreId> sharers;  ///< S holders (excludes owner)
+    std::uint64_t value = 0;
+    bool busy = false;            ///< a transaction is in flight
+    std::vector<PendingRequest> queue;
+
+    bool cached_anywhere() const noexcept {
+      return owner != kNoCore || !sharers.empty();
+    }
+  };
+
+  struct CoreState {
+    OpContext ctx;
+    bool done = false;
+    bool has_pending = false;
+    IssueRequest pending;
+    Cycles issue_time = 0;
+    Cycles attempt_start = 0;
+    Cycles grant_time = 0;
+    std::uint64_t req_id = 0;
+    std::uint32_t attempts_this_op = 0;
+    bool holds_token = false;
+    bool drop_write = false;
+    Supply last_supply = Supply::kLocalHit;
+    Cycles last_xfer = 0;
+  };
+
+  void schedule(Cycles time, EventKind kind, CoreId core);
+  void handle_fetch_next(const Event& ev);
+  void handle_issue(const Event& ev);
+  void handle_op_done(const Event& ev);
+  void submit_request(CoreId core);
+
+  void try_grant(LineId line);
+  std::size_t arbitrate(const LineState& ls, LineId id);
+  std::pair<Cycles, Supply> apply_grant(LineState& ls, LineId id,
+                                        const PendingRequest& req);
+
+  OpResult apply_op(Primitive prim, LineState& ls, OpContext& ctx);
+
+  void invalidate_copy(LineState& ls, LineId id, CoreId core);
+
+  void check_line_invariants(const LineState& ls, LineId id) const;
+
+  void touch_resident(CoreId core, LineId id);
+  void forget_resident(CoreId core, LineId id);
+  void evict_one(CoreId core);
+
+  LineState& line(LineId id) { return lines_[id]; }
+  Mesi state_of(const LineState& ls, CoreId core) const;
+
+  void record_completion(CoreId core, const OpResult& r, Cycles latency);
+  bool in_measure_window(Cycles t) const noexcept {
+    return t >= warmup_end_ && t < end_time_;
+  }
+
+  // --- observability -------------------------------------------------------
+  void emit(const obs::TraceEvent& e) {
+    if (sink_ != nullptr) sink_->on_event(e);
+  }
+  void note_grant(LineId id, CoreId core, Supply supply, Cycles xfer,
+                  std::uint32_t queue_depth, bool counts_acquisition) {
+    if (sink_ != nullptr || profile_lines_) {
+      note_grant_slow(id, core, supply, xfer, queue_depth, counts_acquisition);
+    }
+  }
+  void note_grant_slow(LineId id, CoreId core, Supply supply, Cycles xfer,
+                       std::uint32_t queue_depth, bool counts_acquisition);
+  EpochSample* epoch_at(Cycles t) {
+    return epoch_cycles_ == 0 ? nullptr : epoch_at_slow(t);
+  }
+  EpochSample* epoch_at_slow(Cycles t);
+  void adjust_outstanding(int delta) {
+    outstanding_ = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(outstanding_) + delta);
+    if (epoch_cycles_ != 0) adjust_outstanding_slow();
+  }
+  void adjust_outstanding_slow();
+
+  MachineConfig config_;
+  std::unique_ptr<Interconnect> interconnect_;
+  CoreId cores_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  Cycles now_ = 0;
+
+  std::unordered_map<LineId, LineState> lines_;
+
+  struct Residency {
+    std::list<LineId> lru;  ///< front = most recently used
+    std::unordered_map<LineId, std::list<LineId>::iterator> index;
+  };
+  std::vector<Residency> residency_;
+
+  std::vector<CoreState> core_states_;
+  std::vector<Xoshiro256> rngs_;
+  Xoshiro256 arb_rng_{0x9d2c5680};
+
+  obs::TraceSink* sink_ = nullptr;
+  std::unique_ptr<obs::TraceSink> owned_sink_;
+  std::uint64_t next_req_id_ = 0;
+
+  bool profile_lines_ = false;
+  std::unordered_map<LineId, LineProfile> line_prof_;
+
+  Cycles epoch_cycles_ = 0;
+  std::vector<EpochSample> epochs_;
+  std::uint32_t outstanding_ = 0;
+
+  WatchdogConfig watchdog_{};
+  std::uint64_t progress_marks_ = 0;
+
+  // The legacy core deliberately does NOT publish telemetry: it exists for
+  // equivalence/benchmark comparison runs and must not double-count the
+  // process-wide am_sim_* counters next to the live core.
+  std::uint64_t run_ops_ = 0;
+  std::uint64_t run_grants_ = 0;
+  std::uint64_t run_transitions_ = 0;
+  std::uint64_t run_invalidations_ = 0;
+
+  // Per-run context.
+  ThreadProgram* program_ = nullptr;
+  CoreId active_cores_ = 0;
+  Cycles warmup_end_ = 0;
+  Cycles end_time_ = 0;
+  RunStats* stats_ = nullptr;
+  EnergyAccounting* energy_ = nullptr;
+};
+
+}  // namespace am::sim::legacy

@@ -39,78 +39,113 @@ Machine::Machine(MachineConfig config, std::uint64_t seed)
   SplitMix64 sm(seed);
   for (CoreId c = 0; c < cores_; ++c) rngs_.emplace_back(sm.next());
   arb_rng_ = Xoshiro256(sm.next());
+
+  // Flatten the interconnect virtuals into dense tables (shared across
+  // Machines of the same preset), and the proximity weights into a
+  // per-distance lookup: exp() of the same inputs the seed core evaluated
+  // per sharer, so the arbitration draws are bit-identical.
+  routes_ = shared_route_table(*interconnect_);
+  if (config_.arbitration == Arbitration::kProximityBiased) {
+    weight_by_dist_ = routes_->proximity_weights(config_.arbitration_bias);
+  }
+  for (const Primitive p : kAllPrimitives) {
+    serve_cost_[static_cast<std::size_t>(p)] =
+        config_.l1_hit + config_.exec_cost_of(p);
+  }
+}
+
+std::uint32_t Machine::slot_of(LineId id) {
+  bool created = false;
+  const std::uint32_t slot = line_index_.find_or_insert(
+      id, static_cast<std::uint32_t>(line_ids_.size()), created);
+  if (created) {
+    line_ids_.push_back(id);
+    line_owner_.push_back(kNoCore);
+    line_owner_state_.push_back(Mesi::kInvalid);
+    line_value_.push_back(0);
+    line_busy_.push_back(0);
+    line_sharers_.emplace_back();
+    line_queue_.emplace_back();
+    line_prefix_.emplace_back();
+    line_prefix_valid_.push_back(0);
+  }
+  return slot;
 }
 
 void Machine::prime_line(LineId id, Mesi state, CoreId owner,
                          std::uint64_t value) {
-  LineState& ls = line(id);
-  for (CoreId c = 0; c < cores_; ++c) forget_resident(c, id);
-  ls = LineState{};
-  ls.value = value;
+  const std::uint32_t s = slot_of(id);
+  for (CoreId c = 0; c < cores_; ++c) forget_resident(c, s);
+  line_owner_[s] = kNoCore;
+  line_owner_state_[s] = Mesi::kInvalid;
+  line_sharers_[s].clear();
+  line_busy_[s] = 0;
+  line_queue_[s].clear();
+  line_prefix_valid_[s] = 0;
+  line_value_[s] = value;
   switch (state) {
     case Mesi::kInvalid:
       break;  // memory-only
     case Mesi::kShared:
-      ls.sharers.push_back(owner);
+      line_sharers_[s].push_back(owner);
       break;
     case Mesi::kExclusive:
-      ls.owner = owner;
-      ls.owner_state = Mesi::kExclusive;
+      line_owner_[s] = owner;
+      line_owner_state_[s] = Mesi::kExclusive;
       break;
     case Mesi::kModified:
-      ls.owner = owner;
-      ls.owner_state = Mesi::kModified;
+      line_owner_[s] = owner;
+      line_owner_state_[s] = Mesi::kModified;
       break;
   }
-  if (state != Mesi::kInvalid) touch_resident(owner, id);
+  if (state != Mesi::kInvalid) touch_resident(owner, s);
 }
 
 std::uint64_t Machine::line_value(LineId id) const {
-  const auto it = lines_.find(id);
-  return it == lines_.end() ? 0 : it->second.value;
+  const std::uint32_t s = find_slot(id);
+  return s == kNilSlot ? 0 : line_value_[s];
 }
 
-Mesi Machine::state_of(const LineState& ls, CoreId core) const {
-  if (ls.owner == core) return ls.owner_state;
-  if (std::find(ls.sharers.begin(), ls.sharers.end(), core) != ls.sharers.end()) {
+Mesi Machine::state_of(std::uint32_t slot, CoreId core) const {
+  if (line_owner_[slot] == core) return line_owner_state_[slot];
+  const std::vector<CoreId>& sh = line_sharers_[slot];
+  if (std::find(sh.begin(), sh.end(), core) != sh.end()) {
     return Mesi::kShared;
   }
   return Mesi::kInvalid;
 }
 
 Mesi Machine::line_state(LineId id, CoreId core) const {
-  const auto it = lines_.find(id);
-  return it == lines_.end() ? Mesi::kInvalid : state_of(it->second, core);
+  const std::uint32_t s = find_slot(id);
+  return s == kNilSlot ? Mesi::kInvalid : state_of(s, core);
 }
 
 std::vector<LineId> Machine::touched_lines() const {
-  std::vector<LineId> ids;
-  ids.reserve(lines_.size());
-  for (const auto& [id, ls] : lines_) ids.push_back(id);
+  std::vector<LineId> ids = line_ids_;
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 Machine::LineSnapshot Machine::snapshot_line(LineId id) const {
   LineSnapshot snap;
-  const auto it = lines_.find(id);
-  if (it == lines_.end()) return snap;
-  const LineState& ls = it->second;
-  snap.owner = ls.owner;
-  snap.owner_state = ls.owner_state;
-  snap.sharers = ls.sharers;
-  snap.value = ls.value;
-  snap.busy = ls.busy;
-  snap.queued = ls.queue.size();
+  const std::uint32_t s = find_slot(id);
+  if (s == kNilSlot) return snap;
+  snap.owner = line_owner_[s];
+  snap.owner_state = line_owner_state_[s];
+  snap.sharers = line_sharers_[s];
+  snap.value = line_value_[s];
+  snap.busy = line_busy_[s] != 0;
+  snap.queued = line_queue_[s].size();
   return snap;
 }
 
 void Machine::verify_invariants() const {
-  for (const auto& [id, ls] : lines_) check_line_invariants(ls, id);
-}
-
-void Machine::schedule(Cycles time, EventKind kind, CoreId core) {
-  events_.push(Event{time, next_seq_++, kind, core});
+  // Ascending line order: with several lines corrupted at once the report
+  // always names the lowest id (the seed core walked an unordered_map, so
+  // the named line varied with hash layout).
+  for (const LineId id : touched_lines()) {
+    check_line_invariants(find_slot(id), id);
+  }
 }
 
 void Machine::set_trace(std::ostream* os) {
@@ -164,6 +199,27 @@ void Machine::note_grant_slow(LineId id, CoreId core, Supply supply,
   }
 }
 
+void Machine::decode(const IssueRequest& req, DecodedOp& op) const {
+  op.prim = req.prim;
+  op.flags = 0;
+  op.line = req.line;
+  op.slot = kNilSlot;
+  op.work_before = req.work_before;
+  op.serve_cost = serve_cost_[static_cast<std::size_t>(req.prim)];
+  if (req.store_value) {
+    op.flags |= kHasStore;
+    op.store_value = *req.store_value;
+  }
+  if (req.cas_expected) {
+    op.flags |= kHasExpected;
+    op.cas_expected = *req.cas_expected;
+  }
+  if (req.cas_desired) {
+    op.flags |= kHasDesired;
+    op.cas_desired = *req.cas_desired;
+  }
+}
+
 RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
                       Cycles warmup, Cycles measure) {
   if (active_cores > cores_) {
@@ -201,6 +257,17 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
   stats_ = &stats;
   energy_ = &energy;
 
+  // Decode static plans once per run. A planned core's fetch skips the
+  // next_op/on_result virtuals entirely — legal only because plan-eligible
+  // programs draw no RNG and ignore results (see StaticPlan in program.hpp),
+  // so the skipped calls were behaviourally empty.
+  for (CoreId c = 0; c < active_cores; ++c) {
+    if (const auto plan = program.static_plan(c)) {
+      decode(plan->op, core_states_[c].op);
+      core_states_[c].has_plan = true;
+    }
+  }
+
   for (CoreId c = 0; c < active_cores; ++c) schedule(0, EventKind::kFetchNext, c);
 
   // Watchdog state: the budget is on simulated time, the livelock check on
@@ -212,17 +279,17 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
 
   try {
     while (!events_.empty()) {
-      const Event ev = events_.top();
-      events_.pop();
+      const SchedEntry ev = events_.pop();
       now_ = ev.time;
       if (watchdog_.max_cycles != 0 && now_ > watchdog_.max_cycles) {
         throw PointTimeout(PointTimeout::Kind::kCycleBudget, now_,
                            events_processed);
       }
-      switch (ev.kind) {
-        case EventKind::kFetchNext: handle_fetch_next(ev); break;
-        case EventKind::kIssue: handle_issue(ev); break;
-        case EventKind::kOpDone: handle_op_done(ev); break;
+      const CoreId core = core_of(ev.payload);
+      switch (kind_of(ev.payload)) {
+        case EventKind::kFetchNext: handle_fetch_next(core); break;
+        case EventKind::kIssue: handle_issue(core); break;
+        case EventKind::kOpDone: handle_op_done(core); break;
       }
       ++events_processed;
       if (progress_marks_ != last_marks) {
@@ -239,7 +306,7 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
     // The machine is mid-transaction (busy lines, queued requests) and must
     // be discarded; leave it consistent enough to destroy and keep any
     // attached trace well-formed.
-    events_ = {};
+    events_.clear();
     if (sink_ != nullptr) sink_->on_run_end();
     flush_metrics(now_);
     program_ = nullptr;
@@ -288,81 +355,89 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
   return stats;
 }
 
-void Machine::handle_fetch_next(const Event& ev) {
-  CoreState& cs = core_states_[ev.core];
+void Machine::handle_fetch_next(CoreId core) {
+  CoreState& cs = core_states_[core];
   if (cs.done || now_ >= end_time_) {
     cs.done = true;
     return;
   }
-  auto next = program_->next_op(ev.core, rngs_[ev.core]);
-  if (!next) {
-    cs.done = true;
-    return;
+  if (cs.has_plan) {
+    // The plan was decoded into cs.op once at run start and nothing on the
+    // execute path mutates it; only the slot needs resolving, once.
+    if (cs.op.slot == kNilSlot) cs.op.slot = slot_of(cs.op.line);
+  } else {
+    const auto next = program_->next_op(core, rngs_[core]);
+    if (!next) {
+      cs.done = true;
+      return;
+    }
+    decode(*next, cs.op);
+    cs.op.slot = slot_of(cs.op.line);
   }
-  cs.pending = *next;
   cs.has_pending = true;
   cs.attempts_this_op = 0;
-  if (in_measure_window(now_) && ev.core < stats_->threads.size()) {
-    stats_->threads[ev.core].work_cycles += next->work_before;
-    energy_->add_active_cycles(next->work_before);
+  // Zero think time adds zero to both tallies, so the window test (and the
+  // stats/energy touches behind it) can be skipped outright.
+  if (cs.op.work_before != 0 && in_measure_window(now_) &&
+      core < stats_->threads.size()) {
+    stats_->threads[core].work_cycles += cs.op.work_before;
+    energy_->add_active_cycles(cs.op.work_before);
   }
-  schedule(now_ + next->work_before, EventKind::kIssue, ev.core);
+  schedule(now_ + cs.op.work_before, EventKind::kIssue, core);
 }
 
-void Machine::handle_issue(const Event& ev) {
-  CoreState& cs = core_states_[ev.core];
+void Machine::handle_issue(CoreId core) {
+  CoreState& cs = core_states_[core];
   cs.issue_time = now_;
   cs.req_id = ++next_req_id_;
   if (sink_ != nullptr) {
     obs::TraceEvent e;
     e.kind = obs::TraceEventKind::kIssue;
     e.time = now_;
-    e.core = ev.core;
-    e.line = cs.pending.line;
+    e.core = core;
+    e.line = cs.op.line;
     e.req_id = cs.req_id;
-    e.prim = static_cast<std::uint8_t>(cs.pending.prim);
+    e.prim = static_cast<std::uint8_t>(cs.op.prim);
     sink_->on_event(e);
   }
   adjust_outstanding(+1);
-  submit_request(ev.core);
+  submit_request(core);
 }
 
 void Machine::submit_request(CoreId core) {
   CoreState& cs = core_states_[core];
   cs.attempt_start = now_;
-  const Primitive prim = cs.pending.prim;
-  LineState& ls = line(cs.pending.line);
-  const Mesi st = state_of(ls, core);
+  const Primitive prim = cs.op.prim;
+  const std::uint32_t s = cs.op.slot;
+  const Mesi st = state_of(s, core);
 
   // Pure read on any valid copy: an L1 hit that needs no directory slot and
   // can proceed concurrently with other readers.
   if (prim == Primitive::kLoad && st != Mesi::kInvalid) {
-    touch_resident(core, cs.pending.line);
+    touch_resident(core, s);
     cs.last_supply = Supply::kLocalHit;
     cs.last_xfer = 0;
     cs.holds_token = false;
     cs.grant_time = now_;
-    note_grant(cs.pending.line, core, Supply::kLocalHit, 0, 0,
+    note_grant(cs.op.line, core, Supply::kLocalHit, 0, 0,
                /*counts_acquisition=*/false);
-    schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
-             EventKind::kOpDone, core);
+    schedule(now_ + cs.op.serve_cost, EventKind::kOpDone, core);
     return;
   }
 
   // Writer that already owns the line exclusively: take the line slot
   // without a transfer (an uncontended lock-prefixed op on a hot line).
-  if (needs_exclusive(prim) && ls.owner == core && !ls.busy &&
+  if (needs_exclusive(prim) && line_owner_[s] == core && line_busy_[s] == 0 &&
       (st == Mesi::kExclusive || st == Mesi::kModified)) {
-    touch_resident(core, cs.pending.line);
-    ls.busy = true;
+    touch_resident(core, s);
+    line_busy_[s] = 1;
     cs.holds_token = true;
     cs.last_supply = Supply::kLocalHit;
     cs.last_xfer = 0;
     cs.grant_time = now_;
-    note_grant(cs.pending.line, core, Supply::kLocalHit, 0, 0,
+    note_grant(cs.op.line, core, Supply::kLocalHit, 0, 0,
                /*counts_acquisition=*/true);
-    schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
-             EventKind::kOpDone, core);
+    schedule(now_ + cs.op.serve_cost, EventKind::kOpDone, core);
     return;
   }
 
@@ -370,46 +445,55 @@ void Machine::submit_request(CoreId core) {
   // Shared skips the S->M upgrade round-trip, executes on its local copy and
   // silently loses the write-back.
   if (config_.fault == FaultInjection::kLostUpgradeWrite &&
-      needs_exclusive(prim) && st == Mesi::kShared && !ls.busy) {
-    touch_resident(core, cs.pending.line);
-    ls.busy = true;
+      needs_exclusive(prim) && st == Mesi::kShared && line_busy_[s] == 0) {
+    touch_resident(core, s);
+    line_busy_[s] = 1;
     cs.holds_token = true;
     cs.drop_write = true;
     cs.last_supply = Supply::kLocalHit;
     cs.last_xfer = 0;
     cs.grant_time = now_;
-    note_grant(cs.pending.line, core, Supply::kLocalHit, 0, 0,
+    note_grant(cs.op.line, core, Supply::kLocalHit, 0, 0,
                /*counts_acquisition=*/true);
-    schedule(now_ + config_.l1_hit + config_.exec_cost_of(prim),
-             EventKind::kOpDone, core);
+    schedule(now_ + cs.op.serve_cost, EventKind::kOpDone, core);
     return;
   }
 
-  ls.queue.push_back(PendingRequest{core, needs_exclusive(prim), now_});
-  try_grant(cs.pending.line);
+  // The proximity-arbitration weight is a pure function of (home, core,
+  // bias), all fixed for the life of the request, so it is frozen here once
+  // instead of being recomputed on every arbitration round.
+  double weight = 0.0;
+  if (config_.arbitration == Arbitration::kProximityBiased) {
+    const CoreId home = static_cast<CoreId>(cs.op.line % cores_);
+    weight = weight_by_dist_[routes_->distance(home, core)];
+  }
+  line_queue_[s].push_back(
+      PendingRequest{core, needs_exclusive(prim), now_, weight});
+  try_grant(s);
 }
 
-std::size_t Machine::arbitrate(const LineState& ls, LineId id) {
-  assert(!ls.queue.empty());
+std::size_t Machine::arbitrate(std::uint32_t slot, LineId id) {
+  const ReqQueue& q = line_queue_[slot];
+  assert(!q.empty());
   if (config_.arbitration == Arbitration::kFifo) {
     // Requests are queued in arrival order.
     return 0;
   }
 
   if (config_.arbitration == Arbitration::kNearestFirst) {
-    if (ls.owner == kNoCore) return 0;
+    const CoreId owner = line_owner_[slot];
+    if (owner == kNoCore) return 0;
     // Anti-starvation: a sufficiently aged request is served first
     // regardless of distance (queue index 0 holds the oldest request).
     if (config_.arbitration_age_limit > 0 &&
-        now_ - ls.queue.front().arrival > config_.arbitration_age_limit) {
+        now_ - q.front().arrival > config_.arbitration_age_limit) {
       return 0;
     }
     // Deterministic nearest-first: the requester closest to the data wins.
     std::size_t best = 0;
     std::uint32_t best_d = std::numeric_limits<std::uint32_t>::max();
-    for (std::size_t i = 0; i < ls.queue.size(); ++i) {
-      const std::uint32_t d =
-          interconnect_->distance(ls.owner, ls.queue[i].core);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const std::uint32_t d = routes_->distance(owner, q[i].core);
       if (d < best_d) {
         best_d = d;
         best = i;
@@ -423,60 +507,108 @@ std::size_t Machine::arbitrate(const LineState& ls, LineId id) {
   // wins with probability proportional to exp(-distance/bias). Because the
   // home is fixed per line, the advantage is persistent — the mechanism
   // behind the paper's long-run unfairness.
-  const CoreId home = static_cast<CoreId>(id % cores_);
-  double total = 0.0;
-  std::vector<double> weight(ls.queue.size());
-  for (std::size_t i = 0; i < ls.queue.size(); ++i) {
-    const std::uint32_t d = interconnect_->distance(home, ls.queue[i].core);
-    weight[i] = std::exp(-static_cast<double>(d) / config_.arbitration_bias);
-    total += weight[i];
+  //
+  // The seed core rebuilt the running total 0+w0+w1+...+w_{n-1} from scratch
+  // every round. Here the per-line prefix-sum cache resumes that *exact*
+  // sequential add chain from the last prefix unaffected by queue edits
+  // (erasing index k shifts entries >= k, so the watermark drops to k):
+  // every partial sum is bit-identical to the seed's, hence every arb_rng_
+  // draw outcome is too. The winner-pick loop below must stay subtractive
+  // over the per-entry weights — reformulating it against prefix
+  // *differences* would round differently.
+  (void)id;
+  const std::size_t n = q.size();
+  std::vector<double>& pre = line_prefix_[slot];
+  if (pre.size() < n) pre.resize(n);
+  std::size_t valid = line_prefix_valid_[slot];
+  double total = valid > 0 ? pre[valid - 1] : 0.0;
+  for (std::size_t i = valid; i < n; ++i) {
+    total += q[i].weight;
+    pre[i] = total;
   }
+  line_prefix_valid_[slot] = static_cast<std::uint32_t>(n);
   double pick = arb_rng_.next_double() * total;
-  for (std::size_t i = 0; i < ls.queue.size(); ++i) {
-    pick -= weight[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    pick -= q[i].weight;
     if (pick <= 0.0) return i;
   }
-  return ls.queue.size() - 1;
+  return n - 1;
 }
 
-void Machine::touch_resident(CoreId core, LineId id) {
+void Machine::touch_resident(CoreId core, std::uint32_t slot) {
   Residency& res = residency_[core];
-  const auto it = res.index.find(id);
-  if (it != res.index.end()) {
-    res.lru.splice(res.lru.begin(), res.lru, it->second);
+  // MRU shortcut: a core re-touching the line it touched last (the common
+  // case for private-line and single-hot-line workloads) skips the index
+  // probe — if the head node tracks this slot, find() would return head.
+  if (res.head != kNilSlot && res.nodes[res.head].slot == slot) return;
+  const std::uint32_t n = res.index.find(slot, kNilSlot);
+  if (n != kNilSlot) {
+    if (res.head == n) return;  // already most recently used
+    // Unlink and relink at the head.
+    ResNode& node = res.nodes[n];
+    if (node.prev != kNilSlot) res.nodes[node.prev].next = node.next;
+    if (node.next != kNilSlot) res.nodes[node.next].prev = node.prev;
+    if (res.tail == n) res.tail = node.prev;
+    node.prev = kNilSlot;
+    node.next = res.head;
+    if (res.head != kNilSlot) res.nodes[res.head].prev = n;
+    res.head = n;
+    if (res.tail == kNilSlot) res.tail = n;
     return;
   }
-  res.lru.push_front(id);
-  res.index[id] = res.lru.begin();
-  if (res.lru.size() > config_.cache_capacity_lines) evict_one(core);
+  std::uint32_t fresh;
+  if (!res.free.empty()) {
+    fresh = res.free.back();
+    res.free.pop_back();
+  } else {
+    fresh = static_cast<std::uint32_t>(res.nodes.size());
+    res.nodes.emplace_back();
+  }
+  ResNode& node = res.nodes[fresh];
+  node.slot = slot;
+  node.prev = kNilSlot;
+  node.next = res.head;
+  if (res.head != kNilSlot) res.nodes[res.head].prev = fresh;
+  res.head = fresh;
+  if (res.tail == kNilSlot) res.tail = fresh;
+  res.index.insert(slot, fresh);
+  ++res.count;
+  if (res.count > config_.cache_capacity_lines) evict_one(core);
 }
 
-void Machine::forget_resident(CoreId core, LineId id) {
+void Machine::forget_resident(CoreId core, std::uint32_t slot) {
   Residency& res = residency_[core];
-  const auto it = res.index.find(id);
-  if (it == res.index.end()) return;
-  res.lru.erase(it->second);
-  res.index.erase(it);
+  const std::uint32_t n = res.index.find(slot, kNilSlot);
+  if (n == kNilSlot) return;
+  ResNode& node = res.nodes[n];
+  if (node.prev != kNilSlot) res.nodes[node.prev].next = node.next;
+  if (node.next != kNilSlot) res.nodes[node.next].prev = node.prev;
+  if (res.head == n) res.head = node.next;
+  if (res.tail == n) res.tail = node.prev;
+  res.index.erase(slot);
+  res.free.push_back(n);
+  --res.count;
 }
 
 void Machine::evict_one(CoreId core) {
   Residency& res = residency_[core];
   // Evict the least-recently-used line whose transaction slot is free
   // (an in-flight line cannot leave the cache mid-transaction).
-  for (auto it = res.lru.rbegin(); it != res.lru.rend(); ++it) {
-    const LineId victim = *it;
-    LineState& ls = line(victim);
-    if (ls.busy) continue;
+  for (std::uint32_t n = res.tail; n != kNilSlot; n = res.nodes[n].prev) {
+    const std::uint32_t s = res.nodes[n].slot;
+    if (line_busy_[s] != 0) continue;
+    const LineId victim = line_ids_[s];
     // Drop this core's copy; a Modified line writes back (the directory
     // value is already authoritative, so only the energy/stat is charged).
     const bool was_dirty =
-        ls.owner == core && ls.owner_state == Mesi::kModified;
-    if (ls.owner == core) {
-      ls.owner = kNoCore;
-      ls.owner_state = Mesi::kInvalid;
+        line_owner_[s] == core && line_owner_state_[s] == Mesi::kModified;
+    if (line_owner_[s] == core) {
+      line_owner_[s] = kNoCore;
+      line_owner_state_[s] = Mesi::kInvalid;
     } else {
-      const auto sit = std::find(ls.sharers.begin(), ls.sharers.end(), core);
-      if (sit != ls.sharers.end()) ls.sharers.erase(sit);
+      std::vector<CoreId>& sh = line_sharers_[s];
+      const auto sit = std::find(sh.begin(), sh.end(), core);
+      if (sit != sh.end()) sh.erase(sit);
     }
     if (stats_ != nullptr && in_measure_window(now_)) {
       ++stats_->evictions;
@@ -490,48 +622,52 @@ void Machine::evict_one(CoreId core) {
       e.line = victim;
       sink_->on_event(e);
     }
-    forget_resident(core, victim);
+    forget_resident(core, s);
     return;
   }
 }
 
-void Machine::check_line_invariants(const LineState& ls, LineId id) const {
+void Machine::check_line_invariants(std::uint32_t slot, LineId id) const {
+  const CoreId owner = line_owner_[slot];
+  const Mesi owner_state = line_owner_state_[slot];
+  const std::vector<CoreId>& sharers = line_sharers_[slot];
+  const ReqQueue& queue = line_queue_[slot];
   // Single-writer: an E/M owner excludes any Shared copy.
-  if (ls.owner != kNoCore) {
-    if (ls.owner_state != Mesi::kExclusive && ls.owner_state != Mesi::kModified) {
+  if (owner != kNoCore) {
+    if (owner_state != Mesi::kExclusive && owner_state != Mesi::kModified) {
       throw std::logic_error("MESI violation: owner without E/M state, line " +
                              std::to_string(id));
     }
-    if (!ls.sharers.empty()) {
+    if (!sharers.empty()) {
       throw std::logic_error(
           "MESI violation: sharers coexist with an exclusive owner, line " +
           std::to_string(id));
     }
-    if (ls.owner >= cores_) {
+    if (owner >= cores_) {
       throw std::logic_error("MESI violation: owner out of range, line " +
                              std::to_string(id));
     }
-  } else if (ls.owner_state != Mesi::kInvalid) {
+  } else if (owner_state != Mesi::kInvalid) {
     throw std::logic_error("MESI violation: ownerless E/M state, line " +
                            std::to_string(id));
   }
   // Sharer list is a set of valid cores.
-  for (std::size_t i = 0; i < ls.sharers.size(); ++i) {
-    if (ls.sharers[i] >= cores_) {
+  for (std::size_t i = 0; i < sharers.size(); ++i) {
+    if (sharers[i] >= cores_) {
       throw std::logic_error("MESI violation: sharer out of range, line " +
                              std::to_string(id));
     }
-    for (std::size_t j = i + 1; j < ls.sharers.size(); ++j) {
-      if (ls.sharers[i] == ls.sharers[j]) {
+    for (std::size_t j = i + 1; j < sharers.size(); ++j) {
+      if (sharers[i] == sharers[j]) {
         throw std::logic_error("MESI violation: duplicate sharer, line " +
                                std::to_string(id));
       }
     }
   }
   // Each core has at most one pending request for this line.
-  for (std::size_t i = 0; i < ls.queue.size(); ++i) {
-    for (std::size_t j = i + 1; j < ls.queue.size(); ++j) {
-      if (ls.queue[i].core == ls.queue[j].core) {
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    for (std::size_t j = i + 1; j < queue.size(); ++j) {
+      if (queue[i].core == queue[j].core) {
         throw std::logic_error(
             "protocol violation: duplicate request from one core, line " +
             std::to_string(id));
@@ -540,17 +676,18 @@ void Machine::check_line_invariants(const LineState& ls, LineId id) const {
   }
 }
 
-void Machine::invalidate_copy(LineState& ls, LineId id, CoreId core) {
+void Machine::invalidate_copy(std::uint32_t slot, LineId id, CoreId core) {
   bool had_copy = false;
-  forget_resident(core, id);
-  if (ls.owner == core) {
-    ls.owner = kNoCore;
-    ls.owner_state = Mesi::kInvalid;
+  forget_resident(core, slot);
+  if (line_owner_[slot] == core) {
+    line_owner_[slot] = kNoCore;
+    line_owner_state_[slot] = Mesi::kInvalid;
     had_copy = true;
   }
-  const auto it = std::find(ls.sharers.begin(), ls.sharers.end(), core);
-  if (it != ls.sharers.end()) {
-    ls.sharers.erase(it);
+  std::vector<CoreId>& sh = line_sharers_[slot];
+  const auto it = std::find(sh.begin(), sh.end(), core);
+  if (it != sh.end()) {
+    sh.erase(it);
     had_copy = true;
   }
   if (had_copy) {
@@ -571,41 +708,45 @@ void Machine::invalidate_copy(LineState& ls, LineId id, CoreId core) {
   }
 }
 
-std::pair<Cycles, Supply> Machine::apply_grant(LineState& ls, LineId id,
+std::pair<Cycles, Supply> Machine::apply_grant(std::uint32_t slot, LineId id,
                                                const PendingRequest& req) {
   const CoreId requester = req.core;
   Cycles xfer = 0;
   Supply supply = Supply::kLocalHit;
 
   const bool charge = in_measure_window(now_);
-  if (ls.owner != kNoCore && ls.owner != requester) {
+  const CoreId owner = line_owner_[slot];
+  if (owner != kNoCore && owner != requester) {
     // Dirty/exclusive copy elsewhere: cache-to-cache transfer.
-    xfer = interconnect_->transfer_cycles(ls.owner, requester);
-    supply = interconnect_->supply_class(ls.owner, requester);
+    xfer = routes_->transfer_cycles(owner, requester);
+    supply = routes_->supply_class(owner, requester);
     if (charge) {
-      energy_->add_transfer(interconnect_->hops(ls.owner, requester),
+      energy_->add_transfer(routes_->hops(owner, requester),
                             supply == Supply::kFar);
     }
     if (req.exclusive) {
-      const CoreId old_owner = ls.owner;
-      invalidate_copy(ls, id, old_owner);
-      for (const CoreId s : std::vector<CoreId>(ls.sharers)) {
-        invalidate_copy(ls, id, s);
+      invalidate_copy(slot, id, owner);
+      // Snapshot into reusable scratch: the seed core copied the sharer
+      // vector per grant; same iteration order, no allocation.
+      scratch_sharers_.assign(line_sharers_[slot].begin(),
+                              line_sharers_[slot].end());
+      for (const CoreId s : scratch_sharers_) {
+        invalidate_copy(slot, id, s);
       }
-      ls.owner = requester;
-      ls.owner_state = Mesi::kModified;  // RFO: arrives ready-to-write
+      line_owner_[slot] = requester;
+      line_owner_state_[slot] = Mesi::kModified;  // RFO: arrives ready-to-write
     } else {
       // Read request downgrades the owner to Shared; both keep copies.
-      ls.sharers.push_back(ls.owner);
-      ls.owner = kNoCore;
-      ls.owner_state = Mesi::kInvalid;
-      ls.sharers.push_back(requester);
+      line_sharers_[slot].push_back(owner);
+      line_owner_[slot] = kNoCore;
+      line_owner_state_[slot] = Mesi::kInvalid;
+      line_sharers_[slot].push_back(requester);
     }
-  } else if (ls.owner == requester) {
+  } else if (owner == requester) {
     // Requester queued behind other transactions but still owns the copy.
     xfer = 0;
     supply = Supply::kLocalHit;
-  } else if (!ls.sharers.empty()) {
+  } else if (!line_sharers_[slot].empty()) {
     xfer = config_.shared_supply;
     supply = Supply::kNear;
     if (charge) energy_->add_transfer(1, false);
@@ -613,17 +754,20 @@ std::pair<Cycles, Supply> Machine::apply_grant(LineState& ls, LineId id,
       // Fault injection (conformance self-tests only): leave the other
       // Shared copies alive next to the new M owner.
       if (config_.fault != FaultInjection::kSkipSharedInvalidate) {
-        for (const CoreId s : std::vector<CoreId>(ls.sharers)) {
-          if (s != requester) invalidate_copy(ls, id, s);
+        scratch_sharers_.assign(line_sharers_[slot].begin(),
+                                line_sharers_[slot].end());
+        for (const CoreId s : scratch_sharers_) {
+          if (s != requester) invalidate_copy(slot, id, s);
         }
       }
       // Upgrade: drop our own shared copy record and take ownership.
-      const auto self = std::find(ls.sharers.begin(), ls.sharers.end(), requester);
-      if (self != ls.sharers.end()) ls.sharers.erase(self);
-      ls.owner = requester;
-      ls.owner_state = Mesi::kModified;
+      std::vector<CoreId>& sh = line_sharers_[slot];
+      const auto self = std::find(sh.begin(), sh.end(), requester);
+      if (self != sh.end()) sh.erase(self);
+      line_owner_[slot] = requester;
+      line_owner_state_[slot] = Mesi::kModified;
     } else {
-      ls.sharers.push_back(requester);
+      line_sharers_[slot].push_back(requester);
     }
   } else {
     // No cached copy anywhere: fill from memory.
@@ -632,33 +776,37 @@ std::pair<Cycles, Supply> Machine::apply_grant(LineState& ls, LineId id,
     if (charge) energy_->add_memory_fetch();
     if (stats_ != nullptr && in_measure_window(now_)) ++stats_->memory_fetches;
     if (req.exclusive) {
-      ls.owner = requester;
-      ls.owner_state = Mesi::kModified;
+      line_owner_[slot] = requester;
+      line_owner_state_[slot] = Mesi::kModified;
     } else {
       // Sole reader: MESI grants Exclusive-clean.
-      ls.owner = requester;
-      ls.owner_state = Mesi::kExclusive;
+      line_owner_[slot] = requester;
+      line_owner_state_[slot] = Mesi::kExclusive;
     }
   }
   return {xfer, supply};
 }
 
-void Machine::try_grant(LineId id) {
-  LineState& ls = line(id);
-  if (ls.busy || ls.queue.empty()) return;
+void Machine::try_grant(std::uint32_t slot) {
+  if (line_busy_[slot] != 0 || line_queue_[slot].empty()) return;
+  const LineId id = line_ids_[slot];
 
-  const std::size_t idx = arbitrate(ls, id);
-  const PendingRequest req = ls.queue[idx];
-  ls.queue.erase(ls.queue.begin() + static_cast<std::ptrdiff_t>(idx));
+  const std::size_t idx = arbitrate(slot, id);
+  ReqQueue& q = line_queue_[slot];
+  const PendingRequest req = q[idx];
+  q.erase_at(idx);
+  // Entries at and beyond idx shifted; their cached prefix sums are stale.
+  line_prefix_valid_[slot] =
+      std::min(line_prefix_valid_[slot], static_cast<std::uint32_t>(idx));
 
   if (in_measure_window(now_)) energy_->add_directory_lookup();
-  const auto [xfer, supply] = apply_grant(ls, id, req);
+  const auto [xfer, supply] = apply_grant(slot, id, req);
   if (stats_ != nullptr && in_measure_window(now_) &&
       req.core < stats_->threads.size()) {
     ++stats_->transfers[static_cast<std::size_t>(supply)];
   }
 
-  if (config_.paranoid_checks) check_line_invariants(ls, id);
+  if (config_.paranoid_checks) check_line_invariants(slot, id);
   ++run_grants_;
   // A grant that supplied the line from anywhere but the requester's own
   // cache changed the requester's MESI state (I/S -> M/E/S); a local hit
@@ -666,55 +814,54 @@ void Machine::try_grant(LineId id) {
   if (supply != Supply::kLocalHit) ++run_transitions_;
   ++progress_marks_;  // a directory grant moved a line: forward progress
   note_grant(id, req.core, supply, xfer,
-             static_cast<std::uint32_t>(ls.queue.size()),
+             static_cast<std::uint32_t>(line_queue_[slot].size()),
              /*counts_acquisition=*/true);
-  touch_resident(req.core, id);
+  touch_resident(req.core, slot);
   CoreState& cs = core_states_[req.core];
   cs.last_supply = supply;
   cs.last_xfer = xfer;
   cs.holds_token = true;
   cs.grant_time = now_;
-  ls.busy = true;
-  schedule(now_ + xfer + config_.l1_hit +
-               config_.exec_cost_of(cs.pending.prim),
-           EventKind::kOpDone, req.core);
+  line_busy_[slot] = 1;
+  schedule(now_ + xfer + cs.op.serve_cost, EventKind::kOpDone, req.core);
 }
 
-OpResult Machine::apply_op(Primitive prim, LineState& ls, OpContext& ctx) {
+OpResult Machine::apply_op(Primitive prim, std::uint32_t slot,
+                           OpContext& ctx) {
   // Mirrors am::execute() over std::atomic so both backends share value
   // semantics; equivalence is asserted by tests/sim/semantics_test.cpp.
   OpResult r;
-  const std::uint64_t old = ls.value;
+  const std::uint64_t old = line_value_[slot];
   switch (prim) {
     case Primitive::kLoad:
       r.observed = old;
       ctx.expected = old;
       break;
     case Primitive::kStore:
-      ls.value = ctx.store_value;
+      line_value_[slot] = ctx.store_value;
       r.observed = ctx.store_value;
       break;
     case Primitive::kSwap:
       r.observed = old;
-      ls.value = ctx.store_value;
+      line_value_[slot] = ctx.store_value;
       ctx.expected = ctx.store_value;
       break;
     case Primitive::kTas:
       r.observed = old;
-      ls.value = 1;
+      line_value_[slot] = 1;
       r.success = (old == 0);
       ctx.expected = 1;
       break;
     case Primitive::kFaa:
       r.observed = old;
-      ls.value = old + 1;
+      line_value_[slot] = old + 1;
       ctx.expected = old + 1;
       break;
     case Primitive::kCas:
     case Primitive::kCasLoop:
       if (old == ctx.expected) {
-        ls.value = ctx.cas_desired.value_or(old + 1);
-        ctx.expected = ls.value;
+        line_value_[slot] = ctx.cas_desired.value_or(old + 1);
+        ctx.expected = line_value_[slot];
         r.observed = old;
         r.success = true;
       } else {
@@ -730,8 +877,7 @@ OpResult Machine::apply_op(Primitive prim, LineState& ls, OpContext& ctx) {
 void Machine::record_completion(CoreId core, const OpResult& r, Cycles latency) {
   if (core >= stats_->threads.size()) return;
   ThreadStats& ts = stats_->threads[core];
-  const auto prim_idx =
-      static_cast<std::size_t>(core_states_[core].pending.prim);
+  const auto prim_idx = static_cast<std::size_t>(core_states_[core].op.prim);
   ++ts.ops;
   ++ts.ops_by_prim[prim_idx];
   if (r.success) {
@@ -750,25 +896,34 @@ void Machine::record_completion(CoreId core, const OpResult& r, Cycles latency) 
   }
 }
 
-void Machine::handle_op_done(const Event& ev) {
-  CoreState& cs = core_states_[ev.core];
-  LineState& ls = line(cs.pending.line);
-  const Primitive prim = cs.pending.prim;
+void Machine::handle_op_done(CoreId core) {
+  CoreState& cs = core_states_[core];
+  const std::uint32_t slot = cs.op.slot;
+  const Primitive prim = cs.op.prim;
 
   ++cs.attempts_this_op;
-  if (cs.pending.store_value) cs.ctx.store_value = *cs.pending.store_value;
-  if (cs.pending.cas_expected && cs.attempts_this_op == 1) {
-    cs.ctx.expected = *cs.pending.cas_expected;
+  if (cs.op.flags == 0) {
+    // No operands attached (loads, plain RMWs): one test instead of three.
+    cs.ctx.cas_desired.reset();
+  } else {
+    if (cs.op.flags & kHasStore) cs.ctx.store_value = cs.op.store_value;
+    if ((cs.op.flags & kHasExpected) && cs.attempts_this_op == 1) {
+      cs.ctx.expected = cs.op.cas_expected;
+    }
+    if (cs.op.flags & kHasDesired) {
+      cs.ctx.cas_desired = cs.op.cas_desired;
+    } else {
+      cs.ctx.cas_desired.reset();
+    }
   }
-  cs.ctx.cas_desired = cs.pending.cas_desired;
-  const std::uint64_t value_before = ls.value;
-  OpResult result = apply_op(prim, ls, cs.ctx);
+  const std::uint64_t value_before = line_value_[slot];
+  OpResult result = apply_op(prim, slot, cs.ctx);
   if (cs.drop_write) {
-    ls.value = value_before;  // injected lost update (kLostUpgradeWrite)
+    line_value_[slot] = value_before;  // injected lost update
     cs.drop_write = false;
   }
 
-  const Cycles exec = config_.l1_hit + config_.exec_cost_of(prim);
+  const Cycles exec = cs.op.serve_cost;
   const Cycles latency = now_ - cs.issue_time;
   // Queue + transfer stall of *this acquisition* (a CAS loop's failed
   // attempts each stall separately; charging per attempt keeps losing
@@ -780,8 +935,8 @@ void Machine::handle_op_done(const Event& ev) {
   const Cycles held = cs.holds_token ? now_ - cs.grant_time : 0;
 
   const bool in_window = in_measure_window(now_);
-  if (in_window && ev.core < stats_->threads.size()) {
-    ThreadStats& ts = stats_->threads[ev.core];
+  if (in_window && core < stats_->threads.size()) {
+    ThreadStats& ts = stats_->threads[core];
     ts.exec_cycles += exec;
     ts.wait_cycles += waited;
     // Attempts (line acquisitions) are charged when they happen so that a
@@ -792,7 +947,7 @@ void Machine::handle_op_done(const Event& ev) {
     energy_->add_spin_cycles(waited);
   }
   if (profile_lines_ && in_window && held > 0) {
-    line_prof_[cs.pending.line].hold_cycles += held;
+    line_prof_[cs.op.line].hold_cycles += held;
   }
   if (EpochSample* ep = epoch_at(now_)) {
     ++ep->attempts;
@@ -805,7 +960,7 @@ void Machine::handle_op_done(const Event& ev) {
   // CAS loops lose their line between attempts.
   if (cs.holds_token) {
     cs.holds_token = false;
-    ls.busy = false;
+    line_busy_[slot] = 0;
   }
 
   if (prim == Primitive::kCasLoop && !result.success) {
@@ -813,20 +968,20 @@ void Machine::handle_op_done(const Event& ev) {
       obs::TraceEvent e;
       e.kind = obs::TraceEventKind::kRetry;
       e.time = now_;
-      e.core = ev.core;
-      e.line = cs.pending.line;
+      e.core = core;
+      e.line = cs.op.line;
       // The retry starts a fresh acquisition flow (new id so the viewer
       // draws one arrow per attempt -> grant pair).
       e.req_id = next_req_id_ + 1;
       e.prim = static_cast<std::uint8_t>(prim);
       e.supply = static_cast<std::uint8_t>(cs.last_supply);
-      e.value = ls.value;
+      e.value = line_value_[slot];
       e.hold_cycles = held;
       sink_->on_event(e);
     }
     cs.req_id = ++next_req_id_;
-    try_grant(cs.pending.line);
-    submit_request(ev.core);  // retry; issue_time (and thus latency) persists
+    try_grant(slot);
+    submit_request(core);  // retry; issue_time (and thus latency) persists
     return;
   }
 
@@ -834,13 +989,13 @@ void Machine::handle_op_done(const Event& ev) {
     obs::TraceEvent e;
     e.kind = obs::TraceEventKind::kOpDone;
     e.time = now_;
-    e.core = ev.core;
-    e.line = cs.pending.line;
+    e.core = core;
+    e.line = cs.op.line;
     e.req_id = cs.req_id;
     e.prim = static_cast<std::uint8_t>(prim);
     e.supply = static_cast<std::uint8_t>(cs.last_supply);
     e.success = result.success;
-    e.value = ls.value;
+    e.value = line_value_[slot];
     e.latency = latency;
     e.hold_cycles = held;
     sink_->on_event(e);
@@ -850,13 +1005,15 @@ void Machine::handle_op_done(const Event& ev) {
   ++run_ops_;
   ++progress_marks_;  // an operation retired: forward progress
 
-  if (in_window && ev.core < stats_->threads.size()) {
-    record_completion(ev.core, result, latency);
+  if (in_window && core < stats_->threads.size()) {
+    record_completion(core, result, latency);
   }
   cs.has_pending = false;
-  program_->on_result(ev.core, result);
-  try_grant(cs.pending.line);
-  schedule(now_, EventKind::kFetchNext, ev.core);
+  // Plan-eligible programs ignore results (contract in program.hpp), so the
+  // virtual call is skipped on the static fast path.
+  if (!cs.has_plan) program_->on_result(core, result);
+  try_grant(slot);
+  schedule(now_, EventKind::kFetchNext, core);
 }
 
 void Machine::flush_metrics(std::uint64_t cycles) {

@@ -1,4 +1,4 @@
-// The discrete-event cache-coherence machine.
+// The discrete-event cache-coherence machine (fast-path core).
 //
 // Simulates N cores executing atomic-operation streams over MESI-coherent
 // cache lines with a home directory per line. Event granularity is one
@@ -13,13 +13,26 @@
 // steady-state of exactly this hand-off process; the simulator provides the
 // ground truth the model is validated against (and the stand-in for the
 // 36/64-core testbeds this environment lacks).
+//
+// Internals (docs/sim_core.md has the full layout): line state lives in
+// slot-indexed struct-of-arrays storage behind an insert-only flat hash
+// (lines are never deleted, only reset), the scheduler is a calendar queue
+// (sim/event_queue.hpp), interconnect routing is flattened into dense n*n
+// tables at construction (sim/route_table.hpp), residency tracking is an
+// intrusive array-node LRU, and op streams are decoded once per op (or once
+// per run, for programs exposing a StaticPlan) into a POD the event loop
+// replays without touching std::optional or virtual dispatch. All of it is
+// behaviour-preserving to the byte: tests/sim/core_equivalence_test.cpp
+// replays a corpus through this core and the frozen seed implementation
+// (sim/legacy_machine.hpp) and asserts identical stats, traces and final
+// state.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <iosfwd>
-#include <list>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -28,7 +41,10 @@
 #include "common/random.hpp"
 #include "obs/trace.hpp"
 #include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/flat_table.hpp"
 #include "sim/program.hpp"
+#include "sim/route_table.hpp"
 #include "sim/sim_stats.hpp"
 #include "sim/types.hpp"
 
@@ -97,9 +113,11 @@ class Machine {
   LineSnapshot snapshot_line(LineId line) const;
 
   /// Runs the MESI single-writer / sharer-consistency checker over every
-  /// touched line (the same checks paranoid_checks applies per transaction).
-  /// Throws std::logic_error naming the first violated line. Tests attach a
-  /// TraceSink that calls this to verify the protocol after every step.
+  /// touched line (the same checks paranoid_checks applies per transaction),
+  /// in ascending line order so a multi-line corruption reports
+  /// deterministically. Throws std::logic_error naming the first violated
+  /// line. Tests attach a TraceSink that calls this to verify the protocol
+  /// after every step.
   void verify_invariants() const;
 
   /// Runs @p program on cores [0, active_cores) for @p warmup + @p measure
@@ -147,88 +165,156 @@ class Machine {
   // --- event machinery -----------------------------------------------------
   enum class EventKind : std::uint8_t { kFetchNext, kIssue, kOpDone };
 
-  struct Event {
-    Cycles time;
-    std::uint64_t seq;  ///< tie-break: deterministic FIFO at equal times
-    EventKind kind;
-    CoreId core;
-    bool operator>(const Event& o) const noexcept {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
+  static constexpr std::uint32_t kNilSlot = ~0u;
+
+  /// Calendar-queue payload: kind in the top 2 bits, core below.
+  static std::uint32_t pack(EventKind kind, CoreId core) noexcept {
+    return (static_cast<std::uint32_t>(kind) << 30) | core;
+  }
+  static EventKind kind_of(std::uint32_t payload) noexcept {
+    return static_cast<EventKind>(payload >> 30);
+  }
+  static CoreId core_of(std::uint32_t payload) noexcept {
+    return payload & ((1u << 30) - 1);
+  }
 
   struct PendingRequest {
     CoreId core;
     bool exclusive;
     Cycles arrival;
+    /// Proximity-arbitration weight exp(-distance(home, core)/bias), frozen
+    /// at enqueue (home and bias are fixed per line, so it never changes
+    /// while the request waits). 0 under other arbitration policies.
+    double weight;
   };
 
-  struct LineState {
-    CoreId owner = kNoCore;       ///< E/M holder
-    Mesi owner_state = Mesi::kInvalid;
-    std::vector<CoreId> sharers;  ///< S holders (excludes owner)
-    std::uint64_t value = 0;
-    bool busy = false;            ///< a transaction is in flight
-    std::vector<PendingRequest> queue;
+  /// Arrival-ordered pending-request queue. Semantically identical to the
+  /// seed core's std::vector (index i is the i-th oldest request), but
+  /// erasure shifts whichever side of the erased index is *shorter*: the
+  /// prefix slides right under a head cursor (O(1) for the FIFO winner,
+  /// index 0) instead of always memmoving the whole suffix left. Relative
+  /// order — the only thing arbitration and the invariant checks observe —
+  /// is unaffected, so byte-identity is preserved.
+  struct ReqQueue {
+    std::vector<PendingRequest> items;  ///< live entries at [head, end)
+    std::uint32_t head = 0;
 
-    bool cached_anywhere() const noexcept {
-      return owner != kNoCore || !sharers.empty();
+    std::size_t size() const noexcept { return items.size() - head; }
+    bool empty() const noexcept { return items.size() == head; }
+    const PendingRequest& operator[](std::size_t i) const noexcept {
+      return items[head + i];
+    }
+    const PendingRequest& front() const noexcept { return items[head]; }
+    void push_back(const PendingRequest& r) { items.push_back(r); }
+    void clear() noexcept {
+      items.clear();
+      head = 0;
+    }
+    void erase_at(std::size_t idx) {
+      const std::size_t n = size();
+      if (idx < n - idx) {
+        std::move_backward(items.begin() + head,
+                           items.begin() + head + static_cast<std::ptrdiff_t>(idx),
+                           items.begin() + head + static_cast<std::ptrdiff_t>(idx) + 1);
+        ++head;
+        // Reclaim the dead prefix once it dominates the storage.
+        if (head >= 64 && head * 2 >= items.size()) {
+          items.erase(items.begin(), items.begin() + head);
+          head = 0;
+        }
+      } else {
+        items.erase(items.begin() + head + static_cast<std::ptrdiff_t>(idx));
+      }
     }
   };
 
+  /// One op, decoded from IssueRequest once at fetch time (or once per run
+  /// for StaticPlan programs): optionals are resolved to flag bits + values,
+  /// the line's SoA slot is resolved, and the fixed serve cost
+  /// (l1_hit + exec_cost) is precomputed. The event loop replays this POD.
+  struct DecodedOp {
+    Primitive prim = Primitive::kFaa;
+    std::uint8_t flags = 0;
+    LineId line = 0;
+    std::uint32_t slot = kNilSlot;
+    Cycles work_before = 0;
+    Cycles serve_cost = 0;      ///< l1_hit + exec_cost(prim)
+    std::uint64_t store_value = 0;
+    std::uint64_t cas_expected = 0;
+    std::uint64_t cas_desired = 0;
+  };
+  static constexpr std::uint8_t kHasStore = 1;
+  static constexpr std::uint8_t kHasExpected = 2;
+  static constexpr std::uint8_t kHasDesired = 4;
+
   struct CoreState {
     OpContext ctx;
+    /// Current op (valid while has_pending). For a StaticPlan core the plan
+    /// is decoded into this once per run and replayed in place — fetch never
+    /// rewrites it (nothing on the execute path mutates DecodedOp fields).
+    DecodedOp op;
     bool done = false;
     bool has_pending = false;
-    IssueRequest pending;
+    bool has_plan = false;
+    bool holds_token = false;  ///< this core's transaction owns the line slot
+    bool drop_write = false;   ///< fault injection: lose this op's write-back
     Cycles issue_time = 0;
     Cycles attempt_start = 0;  ///< submit time of the current acquisition
     Cycles grant_time = 0;     ///< when the current acquisition was served
     std::uint64_t req_id = 0;  ///< trace flow id of the current acquisition
     std::uint32_t attempts_this_op = 0;
-    bool holds_token = false;  ///< this core's transaction owns the line slot
-    bool drop_write = false;   ///< fault injection: lose this op's write-back
     Supply last_supply = Supply::kLocalHit;
     Cycles last_xfer = 0;
   };
 
-  void schedule(Cycles time, EventKind kind, CoreId core);
-  void handle_fetch_next(const Event& ev);
-  void handle_issue(const Event& ev);
-  void handle_op_done(const Event& ev);
+  void schedule(Cycles time, EventKind kind, CoreId core) {
+    events_.push(time, next_seq_++, pack(kind, core));
+  }
+  void handle_fetch_next(CoreId core);
+  void handle_issue(CoreId core);
+  void handle_op_done(CoreId core);
   /// Queues the core's pending request at the line's directory (or serves it
   /// locally when the cached state suffices). Shared by issue and CAS retry.
   void submit_request(CoreId core);
 
+  /// Decodes @p req into @p op (slot left unresolved).
+  void decode(const IssueRequest& req, DecodedOp& op) const;
+
   /// Grants the line to the next arbitrated waiter if it is free.
-  void try_grant(LineId line);
+  void try_grant(std::uint32_t slot);
   /// Chooses the next request index per the arbitration policy. @p id is
   /// the line (its home agent anchors the proximity bias).
-  std::size_t arbitrate(const LineState& ls, LineId id);
+  std::size_t arbitrate(std::uint32_t slot, LineId id);
   /// Applies ownership/sharer updates for a grant and returns the transfer
   /// latency + supply class.
-  std::pair<Cycles, Supply> apply_grant(LineState& ls, LineId id,
+  std::pair<Cycles, Supply> apply_grant(std::uint32_t slot, LineId id,
                                         const PendingRequest& req);
 
-  /// Executes the primitive's value semantics against the line.
-  OpResult apply_op(Primitive prim, LineState& ls, OpContext& ctx);
+  /// Executes the primitive's value semantics against the line's value.
+  OpResult apply_op(Primitive prim, std::uint32_t slot, OpContext& ctx);
 
   /// Removes core's copy (if any) from a line record. Counts invalidations.
-  void invalidate_copy(LineState& ls, LineId id, CoreId core);
+  void invalidate_copy(std::uint32_t slot, LineId id, CoreId core);
 
   /// MESI single-writer / sharer-consistency checker (paranoid_checks).
   /// Aborts the run via std::logic_error on violation.
-  void check_line_invariants(const LineState& ls, LineId id) const;
+  void check_line_invariants(std::uint32_t slot, LineId id) const;
 
   /// LRU residency tracking per core (capacity = config.cache_capacity_lines).
   /// touch() marks a line most-recently-used and evicts the LRU line when
   /// over capacity; forget() drops bookkeeping when a copy is invalidated.
-  void touch_resident(CoreId core, LineId id);
-  void forget_resident(CoreId core, LineId id);
+  void touch_resident(CoreId core, std::uint32_t slot);
+  void forget_resident(CoreId core, std::uint32_t slot);
   void evict_one(CoreId core);
 
-  LineState& line(LineId id) { return lines_[id]; }
-  Mesi state_of(const LineState& ls, CoreId core) const;
+  /// SoA slot for @p id, creating the record on first touch (mirrors the
+  /// old lines_[id] insertion points; slots are never deleted).
+  std::uint32_t slot_of(LineId id);
+  /// Slot for @p id or kNilSlot; never creates.
+  std::uint32_t find_slot(LineId id) const noexcept {
+    return line_index_.find(id, kNilSlot);
+  }
+  Mesi state_of(std::uint32_t slot, CoreId core) const;
 
   void record_completion(CoreId core, const OpResult& r, Cycles latency);
   bool in_measure_window(Cycles t) const noexcept {
@@ -271,21 +357,66 @@ class Machine {
   std::unique_ptr<Interconnect> interconnect_;
   CoreId cores_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  CalendarQueue events_;
   std::uint64_t next_seq_ = 0;
   Cycles now_ = 0;
 
-  std::unordered_map<LineId, LineState> lines_;
+  // --- line store: slot-indexed struct-of-arrays ---------------------------
+  // Parallel arrays indexed by slot; line_index_ maps LineId -> slot. Slots
+  // are created on first touch and never removed (prime_line resets contents
+  // in place), so the flat hash needs no tombstones and the hot scalar
+  // fields (owner/state/value/busy) stay dense. The per-slot sharers/queue
+  // vectors keep their capacity across transactions — after warm-up the
+  // event loop allocates nothing.
+  FlatMap64 line_index_;
+  std::vector<LineId> line_ids_;                 ///< slot -> LineId
+  std::vector<CoreId> line_owner_;               ///< E/M holder
+  std::vector<Mesi> line_owner_state_;
+  std::vector<std::uint64_t> line_value_;
+  std::vector<std::uint8_t> line_busy_;          ///< transaction in flight
+  std::vector<std::vector<CoreId>> line_sharers_;  ///< S holders (no owner)
+  std::vector<ReqQueue> line_queue_;
+  /// Prefix sums of line_queue_ weights: line_prefix_[s][i] is the seed
+  /// core's running total after adding queue entry i's weight. The first
+  /// line_prefix_valid_[s] entries are current; a grant that erases queue
+  /// index k lowers the watermark to k, so arbitrate() resumes the exact
+  /// sequential FP add chain from the last unchanged prefix instead of
+  /// re-summing the whole queue (kProximityBiased only).
+  std::vector<std::vector<double>> line_prefix_;
+  std::vector<std::uint32_t> line_prefix_valid_;
 
+  // --- per-core LRU residency: intrusive array-node lists ------------------
+  struct ResNode {
+    std::uint32_t prev = kNilSlot;
+    std::uint32_t next = kNilSlot;
+    std::uint32_t slot = kNilSlot;  ///< line slot this node tracks
+  };
   struct Residency {
-    std::list<LineId> lru;  ///< front = most recently used
-    std::unordered_map<LineId, std::list<LineId>::iterator> index;
+    std::vector<ResNode> nodes;      ///< node pool (grows, never shrinks)
+    std::vector<std::uint32_t> free; ///< recycled node indices
+    std::uint32_t head = kNilSlot;   ///< most recently used
+    std::uint32_t tail = kNilSlot;   ///< least recently used
+    std::uint32_t count = 0;
+    FlatSlotMap index;               ///< line slot -> node index
   };
   std::vector<Residency> residency_;
 
   std::vector<CoreState> core_states_;
   std::vector<Xoshiro256> rngs_;
   Xoshiro256 arb_rng_{0x9d2c5680};  ///< arbitration races (kProximityBiased)
+
+  // --- precomputed routing/cost tables (see route_table.hpp) ---------------
+  /// Shared across Machines built from the same preset (interconnect
+  /// identity); immutable once built.
+  std::shared_ptr<const RouteTable> routes_;
+  /// exp(-d / arbitration_bias) per distance d (kProximityBiased only).
+  std::vector<double> weight_by_dist_;
+  /// l1_hit + exec_cost per primitive.
+  std::array<Cycles, 7> serve_cost_{};
+
+  // Reusable scratch (replaces the per-grant sharer-snapshot copy the seed
+  // core heap-allocated).
+  std::vector<CoreId> scratch_sharers_;
 
   obs::TraceSink* sink_ = nullptr;
   std::unique_ptr<obs::TraceSink> owned_sink_;  ///< set_trace() compat shim

@@ -33,6 +33,17 @@ struct IssueRequest {
   std::optional<std::uint64_t> cas_desired;
 };
 
+/// Decode-once description of a core's op stream for programs whose stream
+/// is a single request repeated forever. The machine executes the plan
+/// without calling next_op/on_result per op, so a program may only offer
+/// one when (a) next_op would return exactly @p op every time without
+/// drawing from the per-core RNG and (b) its on_result override (if any)
+/// is a no-op. Anything stateful — per-op randomness, cursors, result
+/// feedback — must stay on the dynamic path.
+struct StaticPlan {
+  IssueRequest op;
+};
+
 class ThreadProgram {
  public:
   virtual ~ThreadProgram() = default;
@@ -46,6 +57,13 @@ class ThreadProgram {
   virtual void on_result(CoreId core, const OpResult& result) {
     (void)core;
     (void)result;
+  }
+
+  /// Static per-core plan, or nullopt to run through next_op per op (the
+  /// default, always correct). See StaticPlan for the eligibility rules.
+  virtual std::optional<StaticPlan> static_plan(CoreId core) const {
+    (void)core;
+    return std::nullopt;
   }
 };
 
@@ -74,6 +92,17 @@ class HighContentionProgram final : public ThreadProgram {
     return r;
   }
 
+  std::optional<StaticPlan> static_plan(CoreId) const override {
+    // With jitter the stream draws from the per-core RNG each op, which a
+    // static plan would skip — that path must stay dynamic.
+    if (jitter_ > 0.0 && work_ > 0) return std::nullopt;
+    StaticPlan p;
+    p.op.prim = prim_;
+    p.op.line = line_;
+    p.op.work_before = work_;
+    return p;
+  }
+
  private:
   Primitive prim_;
   Cycles work_;
@@ -94,6 +123,14 @@ class LowContentionProgram final : public ThreadProgram {
     r.line = base_ + core;
     r.work_before = work_;
     return r;
+  }
+
+  std::optional<StaticPlan> static_plan(CoreId core) const override {
+    StaticPlan p;
+    p.op.prim = prim_;
+    p.op.line = base_ + core;
+    p.op.work_before = work_;
+    return p;
   }
 
  private:
@@ -173,6 +210,14 @@ class ShardedProgram final : public ThreadProgram {
     r.line = base_ + core / group_size_;
     r.work_before = work_;
     return r;
+  }
+
+  std::optional<StaticPlan> static_plan(CoreId core) const override {
+    StaticPlan p;
+    p.op.prim = prim_;
+    p.op.line = base_ + core / group_size_;
+    p.op.work_before = work_;
+    return p;
   }
 
  private:

@@ -1,0 +1,33 @@
+#include "sim/route_table.hpp"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace am::sim {
+
+std::shared_ptr<const RouteTable> shared_route_table(const Interconnect& ic) {
+  const std::string key = ic.identity();
+  if (key.empty()) {
+    return std::make_shared<const RouteTable>(ic);
+  }
+  // Immortal cache: presets are few and tables are small relative to a
+  // Machine's line store, so entries are never evicted.
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::shared_ptr<const RouteTable>>*
+      cache = new std::unordered_map<std::string,
+                                     std::shared_ptr<const RouteTable>>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  // Build outside the lock so concurrent misses on different presets don't
+  // serialize; a racing duplicate build is harmless (last one wins).
+  auto table = std::make_shared<const RouteTable>(ic);
+  std::lock_guard<std::mutex> lock(mu);
+  return cache->emplace(key, std::move(table)).first->second;
+}
+
+}  // namespace am::sim

@@ -1,0 +1,100 @@
+// Precomputed interconnect routing tables for the fast-path core.
+//
+// The seed core made four virtual calls into the Interconnect on every line
+// grant (transfer latency, supply class, distance, hop count) — and through
+// a PermutedInterconnect wrapper each of those was *two* virtual hops plus a
+// permutation lookup. All four functions are pure in (from, to), so the
+// Machine constructor flattens them into n*n dense tables once; the event
+// loop then does a single multiply-add index per grant.
+//
+// Byte-identity note: the tables store the exact values the virtuals would
+// have returned, and the proximity-bias weights exp(-d / bias) are
+// precomputed per distinct distance from the same double expression the
+// seed core evaluated per sharer — identical inputs to std::exp give
+// identical bits, so weighted arbitration draws are unchanged.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/interconnect.hpp"
+#include "sim/types.hpp"
+
+namespace am::sim {
+
+class RouteTable {
+ public:
+  RouteTable() = default;
+
+  explicit RouteTable(const Interconnect& ic) {
+    n_ = ic.core_count();
+    const std::size_t nn = static_cast<std::size_t>(n_) * n_;
+    xfer_.resize(nn);
+    supply_.resize(nn);
+    dist_.resize(nn);
+    hops_.resize(nn);
+    std::uint32_t max_dist = 0;
+    for (CoreId f = 0; f < n_; ++f) {
+      for (CoreId t = 0; t < n_; ++t) {
+        const std::size_t i = idx(f, t);
+        xfer_[i] = ic.transfer_cycles(f, t);
+        supply_[i] = ic.supply_class(f, t);
+        dist_[i] = ic.distance(f, t);
+        hops_[i] = ic.hops(f, t);
+        if (dist_[i] > max_dist) max_dist = dist_[i];
+      }
+    }
+    max_distance_ = max_dist;
+  }
+
+  Cycles transfer_cycles(CoreId from, CoreId to) const noexcept {
+    return xfer_[idx(from, to)];
+  }
+  Supply supply_class(CoreId from, CoreId to) const noexcept {
+    return supply_[idx(from, to)];
+  }
+  std::uint32_t distance(CoreId from, CoreId to) const noexcept {
+    return dist_[idx(from, to)];
+  }
+  std::uint32_t hops(CoreId from, CoreId to) const noexcept {
+    return hops_[idx(from, to)];
+  }
+  std::uint32_t max_distance() const noexcept { return max_distance_; }
+  CoreId core_count() const noexcept { return n_; }
+
+  /// Tabulates exp(-d / bias) for every distance d up to max_distance().
+  /// Same expression, same inputs, same bits as the per-sharer evaluation
+  /// it replaces.
+  std::vector<double> proximity_weights(double bias) const {
+    std::vector<double> w(max_distance_ + 1);
+    for (std::uint32_t d = 0; d <= max_distance_; ++d) {
+      w[d] = std::exp(-static_cast<double>(d) / bias);
+    }
+    return w;
+  }
+
+ private:
+  std::size_t idx(CoreId from, CoreId to) const noexcept {
+    return static_cast<std::size_t>(from) * n_ + to;
+  }
+
+  CoreId n_ = 0;
+  std::uint32_t max_distance_ = 0;
+  std::vector<Cycles> xfer_;
+  std::vector<Supply> supply_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint32_t> hops_;
+};
+
+/// Route table for @p ic, shared process-wide across Machines whose
+/// interconnects report the same Interconnect::identity(). Building the
+/// table costs O(n^2) virtual calls — tens of microseconds on a 64-core
+/// mesh — which dominated Machine construction on short sweep points;
+/// the sweep engine constructs one Machine per point, all from the same
+/// preset. An empty identity() disables sharing (a fresh table is built).
+/// Thread-safe; the returned table is immutable.
+std::shared_ptr<const RouteTable> shared_route_table(const Interconnect& ic);
+
+}  // namespace am::sim
