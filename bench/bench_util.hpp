@@ -34,7 +34,9 @@ inline std::chrono::steady_clock::time_point& start_time() {
 /// Registers the flags every experiment binary shares.
 inline void add_common_flags(CliParser& cli) {
   cli.add_flag("backend",
-               "execution backend: sim:xeon | sim:knl | sim:test | hw | auto",
+               "execution backend: sim:xeon | sim:knl | sim:test (append "
+               ":tso for the weak-memory model, e.g. sim:xeon:tso) | hw | "
+               "auto",
                "sim:xeon");
   cli.add_flag("csv", "write the table as CSV to this path (empty = skip)",
                "");

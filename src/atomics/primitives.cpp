@@ -11,6 +11,7 @@ const char* to_string(Primitive p) noexcept {
     case Primitive::kFaa: return "FAA";
     case Primitive::kCas: return "CAS";
     case Primitive::kCasLoop: return "CASLOOP";
+    case Primitive::kFence: return "FENCE";
   }
   return "?";
 }
@@ -19,6 +20,7 @@ std::optional<Primitive> parse_primitive(const std::string& name) noexcept {
   for (Primitive p : kAllPrimitives) {
     if (name == to_string(p)) return p;
   }
+  if (name == "FENCE" || name == "MFENCE") return Primitive::kFence;
   return std::nullopt;
 }
 
@@ -85,6 +87,12 @@ OpResult execute(Primitive p, std::atomic<std::uint64_t>& cell,
       ctx.expected = desired;
       break;
     }
+    case Primitive::kFence:
+      // Hardware executor: a real full barrier. Touches no cell; the context
+      // is left untouched so surrounding CAS expectations survive the fence.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      r.observed = 0;
+      break;
   }
   return r;
 }

@@ -30,17 +30,27 @@ enum class Primitive : std::uint8_t {
   kFaa,
   kCas,
   kCasLoop,
+  /// Full memory fence (mfence): drains the issuing core's store buffer
+  /// under the simulator's TSO mode; a compiler/CPU ordering barrier on the
+  /// hardware executor. Deliberately NOT in kAllPrimitives — per-primitive
+  /// arrays (exec_cost, ThreadStats::ops_by_prim) and their serialized forms
+  /// are 7 wide, and widening them would break the fingerprint/digest
+  /// byte-identity contract. Fence cost lives in MachineConfig::fence_cost.
+  kFence,
 };
 
+/// The seven line-targeting primitives of the paper. Drives sweep loops and
+/// the 7-wide per-primitive stats/cost arrays; kFence is excluded (see its
+/// comment above).
 inline constexpr Primitive kAllPrimitives[] = {
     Primitive::kLoad, Primitive::kStore, Primitive::kSwap,  Primitive::kTas,
     Primitive::kFaa,  Primitive::kCas,   Primitive::kCasLoop,
 };
 
-/// Primitives that need exclusive (M-state) ownership of the line. LOAD is
-/// the only one that can complete on a Shared copy.
+/// Primitives that need exclusive (M-state) ownership of the line. LOAD can
+/// complete on a Shared copy; FENCE targets no line at all.
 constexpr bool needs_exclusive(Primitive p) noexcept {
-  return p != Primitive::kLoad;
+  return p != Primitive::kLoad && p != Primitive::kFence;
 }
 
 /// Read-modify-write primitives (their result depends on the old value).

@@ -71,8 +71,22 @@ std::unique_ptr<ExecutionBackend> make_backend(const std::string& spec,
                                                std::uint64_t seed) {
   if (spec == "hw") return std::make_unique<HardwareBackend>();
   if (spec.rfind("sim:", 0) == 0) {
-    return std::make_unique<SimBackend>(sim::preset_by_name(spec.substr(4)),
-                                        SimBackendOptions{}, seed);
+    // "sim:<preset>" optionally takes a ":tso" suffix selecting the weak
+    // memory model; the model rides in MachineConfig::fingerprint(), so
+    // sweep/service cache identities split from SC rows automatically.
+    std::string preset = spec.substr(4);
+    sim::MemoryModel model = sim::MemoryModel::kSc;
+    const std::size_t colon = preset.find(':');
+    if (colon != std::string::npos) {
+      const auto parsed = sim::parse_memory_model(preset.substr(colon + 1));
+      if (parsed) {
+        model = *parsed;
+        preset.resize(colon);
+      }
+    }
+    sim::MachineConfig cfg = sim::preset_by_name(preset);
+    cfg.memory_model = model;
+    return std::make_unique<SimBackend>(cfg, SimBackendOptions{}, seed);
   }
   if (spec == "sim") {
     return std::make_unique<SimBackend>(sim::xeon_e5_2x18(),

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "conformance/pct.hpp"
 #include "sim/machine.hpp"
 
 namespace am::conformance {
@@ -20,7 +21,8 @@ constexpr sim::Cycles kOpenWindow = sim::Cycles{1} << 40;
 
 RunOutcome run_program(const sim::MachineConfig& config,
                        const GeneratedProgram& program,
-                       std::uint64_t machine_seed) {
+                       std::uint64_t machine_seed,
+                       const ScheduleSpec& sched) {
   RunOutcome out;
   sim::MachineConfig cfg = config;
   cfg.paranoid_checks = true;  // transient MESI violations abort the run
@@ -32,6 +34,10 @@ RunOutcome run_program(const sim::MachineConfig& config,
   MultiScriptProgram script(program);
   CompletionRecorder recorder;
   machine.set_sink(&recorder);
+  PctScheduler pct(cores,
+                   PctConfig{sched.seed != 0 ? sched.seed : machine_seed,
+                             sched.depth, program.total_ops()});
+  if (sched.use_pct) machine.set_schedule_hook(&pct);
   try {
     out.stats = machine.run(script, cores, /*warmup=*/0, kOpenWindow);
   } catch (const std::logic_error& e) {
@@ -41,8 +47,12 @@ RunOutcome run_program(const sim::MachineConfig& config,
     return out;
   }
   machine.set_sink(nullptr);
-  out.report = check_conformance(program, recorder.ops(), script.results(),
-                                 machine, out.stats);
+  out.report =
+      cfg.memory_model == sim::MemoryModel::kTso
+          ? check_tso_conformance(program, recorder.ops(), script.results(),
+                                  machine, out.stats)
+          : check_conformance(program, recorder.ops(), script.results(),
+                              machine, out.stats);
   return out;
 }
 
@@ -52,18 +62,18 @@ namespace {
 /// exhausted every candidate counts as "fixed" so shrinking stops cheaply.
 bool still_fails(const sim::MachineConfig& config,
                  const GeneratedProgram& candidate, std::uint64_t seed,
-                 std::size_t& budget) {
+                 std::size_t& budget, const ScheduleSpec& sched) {
   if (candidate.total_ops() == 0) return false;
   if (budget == 0) return false;
   --budget;
-  return !run_program(config, candidate, seed).report.ok;
+  return !run_program(config, candidate, seed, sched).report.ok;
 }
 
 }  // namespace
 
 GeneratedProgram shrink(const sim::MachineConfig& config,
                         GeneratedProgram failing, std::uint64_t machine_seed,
-                        std::size_t budget) {
+                        std::size_t budget, const ScheduleSpec& sched) {
   bool progress = true;
   while (progress && budget > 0) {
     progress = false;
@@ -74,7 +84,7 @@ GeneratedProgram shrink(const sim::MachineConfig& config,
       GeneratedProgram candidate = failing;
       candidate.per_core.erase(candidate.per_core.begin() +
                                static_cast<std::ptrdiff_t>(c));
-      if (still_fails(config, candidate, machine_seed, budget)) {
+      if (still_fails(config, candidate, machine_seed, budget, sched)) {
         failing = std::move(candidate);
         progress = true;
       }
@@ -90,7 +100,7 @@ GeneratedProgram shrink(const sim::MachineConfig& config,
           auto& ops = candidate.per_core[c];
           ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i),
                     ops.begin() + static_cast<std::ptrdiff_t>(i + span));
-          if (still_fails(config, candidate, machine_seed, budget)) {
+          if (still_fails(config, candidate, machine_seed, budget, sched)) {
             failing = std::move(candidate);
             removed_any = true;
             progress = true;
@@ -114,7 +124,7 @@ GeneratedProgram shrink(const sim::MachineConfig& config,
             if (op.line == lines[li]) op.line = lines[0];
           }
         }
-        if (still_fails(config, candidate, machine_seed, budget)) {
+        if (still_fails(config, candidate, machine_seed, budget, sched)) {
           failing = std::move(candidate);
           progress = true;
         }
@@ -131,7 +141,8 @@ GeneratedProgram shrink(const sim::MachineConfig& config,
           op.work_before = 0;
         }
       }
-      if (had_work && still_fails(config, candidate, machine_seed, budget)) {
+      if (had_work &&
+          still_fails(config, candidate, machine_seed, budget, sched)) {
         failing = std::move(candidate);
         progress = true;
       }
@@ -151,7 +162,20 @@ std::string FuzzCase::describe(const std::string& preset,
      << "replay: conformance_fuzz --preset=" << preset
      << " --replay-seed=" << seed << " --cores=" << gen.cores
      << " --ops=" << gen.ops_per_core << " --lines=" << gen.lines
-     << " --pattern=" << to_string(gen.pattern) << '\n'
+     << " --pattern=" << to_string(gen.pattern);
+  if (model != sim::MemoryModel::kSc) {
+    os << " --memory-model=" << to_string(model);
+  }
+  // The replay line is only a faithful repro under the derivations that
+  // found the failure, so it pins the generator (and, for controlled
+  // schedules, the schedule) version; a mismatched replayer hard-errors.
+  os << " --gen-version=" << kGeneratorVersion;
+  if (sched.use_pct) {
+    os << " --sched=pct --sched-seed=" << (sched.seed != 0 ? sched.seed : seed)
+       << " --pct-depth=" << sched.depth
+       << " --sched-version=" << kScheduleVersion;
+  }
+  os << '\n'
      << "original (" << program.total_ops() << " ops): " << report.summary()
      << "shrunk to " << shrunk.total_ops() << " ops:\n"
      << shrunk.describe() << "shrunk run: " << shrunk_report.summary();
@@ -159,17 +183,22 @@ std::string FuzzCase::describe(const std::string& preset,
 }
 
 FuzzCase fuzz_one(std::uint64_t seed, const GenConfig& gen,
-                  const sim::MachineConfig& machine_config, bool do_shrink) {
+                  const sim::MachineConfig& machine_config, bool do_shrink,
+                  const ScheduleSpec& sched) {
   FuzzCase c;
   c.seed = seed;
+  c.model = machine_config.memory_model;
+  c.sched = sched;
   c.program = generate(seed, gen);
-  RunOutcome out = run_program(machine_config, c.program, seed);
+  RunOutcome out = run_program(machine_config, c.program, seed, sched);
   c.report = out.report;
   c.ok = out.report.ok;
   if (!c.ok) {
-    c.shrunk = do_shrink ? shrink(machine_config, c.program, seed)
-                         : c.program;
-    c.shrunk_report = run_program(machine_config, c.shrunk, seed).report;
+    c.shrunk = do_shrink
+                   ? shrink(machine_config, c.program, seed, 500, sched)
+                   : c.program;
+    c.shrunk_report =
+        run_program(machine_config, c.shrunk, seed, sched).report;
   }
   return c;
 }

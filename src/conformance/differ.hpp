@@ -25,20 +25,37 @@ struct RunOutcome {
   sim::RunStats stats;
 };
 
+/// Controlled-schedule request for a run. When use_pct is set, a fresh
+/// PctScheduler (seeded from `seed`, or from the machine seed when 0)
+/// steers every directory arbitration of the run, making the interleaving
+/// itself part of the one-line repro: replaying the same
+/// (program seed, schedule seed, depth) triple reproduces the schedule.
+struct ScheduleSpec {
+  bool use_pct = false;
+  std::uint64_t seed = 0;  ///< 0 = derive from the machine seed
+  std::uint32_t depth = 3;
+};
+
 /// Runs @p program on a fresh Machine built from @p config (paranoid MESI
 /// checks forced on; a mid-run protocol violation is reported as a
-/// conformance failure, not an exception) and oracle-checks the run.
-/// @p machine_seed drives the machine's arbitration rng.
+/// conformance failure, not an exception) and oracle-checks the run: the
+/// full sequential replay under SC, the structural TSO checker when the
+/// config selects MemoryModel::kTso (value-level TSO checking is the litmus
+/// corpus's job). @p machine_seed drives the machine's arbitration rng.
 RunOutcome run_program(const sim::MachineConfig& config,
                        const GeneratedProgram& program,
-                       std::uint64_t machine_seed);
+                       std::uint64_t machine_seed,
+                       const ScheduleSpec& sched = {});
 
 /// Greedily shrinks @p failing while it keeps failing: whole cores, then
 /// op spans of halving sizes, then merging distinct lines, then zeroing
 /// local work. @p budget bounds the number of candidate re-executions.
+/// The schedule spec is held fixed so the shrinker chases the same
+/// interleaving the original failure ran under.
 GeneratedProgram shrink(const sim::MachineConfig& config,
                         GeneratedProgram failing, std::uint64_t machine_seed,
-                        std::size_t budget = 500);
+                        std::size_t budget = 500,
+                        const ScheduleSpec& sched = {});
 
 /// One complete fuzz case: generate, run, shrink on failure.
 struct FuzzCase {
@@ -48,14 +65,17 @@ struct FuzzCase {
   GeneratedProgram program;       ///< as generated
   GeneratedProgram shrunk;        ///< minimized repro (valid iff !ok)
   ConformanceReport shrunk_report;
+  sim::MemoryModel model = sim::MemoryModel::kSc;  ///< model the run used
+  ScheduleSpec sched;             ///< schedule the run (and shrink) used
 
-  /// Multi-line human report: repro flag, mismatches, shrunk program.
+  /// Multi-line human report: repro flag (memory model, schedule and
+  /// generator/schedule versions included), mismatches, shrunk program.
   std::string describe(const std::string& preset,
                        const GenConfig& gen) const;
 };
 
 FuzzCase fuzz_one(std::uint64_t seed, const GenConfig& gen,
                   const sim::MachineConfig& machine_config,
-                  bool do_shrink = true);
+                  bool do_shrink = true, const ScheduleSpec& sched = {});
 
 }  // namespace am::conformance

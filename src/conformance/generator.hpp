@@ -20,6 +20,13 @@
 
 namespace am::conformance {
 
+/// Version of the program derivation (op draws, value overrides, line
+/// pools). A replay line is only a faithful repro when the generator that
+/// re-expands the seed matches the one that found the failure, so failure
+/// reports carry this number and conformance_fuzz --gen-version hard-errors
+/// on mismatch instead of silently regenerating a different program.
+inline constexpr int kGeneratorVersion = 1;
+
 /// How a generated op picks its target line.
 enum class SharingPattern : std::uint8_t {
   kSingleLine,  ///< every op on line 0 — maximum contention

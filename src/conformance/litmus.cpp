@@ -1,0 +1,226 @@
+#include "conformance/litmus.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "conformance/pct.hpp"
+#include "sim/machine.hpp"
+
+namespace am::conformance {
+
+namespace {
+
+// Same open-ended window the differ uses: long enough that every finite
+// script (and every end-of-stream store-buffer drain) completes.
+constexpr sim::Cycles kOpenWindow = sim::Cycles{1} << 40;
+
+constexpr sim::LineId kX = 0;
+constexpr sim::LineId kY = 1;
+
+sim::IssueRequest st(sim::LineId line, std::uint64_t v) {
+  sim::IssueRequest r;
+  r.prim = Primitive::kStore;
+  r.line = line;
+  r.store_value = v;
+  return r;
+}
+
+sim::IssueRequest ld(sim::LineId line) {
+  sim::IssueRequest r;
+  r.prim = Primitive::kLoad;
+  r.line = line;
+  return r;
+}
+
+sim::IssueRequest fence() {
+  sim::IssueRequest r;
+  r.prim = Primitive::kFence;
+  return r;
+}
+
+/// All 0/1 tuples of length n except those in @p forbidden.
+std::set<LitmusOutcome> all_binary_except(
+    std::size_t n, const std::set<LitmusOutcome>& forbidden) {
+  std::set<LitmusOutcome> out;
+  for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+    LitmusOutcome o(n);
+    for (std::size_t i = 0; i < n; ++i) o[i] = (bits >> i) & 1u;
+    if (forbidden.count(o) == 0) out.insert(o);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LitmusTest> litmus_corpus() {
+  std::vector<LitmusTest> tests;
+
+  {
+    // SB: the x86-TSO signature. Each writer's store sits in its buffer
+    // while its read runs ahead to the directory, so both reads can miss
+    // both writes — the (0,0) SC forbids.
+    LitmusTest t;
+    t.name = "sb";
+    t.program.per_core = {{st(kX, 1), ld(kY)}, {st(kY, 1), ld(kX)}};
+    t.allowed_sc = all_binary_except(2, {{0, 0}});
+    t.allowed_tso = all_binary_except(2, {});
+    t.tso_signature = {0, 0};
+    tests.push_back(std::move(t));
+  }
+  {
+    // SB with fences: the fence drains the store buffer before the read
+    // issues, restoring the SC outcome set under TSO.
+    LitmusTest t;
+    t.name = "sb_fenced";
+    t.program.per_core = {{st(kX, 1), fence(), ld(kY)},
+                          {st(kY, 1), fence(), ld(kX)}};
+    t.allowed_sc = all_binary_except(2, {{0, 0}});
+    t.allowed_tso = t.allowed_sc;
+    tests.push_back(std::move(t));
+  }
+  {
+    // MP: store buffers drain FIFO under TSO, so a reader that saw the flag
+    // (y==1) must also see the data (x==1): (1,0) forbidden in both models.
+    LitmusTest t;
+    t.name = "mp";
+    t.program.per_core = {{st(kX, 1), st(kY, 1)}, {ld(kY), ld(kX)}};
+    t.allowed_sc = all_binary_except(2, {{1, 0}});
+    t.allowed_tso = t.allowed_sc;
+    tests.push_back(std::move(t));
+  }
+  {
+    // LB: TSO never hoists a store above an earlier load of the same core,
+    // so both loads observing the other core's later store is impossible.
+    LitmusTest t;
+    t.name = "lb";
+    t.program.per_core = {{ld(kX), st(kY, 1)}, {ld(kY), st(kX, 1)}};
+    t.allowed_sc = all_binary_except(2, {{1, 1}});
+    t.allowed_tso = t.allowed_sc;
+    tests.push_back(std::move(t));
+  }
+  {
+    // IRIW: TSO is multi-copy atomic (a drained store becomes visible to
+    // every other core at once), so the two readers can never disagree on
+    // the order of the two independent writes.
+    LitmusTest t;
+    t.name = "iriw";
+    t.program.per_core = {{st(kX, 1)},
+                          {st(kY, 1)},
+                          {ld(kX), ld(kY)},
+                          {ld(kY), ld(kX)}};
+    // regs: (c2.Rx, c2.Ry, c3.Ry, c3.Rx); the contradiction is c2 seeing
+    // x-before-y while c3 sees y-before-x.
+    t.allowed_sc = all_binary_except(4, {{1, 0, 1, 0}});
+    t.allowed_tso = t.allowed_sc;
+    tests.push_back(std::move(t));
+  }
+  return tests;
+}
+
+std::string format_outcome(const LitmusOutcome& o) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << 'r' << i << '=' << o[i];
+  }
+  return os.str();
+}
+
+std::string LitmusRunResult::summary() const {
+  std::ostringstream os;
+  os << "litmus " << name << ": " << runs << " runs, " << seen.size()
+     << " distinct outcome(s)";
+  if (signature_seen) os << ", weak outcome reached";
+  os << (ok ? ", all within the allowed set" : ", VIOLATIONS:");
+  if (!ok) {
+    os << '\n';
+    for (const auto& v : violations) os << "  " << v << '\n';
+  }
+  return os.str();
+}
+
+LitmusRunResult run_litmus(const LitmusTest& test,
+                           const sim::MachineConfig& config,
+                           const std::string& preset_name,
+                           const LitmusRunOptions& opts) {
+  LitmusRunResult result;
+  result.name = test.name;
+
+  const std::set<LitmusOutcome>& allowed =
+      opts.model == sim::MemoryModel::kTso ? test.allowed_tso
+                                           : test.allowed_sc;
+  sim::MachineConfig cfg = config;
+  cfg.memory_model = opts.model;
+  cfg.paranoid_checks = true;
+  const sim::CoreId cores = test.program.cores();
+  if (cores > cfg.core_count()) {
+    result.ok = false;
+    result.violations.push_back("preset has fewer cores than the test needs");
+    return result;
+  }
+
+  for (std::uint64_t s = opts.first_seed;
+       s < opts.first_seed + opts.seeds; ++s) {
+    sim::Machine machine(cfg, s);
+    MultiScriptProgram script(test.program);
+    PctScheduler pct(cores, PctConfig{s, opts.pct_depth,
+                                      test.program.total_ops()});
+    if (opts.use_pct) machine.set_schedule_hook(&pct);
+    try {
+      machine.run(script, cores, /*warmup=*/0, kOpenWindow);
+    } catch (const std::logic_error& e) {
+      result.ok = false;
+      result.violations.push_back(std::string("seed ") + std::to_string(s) +
+                                  ": protocol invariant violated: " +
+                                  e.what());
+      continue;
+    }
+    ++result.runs;
+
+    // The outcome is the tuple of LOAD results, core-major program order.
+    LitmusOutcome outcome;
+    bool complete = true;
+    const auto& res = script.results();
+    for (std::size_t c = 0; c < test.program.per_core.size(); ++c) {
+      const auto& ops = test.program.per_core[c];
+      if (res[c].size() != ops.size()) {
+        complete = false;
+        break;
+      }
+      for (std::size_t k = 0; k < ops.size(); ++k) {
+        if (ops[k].prim == Primitive::kLoad) {
+          outcome.push_back(res[c][k].observed);
+        }
+      }
+    }
+    std::ostringstream replay;
+    replay << "replay: conformance_fuzz --litmus --litmus-filter=" << test.name
+           << " --preset=" << preset_name
+           << " --memory-model=" << to_string(opts.model)
+           << " --litmus-first-seed=" << s << " --litmus-seeds=1"
+           << " --sched=" << (opts.use_pct ? "pct" : "none")
+           << " --pct-depth=" << opts.pct_depth
+           << " --sched-version=" << kScheduleVersion;
+    if (!complete) {
+      result.ok = false;
+      result.violations.push_back("seed " + std::to_string(s) +
+                                  ": run retired fewer ops than scripted\n  " +
+                                  replay.str());
+      continue;
+    }
+    result.seen.insert(outcome);
+    if (!test.tso_signature.empty() && outcome == test.tso_signature) {
+      result.signature_seen = true;
+    }
+    if (allowed.count(outcome) == 0) {
+      result.ok = false;
+      result.violations.push_back(
+          "seed " + std::to_string(s) + ": outcome {" +
+          format_outcome(outcome) + "} outside the " +
+          to_string(opts.model) + " allowed set\n  " + replay.str());
+    }
+  }
+  return result;
+}
+
+}  // namespace am::conformance

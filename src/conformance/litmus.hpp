@@ -1,0 +1,89 @@
+// TSO litmus tests for the weak-memory simulator mode.
+//
+// The random-program oracle checks structure; litmus tests check *values*
+// against exact allowed-outcome sets, the way hardware memory models are
+// validated (Owens et al.'s x86-TSO test suite). Each test is a tiny fixed
+// multi-core program whose observable outcome is the tuple of values its
+// LOADs returned (core-major, program order per core). The corpus declares,
+// per memory model, the complete set of tuples the model permits:
+//
+//   SB   (store buffering):   Wx1; Ry || Wy1; Rx   — (0,0) is the TSO
+//        signature outcome, forbidden under SC.
+//   SB+F (fenced SB):         Wx1; F; Ry || Wy1; F; Rx — the fence drains
+//        the buffer, restoring the SC outcome set under TSO.
+//   MP   (message passing):   Wx1; Wy1 || Ry; Rx  — (1,0) forbidden under
+//        both models (TSO store buffers drain FIFO).
+//   LB   (load buffering):    Rx; Wy1 || Ry; Wx1  — (1,1) forbidden under
+//        both models (TSO never hoists stores above earlier loads).
+//   IRIW (independent reads): Wx1 || Wy1 || Rx; Ry || Ry; Rx — the two
+//        readers disagreeing on the store order is forbidden under both
+//        models (TSO is multi-copy atomic).
+//
+// A run sweeps machine/schedule seeds (optionally under PCT), collects every
+// outcome observed, and fails if any lies outside the model's allowed set.
+// Golden copies of the allowed sets live in tests/conformance/litmus/ and
+// are pinned against this corpus by litmus_test.cpp, so a semantic change
+// must be re-blessed in a reviewable file diff.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "conformance/generator.hpp"
+#include "sim/config.hpp"
+
+namespace am::conformance {
+
+/// One observable outcome: the LOAD-result tuple, core-major program order.
+using LitmusOutcome = std::vector<std::uint64_t>;
+
+struct LitmusTest {
+  std::string name;
+  GeneratedProgram program;
+  /// Complete allowed outcome sets per model. TSO is always a superset of SC
+  /// (any SC execution is a TSO execution with eager drains).
+  std::set<LitmusOutcome> allowed_sc;
+  std::set<LitmusOutcome> allowed_tso;
+  /// An outcome TSO permits and SC forbids (empty when the sets coincide).
+  /// run_litmus under TSO reports whether it was reached — the CI smoke job
+  /// requires PCT to find it for SB within its seed budget.
+  LitmusOutcome tso_signature;
+};
+
+/// The fixed corpus: SB, SB+fence, MP, LB, IRIW.
+std::vector<LitmusTest> litmus_corpus();
+
+/// Formats an outcome as "r0=0 r1=1".
+std::string format_outcome(const LitmusOutcome& o);
+
+struct LitmusRunResult {
+  std::string name;
+  bool ok = true;
+  std::size_t runs = 0;
+  std::set<LitmusOutcome> seen;
+  bool signature_seen = false;  ///< tso_signature reached (TSO runs only)
+  std::vector<std::string> violations;  ///< outcomes outside the allowed set
+
+  std::string summary() const;
+};
+
+struct LitmusRunOptions {
+  sim::MemoryModel model = sim::MemoryModel::kSc;
+  std::uint64_t first_seed = 1;
+  std::uint64_t seeds = 64;   ///< machine/schedule seeds swept
+  bool use_pct = true;        ///< attach a PctScheduler per seed
+  std::uint32_t pct_depth = 3;
+};
+
+/// Executes @p test on machines built from @p config (memory model
+/// overridden per @p opts) across the seed sweep and validates every
+/// observed outcome against the model's allowed set. Violation messages
+/// embed a one-line conformance_fuzz replay command (schedule included).
+LitmusRunResult run_litmus(const LitmusTest& test,
+                           const sim::MachineConfig& config,
+                           const std::string& preset_name,
+                           const LitmusRunOptions& opts);
+
+}  // namespace am::conformance

@@ -170,4 +170,123 @@ ConformanceReport check_conformance(
   return rep;
 }
 
+ConformanceReport check_tso_conformance(
+    const GeneratedProgram& program, const std::vector<ObservedOp>& order,
+    const std::vector<std::vector<OpResult>>& core_results,
+    const sim::Machine& machine, const sim::RunStats& stats) {
+  ConformanceReport rep;
+  const std::size_t cores = program.per_core.size();
+  std::vector<std::size_t> next(cores, 0);
+
+  // Program-order interleaving: loads may have forwarded from the store
+  // buffer and stores may have retired long before their drain, but every
+  // core still *completes* its ops in program order.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const ObservedOp& obs = order[i];
+    std::ostringstream at;
+    at << "op[" << i << "] core" << obs.core << ' ' << to_string(obs.prim)
+       << " line=" << obs.line;
+    if (obs.core >= cores) {
+      rep.fail(at.str() + ": core outside the program");
+      continue;
+    }
+    const auto& script = program.per_core[obs.core];
+    if (next[obs.core] >= script.size()) {
+      rep.fail(at.str() + ": more completions than the core's script length");
+      continue;
+    }
+    const sim::IssueRequest& req = script[next[obs.core]];
+    const std::size_t k = next[obs.core]++;
+    if (req.prim != obs.prim ||
+        (req.prim != Primitive::kFence && req.line != obs.line)) {
+      std::ostringstream os;
+      os << at.str() << ": program order violated, expected "
+         << to_string(req.prim) << " line=" << req.line << " at core index "
+         << k;
+      rep.fail(os.str());
+      continue;
+    }
+    if (req.prim != Primitive::kCas && req.prim != Primitive::kTas &&
+        !obs.success) {
+      rep.fail(at.str() + ": op that cannot fail reported failure");
+    }
+    ++rep.ops_checked;
+  }
+
+  std::uint64_t stores = 0;
+  std::uint64_t fences = 0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    std::uint64_t fallible_ops = 0;  // CAS and TAS: success depends on values
+    for (const auto& op : program.per_core[c]) {
+      stores += op.prim == Primitive::kStore;
+      fences += op.prim == Primitive::kFence;
+      fallible_ops +=
+          op.prim == Primitive::kCas || op.prim == Primitive::kTas;
+    }
+    if (next[c] != program.per_core[c].size()) {
+      std::ostringstream os;
+      os << "core" << c << ": " << next[c] << " completions for a script of "
+         << program.per_core[c].size() << " ops";
+      rep.fail(os.str());
+    }
+    if (c < core_results.size() &&
+        core_results[c].size() != program.per_core[c].size()) {
+      std::ostringstream os;
+      os << "core" << c << ": " << core_results[c].size()
+         << " recorded results for a script of "
+         << program.per_core[c].size() << " ops";
+      rep.fail(os.str());
+    }
+    if (c < stats.threads.size()) {
+      const auto& ts = stats.threads[c];
+      if (ts.ops != program.per_core[c].size()) {
+        std::ostringstream os;
+        os << "core" << c << ": stats report " << ts.ops
+           << " ops, script has " << program.per_core[c].size();
+        rep.fail(os.str());
+      }
+      // Only CAS and TAS can fail; everything else retires successfully.
+      if (ts.successes > ts.ops || ts.successes + fallible_ops < ts.ops) {
+        std::ostringstream os;
+        os << "core" << c << ": stats report " << ts.successes
+           << " successes over " << ts.ops << " ops with " << fallible_ops
+           << " CAS/TAS ops";
+        rep.fail(os.str());
+      }
+    }
+  }
+
+  // Every buffered store must have drained before the run could finish, and
+  // every fence must have been accounted.
+  if (stats.store_buffer_drains != stores) {
+    std::ostringstream os;
+    os << "store buffer: " << stats.store_buffer_drains
+       << " drains for " << stores << " STOREs";
+    rep.fail(os.str());
+  }
+  if (stats.fences != fences) {
+    std::ostringstream os;
+    os << "fences: stats report " << stats.fences << ", script has "
+       << fences;
+    rep.fail(os.str());
+  }
+
+  try {
+    machine.verify_invariants();
+  } catch (const std::logic_error& e) {
+    rep.fail(std::string("final MESI state: ") + e.what());
+  }
+  for (const sim::LineId id : machine.touched_lines()) {
+    const auto snap = machine.snapshot_line(id);
+    if (snap.busy || snap.queued != 0) {
+      std::ostringstream os;
+      os << "final state line=" << id
+         << ": transaction still in flight (busy=" << snap.busy
+         << " queued=" << snap.queued << ")";
+      rep.fail(os.str());
+    }
+  }
+  return rep;
+}
+
 }  // namespace am::conformance

@@ -78,4 +78,20 @@ ConformanceReport check_conformance(
     const std::vector<std::vector<OpResult>>& core_results,
     const sim::Machine& machine, const sim::RunStats& stats);
 
+/// Structural checker for TSO runs. A TSO execution is not a sequentially
+/// consistent interleaving, so the value-level replay above does not apply;
+/// value semantics under TSO are pinned by the litmus corpus instead. What
+/// a correct TSO machine must still guarantee structurally:
+///   * completions form an interleaving of the per-core program orders,
+///   * every scripted op completes exactly once (trace, results and stats
+///     all agree on the counts),
+///   * every STORE that entered a store buffer drained (drains == stores),
+///     and every FENCE was accounted,
+///   * non-CAS ops always succeed (only CAS can fail under any model), and
+///   * the final protocol state is quiescent and MESI-consistent.
+ConformanceReport check_tso_conformance(
+    const GeneratedProgram& program, const std::vector<ObservedOp>& order,
+    const std::vector<std::vector<OpResult>>& core_results,
+    const sim::Machine& machine, const sim::RunStats& stats);
+
 }  // namespace am::conformance

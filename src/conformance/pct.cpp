@@ -1,0 +1,56 @@
+#include "conformance/pct.hpp"
+
+#include <algorithm>
+
+#include "common/random.hpp"
+
+namespace am::conformance {
+
+PctScheduler::PctScheduler(sim::CoreId cores, const PctConfig& cfg)
+    : depth_(std::max<std::uint32_t>(1, cfg.depth)) {
+  SplitMix64 sm(cfg.seed);
+  // Distinct initial priorities depth .. depth+n-1 in a random permutation —
+  // always above every demotion target (depth-1 .. 1), so a demoted core
+  // only runs when no undemoted core is waiting.
+  prio_.resize(cores);
+  for (sim::CoreId c = 0; c < cores; ++c) prio_[c] = depth_ + c;
+  for (sim::CoreId c = cores; c-- > 1;) {
+    const std::uint64_t j = sm.next() % (c + 1);
+    std::swap(prio_[c], prio_[static_cast<sim::CoreId>(j)]);
+  }
+  // d-1 change points drawn uniformly over the expected run length.
+  const std::uint64_t k = std::max<std::uint64_t>(1, cfg.expected_steps);
+  change_points_.reserve(depth_ - 1);
+  for (std::uint32_t i = 0; i + 1 < depth_; ++i) {
+    change_points_.push_back(1 + sm.next() % k);
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+std::size_t PctScheduler::pick(sim::LineId,
+                               const std::vector<sim::CoreId>& waiters) {
+  std::size_t best = 0;
+  std::uint32_t best_prio = 0;
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    const sim::CoreId c = waiters[i];
+    // Cores beyond the priority table (never expected) defer to index 0.
+    const std::uint32_t p = c < prio_.size() ? prio_[c] : 0;
+    if (p > best_prio) {
+      best_prio = p;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void PctScheduler::on_step(sim::CoreId core) {
+  ++step_;
+  if (next_cp_ < change_points_.size() && step_ >= change_points_[next_cp_]) {
+    // Demote the retiring core below all initial priorities and below every
+    // earlier demotion: targets depth-1, depth-2, ..., 1.
+    if (core < prio_.size()) prio_[core] = depth_ - 1 - next_cp_;
+    ++next_cp_;
+  }
+}
+
+}  // namespace am::conformance

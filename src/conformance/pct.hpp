@@ -1,0 +1,71 @@
+// PCT-style prioritized controlled scheduling for the conformance harness.
+//
+// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010) finds
+// bugs of depth d with probability >= 1/(n * k^(d-1)) by running a strict
+// priority scheduler: n threads get random distinct priorities, and at d-1
+// random change points the running thread is demoted below everyone else.
+// The adaptation here steers the *simulator's* nondeterminism instead of an
+// OS scheduler: a PctScheduler is a sim::ScheduleHook that resolves every
+// directory arbitration race in favour of the highest-priority waiting core
+// and counts op retirements as scheduling steps. Attached to a Machine it
+// replaces the configured arbitration policy for the run, which is why
+// hooks live outside cache_identity — a PCT run must never populate the
+// sweep/service caches as if it were a policy run.
+//
+// Everything is derived from (seed, depth, expected_steps), so a schedule is
+// replayable from the `--sched-seed`/`--pct-depth` pair alone; bump
+// kScheduleVersion whenever the priority assignment or change-point draw
+// changes so stale replay lines hard-error instead of silently exploring a
+// different interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+
+namespace am::conformance {
+
+/// Version of the schedule derivation (priority assignment + change-point
+/// draws). Replay lines carry it; conformance_fuzz --sched-version hard-
+/// errors on mismatch instead of silently regenerating a different schedule.
+inline constexpr int kScheduleVersion = 1;
+
+struct PctConfig {
+  std::uint64_t seed = 1;
+  /// Bug depth d: the scheduler places d-1 priority change points. depth <= 1
+  /// means pure random-priority scheduling with no change points.
+  std::uint32_t depth = 3;
+  /// Expected run length k in scheduling steps (op retirements); change
+  /// points are drawn uniformly from [1, k].
+  std::uint64_t expected_steps = 256;
+};
+
+class PctScheduler final : public sim::ScheduleHook {
+ public:
+  PctScheduler(sim::CoreId cores, const PctConfig& cfg);
+
+  /// Highest-priority waiter wins every arbitration race.
+  std::size_t pick(sim::LineId line,
+                   const std::vector<sim::CoreId>& waiters) override;
+
+  /// Counts one scheduling step; at a change point the retiring core is
+  /// demoted below every initial priority (and every earlier demotion).
+  void on_step(sim::CoreId core) override;
+
+  std::uint64_t steps() const noexcept { return step_; }
+  std::uint32_t change_points_applied() const noexcept { return next_cp_; }
+  const std::vector<std::uint32_t>& priorities() const noexcept {
+    return prio_;
+  }
+
+ private:
+  std::vector<std::uint32_t> prio_;          ///< per-core priority, higher wins
+  std::vector<std::uint64_t> change_points_; ///< sorted step indices, d-1 of them
+  std::uint32_t depth_ = 1;
+  std::uint64_t step_ = 0;
+  std::uint32_t next_cp_ = 0;
+};
+
+}  // namespace am::conformance

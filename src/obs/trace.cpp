@@ -13,9 +13,10 @@ namespace {
 // its own copies of the display names (values match to_string(Primitive)
 // and to_string(sim::Supply); the trace tests pin them together).
 const char* prim_name(std::uint8_t p) noexcept {
-  static constexpr const char* kNames[] = {"LOAD", "STORE", "SWP",    "TAS",
-                                           "FAA",  "CAS",   "CASLOOP"};
-  return p < 7 ? kNames[p] : "?";
+  static constexpr const char* kNames[] = {"LOAD", "STORE",   "SWP",  "TAS",
+                                           "FAA",  "CAS",     "CASLOOP",
+                                           "FENCE"};
+  return p < 8 ? kNames[p] : "?";
 }
 
 const char* supply_name(std::uint8_t s) noexcept {
@@ -34,6 +35,7 @@ const char* to_string(TraceEventKind k) noexcept {
     case TraceEventKind::kRetry: return "retry";
     case TraceEventKind::kInvalidate: return "inval";
     case TraceEventKind::kEvict: return "evict";
+    case TraceEventKind::kDrain: return "drain";
   }
   return "?";
 }
@@ -68,6 +70,10 @@ void TextTraceSink::on_event(const TraceEvent& e) {
       break;
     case TraceEventKind::kEvict:
       os_ << e.time << " evict line=" << e.line << " core" << e.core << '\n';
+      break;
+    case TraceEventKind::kDrain:
+      os_ << e.time << " drain core" << e.core << " line=" << e.line
+          << " val=" << e.value << " depth=" << e.queue_depth << '\n';
       break;
   }
 }
@@ -188,6 +194,14 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
       ensure_track(kLinesPid, e.line, "line");
       emit_prefix("i", "evict", "coherence", ts, kLinesPid, e.line);
       os_ << ",\"s\":\"t\",\"args\":{\"core\":" << e.core << "}}";
+      break;
+    }
+    case TraceEventKind::kDrain: {
+      ensure_track(kLinesPid, e.line, "line");
+      emit_prefix("i", "sbuf drain", "coherence", ts, kLinesPid, e.line);
+      os_ << ",\"s\":\"t\",\"args\":{\"core\":" << e.core
+          << ",\"value\":" << e.value << ",\"depth\":" << e.queue_depth
+          << "}}";
       break;
     }
   }

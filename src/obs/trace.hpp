@@ -33,6 +33,7 @@ enum class TraceEventKind : std::uint8_t {
   kRetry,       ///< a CAS-loop attempt failed; the core re-requests the line
   kInvalidate,  ///< a core's copy was invalidated by another core's RFO
   kEvict,       ///< a core's copy left the cache for capacity reasons
+  kDrain,       ///< a buffered store left the core's store buffer (TSO only)
 };
 
 const char* to_string(TraceEventKind k) noexcept;

@@ -29,7 +29,28 @@ std::string MachineConfig::fingerprint() const {
   if (fault != FaultInjection::kNone) {
     os << ";fault=" << static_cast<int>(fault);
   }
+  if (memory_model != MemoryModel::kSc) {
+    os << ";mm=" << static_cast<int>(memory_model) << ";fence=" << fence_cost
+       << ";sb=" << store_buffer_entries << ";fence_nj=" << energy.fence_nj;
+  }
   return os.str();
+}
+
+const char* to_string(MemoryModel m) noexcept {
+  switch (m) {
+    case MemoryModel::kSc: return "sc";
+    case MemoryModel::kTso: return "tso";
+  }
+  return "?";
+}
+
+std::optional<MemoryModel> parse_memory_model(
+    const std::string& name) noexcept {
+  if (name == "sc" || name == "SC") return MemoryModel::kSc;
+  if (name == "tso" || name == "TSO" || name == "x86-tso") {
+    return MemoryModel::kTso;
+  }
+  return std::nullopt;
 }
 
 const char* to_string(FaultInjection f) noexcept {

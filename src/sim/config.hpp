@@ -33,6 +33,19 @@ enum class FaultInjection : std::uint8_t {
 
 const char* to_string(FaultInjection f) noexcept;
 
+/// Memory-consistency model the machine simulates. kSc is the seed-era
+/// behaviour (every op applies at its completion event, so the global
+/// completion order is sequentially consistent). kTso adds per-core FIFO
+/// store buffers with same-core load forwarding — stores retire locally and
+/// drain to the directory later (at a fence, an RMW, buffer overflow, or
+/// thread exit), which is the x86-TSO behaviour the paper's testbeds
+/// actually have. docs/memory_models.md has the semantics and the
+/// byte-identity story.
+enum class MemoryModel : std::uint8_t { kSc = 0, kTso = 1 };
+
+const char* to_string(MemoryModel m) noexcept;
+std::optional<MemoryModel> parse_memory_model(const std::string& name) noexcept;
+
 struct MachineConfig {
   std::string name = "machine";
   double freq_ghz = 2.3;
@@ -87,7 +100,22 @@ struct MachineConfig {
   /// Injected protocol defect (conformance-harness self-tests only).
   FaultInjection fault = FaultInjection::kNone;
 
+  /// Memory-consistency model. kSc (default) is byte-identical to the seed
+  /// core; the TSO fields below only take effect — and only enter the
+  /// fingerprint — when this is kTso.
+  MemoryModel memory_model = MemoryModel::kSc;
+
+  /// Cost of a FENCE once the issuing core's store buffer is empty (the
+  /// drain itself is priced by the usual transfer/serve machinery). Roughly
+  /// an mfence: ~33 cycles on Haswell-era parts (Schweizer et al.).
+  Cycles fence_cost = 33;
+
+  /// Store-buffer capacity in entries (x86 parts have 42-56; a small default
+  /// keeps overflow-forced drains reachable in tests). kTso only.
+  std::uint32_t store_buffer_entries = 8;
+
   Cycles exec_cost_of(Primitive p) const noexcept {
+    if (p == Primitive::kFence) return fence_cost;
     return exec_cost[static_cast<std::size_t>(p)];
   }
 

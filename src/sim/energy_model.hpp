@@ -28,6 +28,12 @@ struct EnergyParams {
   double directory_nj = 0.6;       ///< home-directory lookup
   double memory_nj = 18.0;         ///< DRAM/MCDRAM line fetch
   double freq_ghz = 2.3;           ///< converts cycles to seconds
+  /// Energy of a FENCE retirement (store-buffer flush logic; the drained
+  /// stores' transfers are priced separately as ordinary transfers). Only
+  /// meaningful under MemoryModel::kTso, and deliberately excluded from the
+  /// fingerprint's ";energy=" section — it rides in the TSO-only suffix so
+  /// SC fingerprints stay byte-identical.
+  double fence_nj = 4.0;
 };
 
 /// Accumulated energy over one simulation run, joules.
@@ -38,10 +44,11 @@ struct EnergyBreakdown {
   double transfer_j = 0.0;
   double directory_j = 0.0;
   double memory_j = 0.0;
+  double fence_j = 0.0;  ///< TSO only; stays 0.0 under SC (identical totals)
 
   double total_j() const noexcept {
     return core_active_j + core_spin_j + uncore_static_j + transfer_j +
-           directory_j + memory_j;
+           directory_j + memory_j + fence_j;
   }
   /// "Package" analogue: everything but memory, matching RAPL's split.
   double package_j() const noexcept { return total_j() - memory_j; }
@@ -69,6 +76,7 @@ class EnergyAccounting {
   }
   void add_directory_lookup() noexcept { e_.directory_j += p_.directory_nj * 1e-9; }
   void add_memory_fetch() noexcept { e_.memory_j += p_.memory_nj * 1e-9; }
+  void add_fence() noexcept { e_.fence_j += p_.fence_nj * 1e-9; }
 
   const EnergyBreakdown& breakdown() const noexcept { return e_; }
   const EnergyParams& params() const noexcept { return p_; }

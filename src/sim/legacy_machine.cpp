@@ -20,6 +20,13 @@ Machine::Machine(MachineConfig config, std::uint64_t seed)
       interconnect_(config_.make_interconnect()),
       cores_(config_.core_count()) {
   if (!interconnect_) throw std::invalid_argument("Machine: bad interconnect");
+  // The frozen seed core is sequentially consistent only; a TSO config here
+  // would silently simulate the wrong model (and differential comparisons
+  // against the live core would be meaningless).
+  if (config_.memory_model != MemoryModel::kSc) {
+    throw std::invalid_argument(
+        "legacy::Machine: only MemoryModel::kSc is supported");
+  }
   if (config_.cache_capacity_lines == 0) config_.cache_capacity_lines = 1;
   core_states_.resize(cores_);
   residency_.resize(cores_);

@@ -52,6 +52,9 @@ Machine::Machine(MachineConfig config, std::uint64_t seed)
     serve_cost_[static_cast<std::size_t>(p)] =
         config_.l1_hit + config_.exec_cost_of(p);
   }
+  // FENCE retires on the core without touching the cache: no l1_hit term.
+  serve_cost_[static_cast<std::size_t>(Primitive::kFence)] = config_.fence_cost;
+  tso_ = config_.memory_model == MemoryModel::kTso;
 }
 
 std::uint32_t Machine::slot_of(LineId id) {
@@ -290,6 +293,7 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
         case EventKind::kFetchNext: handle_fetch_next(core); break;
         case EventKind::kIssue: handle_issue(core); break;
         case EventKind::kOpDone: handle_op_done(core); break;
+        case EventKind::kDrainDone: handle_drain_done(core); break;
       }
       ++events_processed;
       if (progress_marks_ != last_marks) {
@@ -358,21 +362,36 @@ RunStats Machine::run(ThreadProgram& program, CoreId active_cores,
 void Machine::handle_fetch_next(CoreId core) {
   CoreState& cs = core_states_[core];
   if (cs.done || now_ >= end_time_) {
+    // TSO: buffered stores must still reach the directory before the core
+    // retires — the final memory state (which conformance checks) would
+    // otherwise silently lose the write-backs.
+    if (tso_ && !cs.sbuf.empty() && !cs.draining) {
+      start_drain(core, DrainResume::kFinish);
+      return;
+    }
     cs.done = true;
     return;
   }
   if (cs.has_plan) {
     // The plan was decoded into cs.op once at run start and nothing on the
     // execute path mutates it; only the slot needs resolving, once.
-    if (cs.op.slot == kNilSlot) cs.op.slot = slot_of(cs.op.line);
+    if (cs.op.slot == kNilSlot && cs.op.prim != Primitive::kFence) {
+      cs.op.slot = slot_of(cs.op.line);
+    }
   } else {
     const auto next = program_->next_op(core, rngs_[core]);
     if (!next) {
+      if (tso_ && !cs.sbuf.empty() && !cs.draining) {
+        start_drain(core, DrainResume::kFinish);
+        return;
+      }
       cs.done = true;
       return;
     }
     decode(*next, cs.op);
-    cs.op.slot = slot_of(cs.op.line);
+    // A fence targets no line: leave the slot unresolved so it fabricates no
+    // directory record (touched_lines stays the set of real lines).
+    if (cs.op.prim != Primitive::kFence) cs.op.slot = slot_of(cs.op.line);
   }
   cs.has_pending = true;
   cs.attempts_this_op = 0;
@@ -408,6 +427,65 @@ void Machine::submit_request(CoreId core) {
   CoreState& cs = core_states_[core];
   cs.attempt_start = now_;
   const Primitive prim = cs.op.prim;
+
+  // FENCE retires on the core; no line, no directory. Under TSO it first
+  // drains the store buffer (that is its whole point); under SC the buffer
+  // is always empty and the fence is a priced ordering no-op.
+  if (prim == Primitive::kFence) {
+    if (tso_ && !cs.sbuf.empty()) {
+      start_drain(core, DrainResume::kResubmit);
+      return;
+    }
+    cs.local_op = LocalOp::kFence;
+    cs.holds_token = false;
+    cs.last_supply = Supply::kLocalHit;
+    cs.last_xfer = 0;
+    cs.grant_time = now_;
+    schedule(now_ + cs.op.serve_cost, EventKind::kOpDone, core);
+    return;
+  }
+
+  if (tso_) {
+    // STORE retires into the local store buffer: globally invisible until a
+    // drain commits it. A full buffer forces a drain first (the op parks and
+    // resubmits once the buffer is empty).
+    if (prim == Primitive::kStore) {
+      if (cs.sbuf.size() >= config_.store_buffer_entries) {
+        start_drain(core, DrainResume::kResubmit);
+        return;
+      }
+      cs.local_op = LocalOp::kBufferedStore;
+      cs.holds_token = false;
+      cs.last_supply = Supply::kLocalHit;
+      cs.last_xfer = 0;
+      cs.grant_time = now_;
+      schedule(now_ + cs.op.serve_cost, EventKind::kOpDone, core);
+      return;
+    }
+    if (prim == Primitive::kLoad) {
+      // Store-to-load forwarding: the newest own buffered store to the same
+      // line supplies the value. A load to any OTHER line falls through to
+      // the directory past the buffered stores — the store-load reordering
+      // TSO permits and SC forbids.
+      for (auto it = cs.sbuf.rbegin(); it != cs.sbuf.rend(); ++it) {
+        if (it->line == cs.op.line) {
+          cs.local_op = LocalOp::kForwardedLoad;
+          cs.forward_value = it->value;
+          cs.holds_token = false;
+          cs.last_supply = Supply::kLocalHit;
+          cs.last_xfer = 0;
+          cs.grant_time = now_;
+          schedule(now_ + cs.op.serve_cost, EventKind::kOpDone, core);
+          return;
+        }
+      }
+    } else if (!cs.sbuf.empty()) {
+      // RMWs are fencing on x86 (lock prefix): drain, then resubmit.
+      start_drain(core, DrainResume::kResubmit);
+      return;
+    }
+  }
+
   const std::uint32_t s = cs.op.slot;
   const Mesi st = state_of(s, core);
 
@@ -475,6 +553,16 @@ void Machine::submit_request(CoreId core) {
 std::size_t Machine::arbitrate(std::uint32_t slot, LineId id) {
   const ReqQueue& q = line_queue_[slot];
   assert(!q.empty());
+  if (hook_ != nullptr) {
+    // Controlled scheduling (PCT): the hook overrides the policy. Out-of-
+    // range return defers to the configured arbitration below.
+    scratch_waiters_.clear();
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      scratch_waiters_.push_back(q[i].core);
+    }
+    const std::size_t pick = hook_->pick(id, scratch_waiters_);
+    if (pick < q.size()) return pick;
+  }
   if (config_.arbitration == Arbitration::kFifo) {
     // Requests are queued in arrival order.
     return 0;
@@ -823,7 +911,13 @@ void Machine::try_grant(std::uint32_t slot) {
   cs.holds_token = true;
   cs.grant_time = now_;
   line_busy_[slot] = 1;
-  schedule(now_ + xfer + cs.op.serve_cost, EventKind::kOpDone, req.core);
+  if (tso_ && cs.draining) {
+    // Drain write-back: the store's exec cost was paid when it buffered;
+    // the commit pays the transfer plus the local write (l1_hit).
+    schedule(now_ + xfer + config_.l1_hit, EventKind::kDrainDone, req.core);
+  } else {
+    schedule(now_ + xfer + cs.op.serve_cost, EventKind::kOpDone, req.core);
+  }
 }
 
 OpResult Machine::apply_op(Primitive prim, std::uint32_t slot,
@@ -879,10 +973,14 @@ void Machine::record_completion(CoreId core, const OpResult& r, Cycles latency) 
   ThreadStats& ts = stats_->threads[core];
   const auto prim_idx = static_cast<std::size_t>(core_states_[core].op.prim);
   ++ts.ops;
-  ++ts.ops_by_prim[prim_idx];
+  // FENCE (index 7) has no per-primitive bucket: the serialized arrays are
+  // pinned at 7 wide (see Primitive::kFence).
+  if (prim_idx < ts.ops_by_prim.size()) ++ts.ops_by_prim[prim_idx];
   if (r.success) {
     ++ts.successes;
-    ++ts.successes_by_prim[prim_idx];
+    if (prim_idx < ts.successes_by_prim.size()) {
+      ++ts.successes_by_prim[prim_idx];
+    }
   } else {
     ++ts.failures;
   }
@@ -898,6 +996,10 @@ void Machine::record_completion(CoreId core, const OpResult& r, Cycles latency) 
 
 void Machine::handle_op_done(CoreId core) {
   CoreState& cs = core_states_[core];
+  if (cs.local_op != LocalOp::kNone) {
+    handle_local_op_done(core);
+    return;
+  }
   const std::uint32_t slot = cs.op.slot;
   const Primitive prim = cs.op.prim;
 
@@ -1012,8 +1114,159 @@ void Machine::handle_op_done(CoreId core) {
   // Plan-eligible programs ignore results (contract in program.hpp), so the
   // virtual call is skipped on the static fast path.
   if (!cs.has_plan) program_->on_result(core, result);
+  if (hook_ != nullptr) hook_->on_step(core);
   try_grant(slot);
   schedule(now_, EventKind::kFetchNext, core);
+}
+
+void Machine::handle_local_op_done(CoreId core) {
+  CoreState& cs = core_states_[core];
+  const Primitive prim = cs.op.prim;
+  const LocalOp kind = cs.local_op;
+  cs.local_op = LocalOp::kNone;
+  ++cs.attempts_this_op;
+
+  OpResult result;
+  switch (kind) {
+    case LocalOp::kFence:
+      result.observed = 0;
+      if (stats_ != nullptr && in_measure_window(now_)) {
+        ++stats_->fences;
+        energy_->add_fence();
+      }
+      break;
+    case LocalOp::kBufferedStore: {
+      if (cs.op.flags & kHasStore) cs.ctx.store_value = cs.op.store_value;
+      cs.ctx.cas_desired.reset();
+      cs.sbuf.push_back(
+          BufferedStore{cs.op.line, cs.op.slot, cs.ctx.store_value});
+      result.observed = cs.ctx.store_value;
+      break;
+    }
+    case LocalOp::kForwardedLoad:
+      result.observed = cs.forward_value;
+      cs.ctx.expected = cs.forward_value;
+      break;
+    case LocalOp::kNone:
+      break;
+  }
+
+  const Cycles exec = cs.op.serve_cost;
+  const Cycles latency = now_ - cs.issue_time;
+  const Cycles attempt_span = now_ - cs.attempt_start;
+  const Cycles waited = attempt_span > exec ? attempt_span - exec : 0;
+  const bool in_window = in_measure_window(now_);
+  if (in_window && core < stats_->threads.size()) {
+    ThreadStats& ts = stats_->threads[core];
+    ts.exec_cycles += exec;
+    ts.wait_cycles += waited;
+    ++ts.attempts;
+    energy_->add_active_cycles(exec);
+    energy_->add_spin_cycles(waited);
+  }
+  if (EpochSample* ep = epoch_at(now_)) {
+    ++ep->attempts;
+    ep->wait_cycles += waited;
+    ep->exec_cycles += exec;
+    ++ep->ops;
+  }
+  if (sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kOpDone;
+    e.time = now_;
+    e.core = core;
+    e.line = cs.op.line;
+    e.req_id = cs.req_id;
+    e.prim = static_cast<std::uint8_t>(prim);
+    e.supply = static_cast<std::uint8_t>(Supply::kLocalHit);
+    e.success = result.success;
+    e.value = result.observed;
+    e.latency = latency;
+    sink_->on_event(e);
+  }
+  adjust_outstanding(-1);
+  ++run_ops_;
+  ++progress_marks_;  // a local retirement is forward progress too
+  if (in_window && core < stats_->threads.size()) {
+    record_completion(core, result, latency);
+  }
+  cs.has_pending = false;
+  if (!cs.has_plan) program_->on_result(core, result);
+  if (hook_ != nullptr) hook_->on_step(core);
+  schedule(now_, EventKind::kFetchNext, core);
+}
+
+void Machine::start_drain(CoreId core, DrainResume resume) {
+  CoreState& cs = core_states_[core];
+  cs.draining = true;
+  cs.drain_resume = resume;
+  drain_next(core);
+}
+
+void Machine::drain_next(CoreId core) {
+  CoreState& cs = core_states_[core];
+  if (cs.sbuf.empty()) {
+    cs.draining = false;
+    const DrainResume resume = cs.drain_resume;
+    cs.drain_resume = DrainResume::kNone;
+    if (resume == DrainResume::kResubmit) {
+      submit_request(core);  // the parked foreground op proceeds
+    } else if (resume == DrainResume::kFinish) {
+      cs.done = true;
+    }
+    return;
+  }
+  // The head store needs exclusive ownership of its line to commit — the
+  // drain is an ordinary directory transaction competing with everyone else.
+  const BufferedStore& bs = cs.sbuf.front();
+  const std::uint32_t s = bs.slot;
+  const Mesi st = state_of(s, core);
+  if (line_owner_[s] == core && line_busy_[s] == 0 &&
+      (st == Mesi::kExclusive || st == Mesi::kModified)) {
+    touch_resident(core, s);
+    line_busy_[s] = 1;
+    cs.holds_token = true;
+    cs.last_supply = Supply::kLocalHit;
+    cs.last_xfer = 0;
+    cs.grant_time = now_;
+    schedule(now_ + config_.l1_hit, EventKind::kDrainDone, core);
+    return;
+  }
+  double weight = 0.0;
+  if (config_.arbitration == Arbitration::kProximityBiased) {
+    const CoreId home = static_cast<CoreId>(bs.line % cores_);
+    weight = weight_by_dist_[routes_->distance(home, core)];
+  }
+  line_queue_[s].push_back(PendingRequest{core, /*exclusive=*/true, now_,
+                                          weight});
+  try_grant(s);
+}
+
+void Machine::handle_drain_done(CoreId core) {
+  CoreState& cs = core_states_[core];
+  const BufferedStore bs = cs.sbuf.front();
+  cs.sbuf.erase(cs.sbuf.begin());  // FIFO: oldest store commits first
+  line_value_[bs.slot] = bs.value;
+  if (stats_ != nullptr && in_measure_window(now_)) {
+    ++stats_->store_buffer_drains;
+  }
+  if (sink_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kDrain;
+    e.time = now_;
+    e.core = core;
+    e.line = bs.line;
+    e.value = bs.value;
+    e.queue_depth = static_cast<std::uint32_t>(cs.sbuf.size());
+    sink_->on_event(e);
+  }
+  ++progress_marks_;  // a committed write-back is forward progress
+  if (cs.holds_token) {
+    cs.holds_token = false;
+    line_busy_[bs.slot] = 0;
+  }
+  try_grant(bs.slot);
+  drain_next(core);
 }
 
 void Machine::flush_metrics(std::uint64_t cycles) {

@@ -70,6 +70,24 @@ struct PointTimeout : std::runtime_error {
 
 const char* to_string(PointTimeout::Kind k) noexcept;
 
+/// Controlled-schedule seam: when attached, the hook is consulted before the
+/// built-in arbitration policy on every directory grant and notified after
+/// every op retirement. The conformance fuzzer's PCT scheduler drives
+/// adversarial interleavings through this. Like the trace sink and the
+/// watchdog, a hook is deliberately OUTSIDE cache_identity/fingerprint —
+/// attaching one changes which interleaving is explored, so hooked runs must
+/// never be cached as if they were policy runs.
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+  /// Picks the next grant on @p line among @p waiters (arrival order, oldest
+  /// first). Return an index into @p waiters, or any value >= waiters.size()
+  /// to defer to the machine's configured arbitration policy.
+  virtual std::size_t pick(LineId line, const std::vector<CoreId>& waiters) = 0;
+  /// Called once per retired operation (a PCT scheduling step).
+  virtual void on_step(CoreId core) { (void)core; }
+};
+
 /// Budgets enforced by the run() event loop. Zero disables a check; the
 /// defaults keep raw Machine users (oracle, calibration probes with huge
 /// open-ended windows) unlimited — SimBackend arms generous budgets for
@@ -161,9 +179,21 @@ class Machine {
   void set_watchdog(WatchdogConfig wd) noexcept { watchdog_ = wd; }
   const WatchdogConfig& watchdog() const noexcept { return watchdog_; }
 
+  /// Attaches a controlled-schedule hook (nullptr detaches). See
+  /// ScheduleHook: consulted before arbitration, notified per retirement,
+  /// deliberately outside cache_identity.
+  void set_schedule_hook(ScheduleHook* hook) noexcept { hook_ = hook; }
+
+  /// Buffered (not yet globally visible) stores of @p core. Always 0 under
+  /// MemoryModel::kSc; tests use this to observe TSO buffer occupancy.
+  std::size_t store_buffer_depth(CoreId core) const noexcept {
+    return core_states_[core].sbuf.size();
+  }
+
  private:
   // --- event machinery -----------------------------------------------------
-  enum class EventKind : std::uint8_t { kFetchNext, kIssue, kOpDone };
+  enum class EventKind : std::uint8_t { kFetchNext, kIssue, kOpDone,
+                                        kDrainDone };
 
   static constexpr std::uint32_t kNilSlot = ~0u;
 
@@ -247,6 +277,30 @@ class Machine {
   static constexpr std::uint8_t kHasExpected = 2;
   static constexpr std::uint8_t kHasDesired = 4;
 
+  /// A store sitting in a core's TSO store buffer: globally invisible until
+  /// its drain transaction commits it at the directory.
+  struct BufferedStore {
+    LineId line = 0;
+    std::uint32_t slot = kNilSlot;
+    std::uint64_t value = 0;
+  };
+
+  /// Ops that complete on the core without a directory transaction (TSO
+  /// buffered stores / forwarded loads; FENCE under both models).
+  enum class LocalOp : std::uint8_t {
+    kNone,
+    kBufferedStore,   ///< store retired into the local store buffer
+    kForwardedLoad,   ///< load served from this core's own buffered store
+    kFence,           ///< fence retirement (buffer already empty)
+  };
+
+  /// What the core resumes once its store-buffer drain completes.
+  enum class DrainResume : std::uint8_t {
+    kNone,
+    kResubmit,  ///< re-submit the parked foreground op (fence/RMW/full buffer)
+    kFinish,    ///< end-of-stream drain: mark the core done
+  };
+
   struct CoreState {
     OpContext ctx;
     /// Current op (valid while has_pending). For a StaticPlan core the plan
@@ -265,6 +319,12 @@ class Machine {
     std::uint32_t attempts_this_op = 0;
     Supply last_supply = Supply::kLocalHit;
     Cycles last_xfer = 0;
+    // --- TSO state (empty/idle under kSc) ----------------------------------
+    std::vector<BufferedStore> sbuf;  ///< FIFO store buffer, oldest first
+    LocalOp local_op = LocalOp::kNone;  ///< pending local completion kind
+    bool draining = false;     ///< a drain transaction sequence is in flight
+    DrainResume drain_resume = DrainResume::kNone;
+    std::uint64_t forward_value = 0;  ///< value a forwarded load observes
   };
 
   void schedule(Cycles time, EventKind kind, CoreId core) {
@@ -273,6 +333,18 @@ class Machine {
   void handle_fetch_next(CoreId core);
   void handle_issue(CoreId core);
   void handle_op_done(CoreId core);
+  /// Retires an op that completed locally (TSO buffered store / forwarded
+  /// load; FENCE under both models). Split out of handle_op_done so the SC
+  /// hot path pays one enum test only.
+  void handle_local_op_done(CoreId core);
+  /// Commits the head buffered store at the directory and continues the
+  /// drain (kDrainDone events).
+  void handle_drain_done(CoreId core);
+  /// Begins draining @p core's store buffer; @p resume runs when empty.
+  void start_drain(CoreId core, DrainResume resume);
+  /// Issues the drain transaction for the buffer head (or finishes the
+  /// drain and runs the resume action when the buffer is empty).
+  void drain_next(CoreId core);
   /// Queues the core's pending request at the line's directory (or serves it
   /// locally when the cached state suffices). Shared by issue and CAS retry.
   void submit_request(CoreId core);
@@ -411,15 +483,23 @@ class Machine {
   std::shared_ptr<const RouteTable> routes_;
   /// exp(-d / arbitration_bias) per distance d (kProximityBiased only).
   std::vector<double> weight_by_dist_;
-  /// l1_hit + exec_cost per primitive.
-  std::array<Cycles, 7> serve_cost_{};
+  /// l1_hit + exec_cost per primitive; index 7 is FENCE (fence_cost alone —
+  /// a fence touches no cache). Internal only: serialized per-primitive
+  /// arrays stay 7 wide (see Primitive::kFence).
+  std::array<Cycles, 8> serve_cost_{};
+
+  /// True iff config_.memory_model == MemoryModel::kTso; the single flag the
+  /// SC hot paths test.
+  bool tso_ = false;
 
   // Reusable scratch (replaces the per-grant sharer-snapshot copy the seed
   // core heap-allocated).
   std::vector<CoreId> scratch_sharers_;
+  std::vector<CoreId> scratch_waiters_;  ///< ScheduleHook::pick argument
 
   obs::TraceSink* sink_ = nullptr;
   std::unique_ptr<obs::TraceSink> owned_sink_;  ///< set_trace() compat shim
+  ScheduleHook* hook_ = nullptr;
   std::uint64_t next_req_id_ = 0;
 
   bool profile_lines_ = false;

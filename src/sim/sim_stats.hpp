@@ -100,6 +100,10 @@ struct RunStats {
   std::uint64_t invalidations = 0;
   std::uint64_t memory_fetches = 0;
   std::uint64_t evictions = 0;
+  /// TSO only; both stay 0 under SC (reports/digests print named fields, so
+  /// appending counters here does not disturb existing serialized output).
+  std::uint64_t store_buffer_drains = 0;  ///< buffered stores written back
+  std::uint64_t fences = 0;               ///< FENCE ops retired
 
   /// Hot-line profiles, hottest (most acquisitions) first. Empty unless
   /// line profiling was enabled for the run.

@@ -1,0 +1,182 @@
+// Litmus regression suite: the allowed-outcome sets of the SB / SB+fence /
+// MP / LB / IRIW corpus are pinned against golden files (re-blessed with
+// AM_REGEN_GOLDEN=1, so a semantic change to the memory models is always a
+// reviewable diff), and the runner is exercised under both memory models:
+// TSO must reach the store-buffering outcome SC forbids, and neither model
+// may ever produce an outcome outside its allowed set.
+#include "conformance/litmus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/config.hpp"
+
+#ifndef AM_LITMUS_DIR
+#define AM_LITMUS_DIR "tests/conformance/litmus"
+#endif
+
+namespace am::conformance {
+namespace {
+
+std::string render_outcomes(const char* tag,
+                            const std::set<LitmusOutcome>& outcomes) {
+  std::ostringstream os;
+  for (const auto& o : outcomes) {
+    os << tag << ':';
+    for (const std::uint64_t v : o) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// Canonical text form of a test's allowed sets — the golden file contents.
+std::string render_allowed(const LitmusTest& t) {
+  std::ostringstream os;
+  os << "litmus " << t.name << '\n'
+     << render_outcomes("sc", t.allowed_sc)
+     << render_outcomes("tso", t.allowed_tso);
+  if (t.tso_signature.empty()) {
+    os << "signature: none\n";
+  } else {
+    os << "signature:";
+    for (const std::uint64_t v : t.tso_signature) os << ' ' << v;
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(Litmus, CorpusShape) {
+  const auto corpus = litmus_corpus();
+  ASSERT_EQ(corpus.size(), 5u);
+  EXPECT_EQ(corpus[0].name, "sb");
+  EXPECT_EQ(corpus[1].name, "sb_fenced");
+  EXPECT_EQ(corpus[2].name, "mp");
+  EXPECT_EQ(corpus[3].name, "lb");
+  EXPECT_EQ(corpus[4].name, "iriw");
+  for (const auto& t : corpus) {
+    EXPECT_FALSE(t.allowed_sc.empty()) << t.name;
+    // Any SC execution is a TSO execution (drain eagerly), so TSO's allowed
+    // set must contain SC's.
+    for (const auto& o : t.allowed_sc) {
+      EXPECT_TRUE(t.allowed_tso.count(o)) << t.name << " missing "
+                                          << format_outcome(o);
+    }
+    // A declared signature must separate the models.
+    if (!t.tso_signature.empty()) {
+      EXPECT_TRUE(t.allowed_tso.count(t.tso_signature)) << t.name;
+      EXPECT_FALSE(t.allowed_sc.count(t.tso_signature)) << t.name;
+    }
+  }
+}
+
+TEST(Litmus, AllowedSetsMatchGoldenFiles) {
+  for (const LitmusTest& t : litmus_corpus()) {
+    const std::string actual = render_allowed(t);
+    const std::string path =
+        std::string(AM_LITMUS_DIR) + "/" + t.name + ".expected";
+    if (std::getenv("AM_REGEN_GOLDEN") != nullptr) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+      out << actual;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (run with AM_REGEN_GOLDEN=1 to bless)";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(actual, want.str())
+        << t.name << ": allowed-outcome sets changed; if deliberate, "
+        << "re-bless with AM_REGEN_GOLDEN=1 and review the diff";
+  }
+}
+
+TEST(Litmus, TsoReachesTheWeakOutcomeAndStaysInBounds) {
+  LitmusRunOptions opts;
+  opts.model = sim::MemoryModel::kTso;
+  opts.seeds = 32;
+  const sim::MachineConfig cfg = sim::test_machine(4);
+  for (const LitmusTest& t : litmus_corpus()) {
+    const LitmusRunResult r = run_litmus(t, cfg, "test", opts);
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_EQ(r.runs, 32u);
+    if (t.name == "sb") {
+      EXPECT_TRUE(r.signature_seen)
+          << "TSO store buffering never produced (0,0): " << r.summary();
+    }
+  }
+}
+
+TEST(Litmus, ScForbidsTheStoreBufferingOutcome) {
+  LitmusRunOptions opts;
+  opts.model = sim::MemoryModel::kSc;
+  opts.seeds = 32;
+  const sim::MachineConfig cfg = sim::test_machine(4);
+  for (const LitmusTest& t : litmus_corpus()) {
+    const LitmusRunResult r = run_litmus(t, cfg, "test", opts);
+    EXPECT_TRUE(r.ok) << r.summary();
+    if (t.name == "sb") {
+      EXPECT_FALSE(r.signature_seen) << "SC produced the TSO-only outcome";
+      EXPECT_EQ(r.seen.count({0, 0}), 0u);
+    }
+  }
+}
+
+TEST(Litmus, RunsWithoutPctStillConform) {
+  // The configured arbitration policy (no steering) must also stay within
+  // the allowed sets — PCT only widens coverage, it is not load-bearing for
+  // correctness.
+  LitmusRunOptions opts;
+  opts.model = sim::MemoryModel::kTso;
+  opts.use_pct = false;
+  opts.seeds = 8;
+  const sim::MachineConfig cfg = sim::test_machine(4);
+  for (const LitmusTest& t : litmus_corpus()) {
+    const LitmusRunResult r = run_litmus(t, cfg, "test", opts);
+    EXPECT_TRUE(r.ok) << r.summary();
+  }
+}
+
+TEST(Litmus, ViolationMessageEmbedsAReplayLine) {
+  // Force a violation by declaring an impossible allowed set; the failure
+  // text must carry a complete one-line repro including the schedule.
+  LitmusTest t = litmus_corpus().front();
+  t.allowed_sc.clear();
+  t.allowed_tso.clear();
+  LitmusRunOptions opts;
+  opts.model = sim::MemoryModel::kTso;
+  opts.seeds = 1;
+  opts.first_seed = 17;
+  const LitmusRunResult r =
+      run_litmus(t, sim::test_machine(4), "test", opts);
+  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  const std::string& v = r.violations.front();
+  EXPECT_NE(v.find("replay: conformance_fuzz --litmus"), std::string::npos)
+      << v;
+  EXPECT_NE(v.find("--litmus-first-seed=17"), std::string::npos) << v;
+  EXPECT_NE(v.find("--memory-model=tso"), std::string::npos) << v;
+  EXPECT_NE(v.find("--sched-version=1"), std::string::npos) << v;
+}
+
+TEST(Litmus, FencedSbCollapsesToTheScSet) {
+  // The whole point of the fence: under TSO the fenced variant must never
+  // show the weak outcome.
+  const auto corpus = litmus_corpus();
+  const LitmusTest& fenced = corpus[1];
+  LitmusRunOptions opts;
+  opts.model = sim::MemoryModel::kTso;
+  opts.seeds = 32;
+  const LitmusRunResult r =
+      run_litmus(fenced, sim::test_machine(4), "test", opts);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_EQ(r.seen.count({0, 0}), 0u)
+      << "fenced SB produced the unfenced weak outcome";
+}
+
+}  // namespace
+}  // namespace am::conformance

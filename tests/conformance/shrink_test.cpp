@@ -1,0 +1,92 @@
+// Focused tests of the conformance shrinker: deterministic for a fixed
+// seed, never growing the program, preserving the injected failure it is
+// chasing, and honoring its re-execution budget. These extend the pinned
+// <=10-op fault repros in oracle_test.cpp.
+#include <gtest/gtest.h>
+
+#include "conformance/differ.hpp"
+#include "sim/config.hpp"
+
+namespace am::conformance {
+namespace {
+
+sim::MachineConfig faulty_xeon(sim::FaultInjection fault) {
+  sim::MachineConfig cfg = sim::xeon_e5_2x18();
+  cfg.fault = fault;
+  return cfg;
+}
+
+TEST(Shrink, DeterministicForFixedSeed) {
+  const sim::MachineConfig cfg =
+      faulty_xeon(sim::FaultInjection::kLostUpgradeWrite);
+  GenConfig gen;
+  const GeneratedProgram original = generate(7, gen);
+  ASSERT_FALSE(run_program(cfg, original, 7).report.ok);
+  const GeneratedProgram a = shrink(cfg, original, 7);
+  const GeneratedProgram b = shrink(cfg, original, 7);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(a.total_ops(), b.total_ops());
+}
+
+TEST(Shrink, NeverGrowsAndPreservesFailure) {
+  for (const auto fault : {sim::FaultInjection::kLostUpgradeWrite,
+                           sim::FaultInjection::kSkipSharedInvalidate}) {
+    const sim::MachineConfig cfg = faulty_xeon(fault);
+    for (std::uint64_t seed : {2ull, 7ull, 11ull}) {
+      GenConfig gen;
+      const GeneratedProgram original = generate(seed, gen);
+      if (run_program(cfg, original, seed).report.ok) continue;  // not hit
+      const GeneratedProgram small = shrink(cfg, original, seed);
+      EXPECT_LE(small.total_ops(), original.total_ops());
+      EXPECT_GT(small.total_ops(), 0u);
+      // The minimized program must still reproduce the injected fault.
+      EXPECT_FALSE(run_program(cfg, small, seed).report.ok)
+          << "fault=" << static_cast<int>(fault) << " seed=" << seed
+          << " shrunk:\n" << small.describe();
+    }
+  }
+}
+
+TEST(Shrink, PinnedFaultCasesStayTiny) {
+  // Regression floor from the original harness acceptance: both injected
+  // defects shrink to a handful of ops on seed 1.
+  GenConfig gen;
+  for (const auto fault : {sim::FaultInjection::kLostUpgradeWrite,
+                           sim::FaultInjection::kSkipSharedInvalidate}) {
+    const sim::MachineConfig cfg = faulty_xeon(fault);
+    const FuzzCase c = fuzz_one(1, gen, cfg);
+    ASSERT_FALSE(c.ok) << "fault=" << static_cast<int>(fault);
+    EXPECT_FALSE(c.shrunk_report.ok);
+    EXPECT_LE(c.shrunk.total_ops(), 10u)
+        << "fault=" << static_cast<int>(fault) << " shrunk:\n"
+        << c.shrunk.describe();
+  }
+}
+
+TEST(Shrink, ZeroBudgetReturnsTheProgramUnchanged) {
+  const sim::MachineConfig cfg =
+      faulty_xeon(sim::FaultInjection::kLostUpgradeWrite);
+  GenConfig gen;
+  const GeneratedProgram original = generate(7, gen);
+  const GeneratedProgram same = shrink(cfg, original, 7, /*budget=*/0);
+  EXPECT_EQ(same.describe(), original.describe());
+}
+
+TEST(Shrink, ChasesTheFailureUnderAControlledSchedule) {
+  // The shrinker re-runs candidates under the same ScheduleSpec as the
+  // original failure, so a PCT-found fault stays reproducible while it is
+  // minimized.
+  const sim::MachineConfig cfg =
+      faulty_xeon(sim::FaultInjection::kLostUpgradeWrite);
+  ScheduleSpec sched;
+  sched.use_pct = true;
+  GenConfig gen;
+  const GeneratedProgram original = generate(7, gen);
+  ASSERT_FALSE(run_program(cfg, original, 7, sched).report.ok);
+  const GeneratedProgram small = shrink(cfg, original, 7, 500, sched);
+  EXPECT_LE(small.total_ops(), original.total_ops());
+  EXPECT_FALSE(run_program(cfg, small, 7, sched).report.ok);
+}
+
+}  // namespace
+}  // namespace am::conformance

@@ -1,0 +1,144 @@
+// Property tests for the flat open-addressing tables behind the fast-path
+// simulator core: random operation sequences are mirrored against a
+// std::unordered_map reference, so any probe/growth/backward-shift bug shows
+// up as a divergence. Key distributions deliberately include dense runs and
+// same-bucket clusters — the worst cases for linear probing.
+#include "sim/flat_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace am::sim {
+namespace {
+
+TEST(FlatMap64, MatchesReferenceUnderRandomInserts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SplitMix64 rng(seed);
+    FlatMap64 map(/*initial_pow2=*/8);  // small: forces several growths
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    for (int i = 0; i < 4000; ++i) {
+      // Mix of dense small keys (like LineIds) and sparse random ones.
+      const std::uint64_t key = (rng.next() % 2 == 0)
+                                    ? rng.next() % 512
+                                    : rng.next();
+      const auto v = static_cast<std::uint32_t>(rng.next());
+      bool created = false;
+      const std::uint32_t got = map.find_or_insert(key, v, created);
+      const auto [it, inserted] = ref.emplace(key, v);
+      EXPECT_EQ(created, inserted) << "key=" << key;
+      EXPECT_EQ(got, it->second) << "key=" << key;
+      EXPECT_EQ(map.size(), ref.size());
+    }
+    // Every reference entry must be findable; absent keys must miss.
+    for (const auto& [k, v] : ref) {
+      EXPECT_EQ(map.find(k, ~0u), v);
+    }
+    for (int i = 0; i < 100; ++i) {
+      std::uint64_t probe = rng.next() | (1ull << 62);
+      if (ref.count(probe) == 0) {
+        EXPECT_EQ(map.find(probe, 1234u), 1234u);
+      }
+    }
+  }
+}
+
+TEST(FlatMap64, FindOrInsertIsIdempotentOnExistingKeys) {
+  FlatMap64 map;
+  bool created = false;
+  EXPECT_EQ(map.find_or_insert(7, 42, created), 42u);
+  EXPECT_TRUE(created);
+  // A second insert with a different fallback must return the first value.
+  EXPECT_EQ(map.find_or_insert(7, 99, created), 42u);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, SurvivesSequentialKeysAcrossGrowth) {
+  // Dense sequential keys are exactly what the machine feeds the table
+  // (LineId 0..N); rehash must preserve every mapping.
+  FlatMap64 map(/*initial_pow2=*/8);
+  for (std::uint32_t k = 0; k < 10000; ++k) {
+    bool created = false;
+    map.find_or_insert(k, k * 3 + 1, created);
+    ASSERT_TRUE(created);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (std::uint32_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(map.find(k, ~0u), k * 3 + 1) << "key=" << k;
+  }
+  EXPECT_EQ(map.find(10000, ~0u), ~0u);
+}
+
+TEST(FlatSlotMap, MatchesReferenceUnderChurn) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SplitMix64 rng(seed);
+    FlatSlotMap map(/*initial_pow2=*/8);
+    std::unordered_map<std::uint32_t, std::uint32_t> ref;
+    for (int i = 0; i < 6000; ++i) {
+      // Small key range so inserts, overwrites and erases all collide hard
+      // on the same probe chains — the backward-shift stress case.
+      const auto key = static_cast<std::uint32_t>(rng.next() % 256);
+      const auto val = static_cast<std::uint32_t>(rng.next());
+      switch (rng.next() % 3) {
+        case 0:
+        case 1:
+          map.insert(key, val);
+          ref[key] = val;
+          break;
+        default:
+          map.erase(key);
+          ref.erase(key);
+          break;
+      }
+      ASSERT_EQ(map.size(), ref.size());
+    }
+    for (std::uint32_t k = 0; k < 256; ++k) {
+      const auto it = ref.find(k);
+      const std::uint32_t want = it == ref.end() ? 0xdeadu : it->second;
+      ASSERT_EQ(map.find(k, 0xdeadu), want) << "key=" << k;
+    }
+  }
+}
+
+TEST(FlatSlotMap, EraseOfAbsentKeyIsANoop) {
+  FlatSlotMap map;
+  map.insert(1, 10);
+  map.insert(2, 20);
+  map.erase(3);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.find(1, 0), 10u);
+  EXPECT_EQ(map.find(2, 0), 20u);
+}
+
+TEST(FlatSlotMap, BackwardShiftKeepsProbeChainsReachable) {
+  // Fill a chain, delete from the middle, and verify every survivor is
+  // still reachable — the property backward-shift deletion must preserve.
+  FlatSlotMap map(/*initial_pow2=*/8);
+  for (std::uint32_t k = 0; k < 6; ++k) map.insert(k, k + 100);
+  map.erase(2);
+  map.erase(4);
+  EXPECT_EQ(map.size(), 4u);
+  for (std::uint32_t k : {0u, 1u, 3u, 5u}) {
+    EXPECT_EQ(map.find(k, ~0u), k + 100) << "key=" << k;
+  }
+  EXPECT_EQ(map.find(2, ~0u), ~0u);
+  EXPECT_EQ(map.find(4, ~0u), ~0u);
+  // Reinsertion after deletion lands cleanly.
+  map.insert(2, 777);
+  EXPECT_EQ(map.find(2, 0), 777u);
+}
+
+TEST(FlatSlotMap, OverwriteDoesNotGrowSize) {
+  FlatSlotMap map;
+  for (int i = 0; i < 50; ++i) map.insert(9, static_cast<std::uint32_t>(i));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.find(9, 0), 49u);
+}
+
+}  // namespace
+}  // namespace am::sim
