@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -36,8 +37,11 @@
 
 #include "common/cli.hpp"
 #include "common/json.hpp"
+#include "common/random.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "fleet/router.hpp"
+#include "fleet/supervisor.hpp"
 #include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/handlers.hpp"
@@ -132,12 +136,15 @@ std::vector<std::string> build_requests(const am::CliParser& cli) {
 /// Runs @p connections closed loops against @p endpoint until the deadline.
 /// @p pace_interval_s > 0 spaces each connection's requests (target-QPS
 /// mode); @p verify_map (optional) enforces byte-identical responses for
-/// identical request lines across all connections.
+/// identical request lines across all connections. @p zipf (optional)
+/// draws request indices Zipf-distributed instead of round-robin — the
+/// skewed-popularity regime a consistent-hash fleet actually sees.
 LoadResult run_load(const Endpoint& endpoint, unsigned connections,
                     double duration_s, double pace_interval_s,
                     const std::vector<std::string>& requests,
                     std::map<std::string, std::string>* verify_map,
-                    std::mutex* verify_mu) {
+                    std::mutex* verify_mu,
+                    const am::ZipfSampler* zipf = nullptr) {
   std::vector<LoadResult> per_conn(connections);
   std::vector<std::thread> threads;
   std::atomic<bool> failed_connect{false};
@@ -155,6 +162,7 @@ LoadResult run_load(const Endpoint& endpoint, unsigned connections,
         return;
       }
       std::size_t i = c;  // offset start so connections interleave the set
+      am::Xoshiro256 rng(0x51f1ee7ULL + c);
       auto next_slot = std::chrono::steady_clock::now();
       while (std::chrono::steady_clock::now() < deadline) {
         if (pace_interval_s > 0.0) {
@@ -163,7 +171,9 @@ LoadResult run_load(const Endpoint& endpoint, unsigned connections,
               std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(pace_interval_s));
         }
-        const std::string& line = requests[i++ % requests.size()];
+        const std::string& line =
+            zipf != nullptr ? requests[zipf->sample(rng)]
+                            : requests[i++ % requests.size()];
         const auto r0 = std::chrono::steady_clock::now();
         const auto response = client.roundtrip(line, &error);
         if (!response.has_value()) {
@@ -266,6 +276,17 @@ int main(int argc, char** argv) {
                "record every request->response pair and fail on any "
                "non-byte-identical response to an identical request",
                "true", CliParser::FlagKind::kBool);
+  cli.add_flag("key-zipf-s",
+               "draw request keys Zipf(s)-distributed over the distinct set "
+               "instead of round-robin (0 = round-robin)",
+               "0", CliParser::FlagKind::kDouble);
+  cli.add_flag("fleet-workers",
+               "spawn an in-process am_fleet tier with this many am_serve "
+               "workers instead of a single in-process daemon (0 = off; "
+               "ignored with --connect)",
+               "0", CliParser::FlagKind::kInt);
+  cli.add_flag("fleet-worker-threads", "service threads per fleet worker",
+               "2", CliParser::FlagKind::kInt);
   cli.add_flag("service-threads",
                "worker pool width of the in-process daemon", "4",
                CliParser::FlagKind::kInt);
@@ -281,11 +302,17 @@ int main(int argc, char** argv) {
   cli.add_flag("json-out", "write an am-serve-load/1 JSON report here", "");
   if (!cli.parse(argc, argv)) return 2;
 
-  // Endpoint: external daemon, or a self-hosted one on an ephemeral port.
+  // Endpoint: external daemon, a self-hosted one on an ephemeral port, or
+  // a self-hosted fleet tier (supervisor + router fronting N am_serve
+  // worker processes).
   std::string error;
   Endpoint endpoint;
   std::unique_ptr<am::service::ServiceCore> core;
-  std::unique_ptr<am::service::Server> server;
+  std::unique_ptr<am::fleet::Supervisor> supervisor;
+  std::unique_ptr<am::fleet::Router> router;
+  std::unique_ptr<am::service::Server> server;  // after router: dies first
+  const std::int64_t fleet_workers =
+      std::max<std::int64_t>(0, cli.get_int("fleet-workers"));
   if (!cli.get("connect").empty()) {
     const auto parsed = am::service::parse_endpoint(cli.get("connect"), &error);
     if (!parsed.has_value()) {
@@ -299,11 +326,6 @@ int main(int argc, char** argv) {
     // gates simulator/sweep publication, so the A/B compares a truly
     // instrumentation-free hot path.
     am::obs::metrics::set_enabled(metrics_on);
-    am::service::ServiceConfig core_config;
-    core_config.cache_capacity = static_cast<std::size_t>(
-        std::max<std::int64_t>(0, cli.get_int("cache-capacity")));
-    core_config.metrics = metrics_on;
-    core = std::make_unique<am::service::ServiceCore>(std::move(core_config));
     am::service::ServerConfig server_config;
     Endpoint ephemeral;
     ephemeral.host = "127.0.0.1";
@@ -312,17 +334,60 @@ int main(int argc, char** argv) {
     server_config.service_threads = static_cast<unsigned>(
         std::max<std::int64_t>(1, cli.get_int("service-threads")));
     server_config.metrics = metrics_on;
-    server = std::make_unique<am::service::Server>(*core, server_config);
+
+    if (fleet_workers > 0) {
+      char runtime_tmpl[] = "/tmp/am_fleet_bench.XXXXXX";
+      if (::mkdtemp(runtime_tmpl) == nullptr) {
+        std::cerr << "bench_s1_service: cannot create fleet runtime dir\n";
+        return 1;
+      }
+      am::fleet::FleetConfig fleet_config;
+      fleet_config.workers = static_cast<std::size_t>(fleet_workers);
+      fleet_config.runtime_dir = runtime_tmpl;
+      fleet_config.worker_threads = static_cast<unsigned>(std::max<std::int64_t>(
+          1, cli.get_int("fleet-worker-threads")));
+      fleet_config.metrics = metrics_on;
+      supervisor =
+          std::make_unique<am::fleet::Supervisor>(std::move(fleet_config));
+      if (!supervisor->start(&error)) {
+        std::cerr << "bench_s1_service: cannot start fleet: " << error << "\n";
+        return 1;
+      }
+      if (!supervisor->wait_all_up(supervisor->config().start_grace_ms)) {
+        std::cerr << "bench_s1_service: warning: fleet degraded at start\n";
+      }
+      am::fleet::RouterConfig router_config;
+      router_config.metrics = metrics_on;
+      router = std::make_unique<am::fleet::Router>(*supervisor, router_config);
+      server = std::make_unique<am::service::Server>(*router, server_config);
+    } else {
+      am::service::ServiceConfig core_config;
+      core_config.cache_capacity = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, cli.get_int("cache-capacity")));
+      core_config.metrics = metrics_on;
+      core = std::make_unique<am::service::ServiceCore>(std::move(core_config));
+      server = std::make_unique<am::service::Server>(*core, server_config);
+    }
     if (!server->start(&error)) {
       std::cerr << "bench_s1_service: cannot start in-process daemon: "
                 << error << "\n";
       return 1;
     }
     endpoint = server->bound_endpoints().front();
-    std::cout << "(in-process daemon on " << endpoint.to_string() << ")\n";
+    std::cout << "(in-process "
+              << (fleet_workers > 0
+                      ? "fleet front (" + std::to_string(fleet_workers) +
+                            " workers) on "
+                      : "daemon on ")
+              << endpoint.to_string() << ")\n";
   }
 
   const std::vector<std::string> requests = build_requests(cli);
+  const double key_zipf_s = cli.get_double("key-zipf-s");
+  std::unique_ptr<am::ZipfSampler> zipf;
+  if (key_zipf_s > 0.0) {
+    zipf = std::make_unique<am::ZipfSampler>(requests.size(), key_zipf_s);
+  }
   const double duration_s =
       static_cast<double>(std::max<std::int64_t>(10, cli.get_int("duration-ms"))) /
       1000.0;
@@ -341,7 +406,8 @@ int main(int argc, char** argv) {
     row.target_qps = target_qps;
     row.result = run_load(endpoint, conns, duration_s,
                           static_cast<double>(conns) / target_qps, requests,
-                          verify ? &verify_map : nullptr, &verify_mu);
+                          verify ? &verify_map : nullptr, &verify_mu,
+                          zipf.get());
     rows.push_back(std::move(row));
   } else {
     for (const std::int64_t c : cli.get_int_list("connections")) {
@@ -350,7 +416,7 @@ int main(int argc, char** argv) {
       row.connections = static_cast<unsigned>(c);
       row.result = run_load(endpoint, row.connections, duration_s, 0.0,
                             requests, verify ? &verify_map : nullptr,
-                            &verify_mu);
+                            &verify_mu, zipf.get());
       rows.push_back(std::move(row));
     }
   }
@@ -424,6 +490,8 @@ int main(int argc, char** argv) {
     w.kv("mode", target_qps > 0.0 ? "target-qps" : "saturation");
     w.kv("duration_s", duration_s);
     w.kv("distinct_requests", std::uint64_t{requests.size()});
+    w.kv("key_zipf_s", key_zipf_s);
+    w.kv("fleet_workers", static_cast<std::uint64_t>(fleet_workers));
     w.kv("verify_failures", verify_failures);
     w.key("rows").begin_array();
     for (const Row& row : rows) {

@@ -20,6 +20,17 @@ struct SimBackendOptions {
   sim::WatchdogConfig watchdog{};
 };
 
+/// The cache_identity() string a SimBackend built from @p config/@p options
+/// would report, without constructing one. Lets the fleet's stale-serve
+/// path address the shared disk cache for a simulate request while the
+/// owning worker (which would normally build the backend) is down.
+inline std::string sim_backend_cache_identity(const sim::MachineConfig& config,
+                                              const SimBackendOptions& options) {
+  return "sim{" + config.fingerprint() +
+         "};warmup=" + std::to_string(options.warmup_cycles) +
+         ";measure=" + std::to_string(options.measure_cycles);
+}
+
 class SimBackend final : public ExecutionBackend {
  public:
   explicit SimBackend(sim::MachineConfig config, SimBackendOptions options = {},
@@ -32,9 +43,7 @@ class SimBackend final : public ExecutionBackend {
   /// Machine fingerprint + measurement windows: everything besides the
   /// workload and seed that determines a simulated result.
   std::string cache_identity() const override {
-    return "sim{" + config_.fingerprint() +
-           "};warmup=" + std::to_string(options_.warmup_cycles) +
-           ";measure=" + std::to_string(options_.measure_cycles);
+    return sim_backend_cache_identity(config_, options_);
   }
   /// Seed this backend XORs into every run's machine seed.
   std::uint64_t seed() const noexcept { return seed_; }

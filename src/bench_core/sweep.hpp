@@ -192,6 +192,13 @@ class SweepEngine {
 
 // --- cache plumbing (exposed for tests) -------------------------------------
 
+/// The per-point seed a sweep derives for point @p index under
+/// @p base_seed (splitmix64-chained). Exposed so out-of-process consumers
+/// of the disk cache (the fleet's stale-serve path) can address entries a
+/// SweepEngine wrote without running one.
+std::uint64_t sweep_point_seed(std::uint64_t base_seed,
+                               std::uint64_t index) noexcept;
+
 /// Stable cache key for one point: hash of cache version, backend identity,
 /// workload and seed. Empty when @p backend_identity is empty (uncacheable).
 std::string sweep_cache_key(const std::string& backend_identity,

@@ -1,0 +1,284 @@
+#include "fleet/router.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "bench_core/sim_backend.hpp"
+#include "bench_core/sweep.hpp"
+#include "bench_core/sweep_journal.hpp"
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/config.hpp"
+
+namespace am::fleet {
+
+namespace {
+
+/// Stale-LRU key. The cached value is a *full response line*, which embeds
+/// the request id echo — two clients asking the same canonical question
+/// under different ids must not be served each other's echo, so the id is
+/// part of the key ('\x1f' cannot appear in canonical JSON or an id that
+/// parsed).
+std::string stale_key(const std::string& canonical, const std::string& id) {
+  return canonical + '\x1f' + id;
+}
+
+}  // namespace
+
+struct Router::Telemetry {
+  explicit Telemetry(obs::metrics::Registry& reg) {
+    forwarded = &reg.counter("am_fleet_forwarded_total",
+                             "Requests forwarded to a worker");
+    failovers = &reg.counter(
+        "am_fleet_failovers_total",
+        "Forwards handed off to a ring successor (owner down or failed)");
+    shed = &reg.counter("am_fleet_shed_total",
+                        "Requests answered `overloaded` by admission control");
+    stale_serves = &reg.counter(
+        "am_fleet_stale_serves_total",
+        "Requests served stale (router LRU or shared disk cache)");
+    unavailable = &reg.counter(
+        "am_fleet_unavailable_total",
+        "Requests answered `unavailable` (no worker, no stale copy)");
+    chaos_drops = &reg.counter("am_fleet_chaos_drops_total",
+                               "Chaos-injected dropped worker connections");
+    chaos_delays = &reg.counter("am_fleet_chaos_delays_total",
+                                "Chaos-injected response delays");
+  }
+
+  obs::metrics::Counter* forwarded = nullptr;
+  obs::metrics::Counter* failovers = nullptr;
+  obs::metrics::Counter* shed = nullptr;
+  obs::metrics::Counter* stale_serves = nullptr;
+  obs::metrics::Counter* unavailable = nullptr;
+  obs::metrics::Counter* chaos_drops = nullptr;
+  obs::metrics::Counter* chaos_delays = nullptr;
+};
+
+Router::Router(Supervisor& supervisor, RouterConfig config)
+    : supervisor_(supervisor),
+      config_(std::move(config)),
+      ring_(supervisor.worker_count(), config_.ring_vnodes),
+      stale_(config_.stale_capacity, config_.stale_shards) {
+  pools_.reserve(supervisor.worker_count());
+  for (std::size_t i = 0; i < supervisor.worker_count(); ++i) {
+    pools_.push_back(std::make_unique<WorkerPool>());
+  }
+  if (config_.metrics) {
+    telemetry_ = std::make_unique<Telemetry>(obs::metrics::default_registry());
+  }
+}
+
+Router::~Router() = default;
+
+void Router::on_drain() { supervisor_.drain(); }
+
+std::optional<std::string> Router::forward(std::size_t worker,
+                                           std::string_view raw) {
+  WorkerPool& pool = *pools_[worker];
+  const std::uint64_t epoch = supervisor_.epoch(worker);
+
+  PooledConn conn;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(pool.mu);
+      if (pool.idle.empty()) break;
+      conn = std::move(pool.idle.back());
+      pool.idle.pop_back();
+    }
+    // A connection minted under an older epoch points at a dead process
+    // (its socket at best answers with a hangup); discard, don't reuse.
+    if (conn.epoch == epoch && conn.client.connected()) break;
+    conn.client.close();
+  }
+  if (!conn.client.connected()) {
+    conn.epoch = epoch;
+    conn.client.set_timeout_ms(config_.request_timeout_ms);
+    std::string error;
+    if (!conn.client.connect(supervisor_.endpoint(worker), &error)) {
+      return std::nullopt;
+    }
+  }
+
+  ChaosConfig* chaos = config_.chaos;
+  if (chaos != nullptr && ChaosConfig::consume(chaos->drop_connection)) {
+    // Mid-request connection loss: the line may or may not reach the
+    // worker; either way this attempt fails and the caller retries a
+    // sibling (requests are idempotent).
+    conn.client.send_line(std::string(raw));
+    conn.client.close();
+    chaos_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->chaos_drops->inc();
+    return std::nullopt;
+  }
+
+  std::string error;
+  const auto response = conn.client.roundtrip(std::string(raw), &error);
+  if (!response.has_value()) {
+    conn.client.close();  // poisoned: mid-stream state is unrecoverable
+    return std::nullopt;
+  }
+
+  if (chaos != nullptr && ChaosConfig::consume(chaos->delay_response)) {
+    chaos_delays_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->chaos_delays->inc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        chaos->delay_ms.load(std::memory_order_relaxed)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    pool.idle.push_back(std::move(conn));
+  }
+  return response;
+}
+
+std::string Router::stale_response(const service::Request& r,
+                                   const std::string& canonical) {
+  if (!r.cacheable()) return "";
+  if (auto hit = stale_.get(stale_key(canonical, r.id))) return *hit;
+
+  // Second level: simulate results live in the shared sweep disk cache.
+  // Reconstruct the key a worker would have written the point under and
+  // render the run through the same serializer — byte-identical to a
+  // worker-served cached response.
+  if (r.kind != service::RequestKind::kSimulate) return "";
+  const std::string& dir = supervisor_.config().sweep_cache_dir;
+  if (dir.empty()) return "";
+  const service::PointQuery& q = r.point;
+  const sim::MachineConfig mc = sim::preset_by_name(q.machine);
+  if (q.threads > mc.cores) return "";
+  const std::string identity =
+      bench::sim_backend_cache_identity(mc, bench::SimBackendOptions{});
+  const std::string key = bench::sweep_cache_key(
+      identity, service::simulate_workload(q), bench::sweep_point_seed(q.seed, 0));
+  std::string bytes;
+  if (bench::sweep::read_file_with_retry(dir + "/" + key + ".json", bytes) !=
+      bench::sweep::IoResult::kOk) {
+    return "";
+  }
+  const auto run = bench::parse_measured_run(bytes, key);
+  if (!run.has_value()) return "";
+  return service::make_result_response(
+      r, service::render_simulate_result(q, *run));
+}
+
+service::HandleResult Router::handle(const service::Request& r,
+                                     std::string_view raw,
+                                     const service::RequestContext* ctx) {
+  (void)ctx;
+  service::HandleResult out;
+  if (r.kind == service::RequestKind::kPing) {
+    // Answered at the front: liveness of the fleet entrypoint, not of any
+    // worker. Bytes match a worker's own pong exactly.
+    out.response = service::make_result_response(r, "{\"pong\":true}");
+    return out;
+  }
+  if (r.kind == service::RequestKind::kStats ||
+      r.kind == service::RequestKind::kMetrics) {
+    // The front Server answers these itself; reaching here means a caller
+    // wired the Router without one.
+    out.response = service::make_error_response(
+        r.id, "kind not handled by fleet router");
+    out.ok = false;
+    return out;
+  }
+
+  const std::string canonical = service::canonical_request(r);
+  const std::vector<std::size_t> order = ring_.route_order(canonical);
+  const std::size_t candidates = std::min(
+      order.size(), static_cast<std::size_t>(1 + std::max(0, config_.failover_retries)));
+
+  bool any_full = false;
+  for (std::size_t c = 0; c < candidates; ++c) {
+    const std::size_t worker = order[c];
+    const Admit verdict = supervisor_.try_acquire(worker);
+    if (verdict == Admit::kFull) {
+      any_full = true;
+      continue;
+    }
+    if (verdict == Admit::kDown) continue;
+
+    const auto response = forward(worker, raw);
+    supervisor_.release(worker);
+    if (!response.has_value()) {
+      supervisor_.report_transport_failure(worker);
+      continue;
+    }
+    if (c > 0) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr) telemetry_->failovers->inc();
+    }
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->forwarded->inc();
+
+    out.response = *response + "\n";
+    // Success envelopes always carry the literal `"ok":true`; escaping
+    // guarantees no error envelope can contain those exact bytes.
+    out.ok = response->find("\"ok\":true") != std::string::npos;
+    if (r.cacheable() && out.ok && config_.stale_capacity > 0) {
+      stale_.put(stale_key(canonical, r.id), out.response);
+    }
+    return out;
+  }
+
+  // Every candidate refused. Stale beats an error; overloaded beats
+  // unavailable (the client should back off, not re-resolve).
+  const std::string stale = stale_response(r, canonical);
+  if (!stale.empty()) {
+    stale_serves_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->stale_serves->inc();
+    out.response = stale;
+    if (out.response.back() != '\n') out.response += '\n';
+    out.cache_hit = true;
+    return out;
+  }
+  if (any_full) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry_ != nullptr) telemetry_->shed->inc();
+    out.response = service::make_error_response(
+        r.id, service::errcode::kOverloaded,
+        "fleet at capacity; retry with backoff");
+    out.ok = false;
+    return out;
+  }
+  unavailable_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) telemetry_->unavailable->inc();
+  out.response = service::make_error_response(
+      r.id, service::errcode::kUnavailable,
+      "no worker available for this shard and no stale copy exists");
+  out.ok = false;
+  return out;
+}
+
+void Router::append_stats(JsonWriter& w) const {
+  const auto status = supervisor_.status();
+  w.key("fleet").begin_object();
+  w.kv("workers", std::uint64_t{status.size()});
+  w.kv("workers_up", std::uint64_t{supervisor_.workers_up()});
+  w.kv("restarts", supervisor_.total_restarts());
+  w.kv("forwarded", forwarded_.load(std::memory_order_relaxed));
+  w.kv("failovers", failovers_.load(std::memory_order_relaxed));
+  w.kv("shed", shed_.load(std::memory_order_relaxed));
+  w.kv("stale_serves", stale_serves_.load(std::memory_order_relaxed));
+  w.kv("unavailable", unavailable_.load(std::memory_order_relaxed));
+  w.kv("chaos_drops", chaos_drops_.load(std::memory_order_relaxed));
+  w.kv("chaos_delays", chaos_delays_.load(std::memory_order_relaxed));
+  w.key("per_worker").begin_array();
+  for (const auto& s : status) {
+    w.begin_object();
+    w.kv("state", to_string(s.state));
+    w.kv("pid", static_cast<std::int64_t>(s.pid));
+    w.kv("restarts", s.restarts);
+    w.kv("epoch", s.epoch);
+    w.kv("inflight", static_cast<std::int64_t>(s.inflight));
+    w.kv("consecutive_failures",
+         static_cast<std::int64_t>(s.consecutive_failures));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace am::fleet

@@ -1,0 +1,120 @@
+// The fleet's forwarding tier: a service::RequestHandler that relays each
+// request to the worker owning its shard.
+//
+// Routing key = the request's canonical form (the same bytes the prediction
+// cache hashes), so every retry of a request — any member order, any
+// whitespace — lands on the same worker and its sharded LRU stays hot.
+// The original request line is forwarded verbatim: the worker parses,
+// canonicalizes and answers exactly as if the client had connected to it
+// directly, which is what keeps fleet responses byte-identical to a
+// single-worker run (id echo included).
+//
+// Degradation ladder per request:
+//   1. owner up + under cap      -> forward
+//   2. owner down/full           -> bounded hand-off to ring successors
+//   3. every candidate down      -> stale-while-revalidate: last good
+//                                   response from the router's LRU, else
+//                                   (simulate) the shared disk cache
+//   4. stale miss, someone full  -> structured `overloaded` (shed)
+//   5. stale miss, all down      -> structured `unavailable`
+// Admission is per-worker (Supervisor::try_acquire): a slow worker sheds
+// its own shard's load instead of stalling the fleet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/chaos.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/supervisor.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/lru_cache.hpp"
+
+namespace am::fleet {
+
+struct RouterConfig {
+  /// Deadline for one forwarded request (connect + send + receive).
+  int request_timeout_ms = 30000;
+  /// Sibling workers tried after the owner before degrading (<= workers-1).
+  int failover_retries = 1;
+  /// Router-level stale-response LRU (full response lines keyed by
+  /// canonical request + id). 0 disables memory-stale serving.
+  std::size_t stale_capacity = 4096;
+  std::size_t stale_shards = 8;
+  /// Virtual nodes per worker on the consistent-hash ring.
+  std::size_t ring_vnodes = 64;
+  bool metrics = true;
+  /// Fault injection; not owned, may be null (usually the supervisor's).
+  ChaosConfig* chaos = nullptr;
+};
+
+class Router final : public service::RequestHandler {
+ public:
+  Router(Supervisor& supervisor, RouterConfig config);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  service::HandleResult handle(const service::Request& r,
+                               std::string_view raw,
+                               const service::RequestContext* ctx) override;
+
+  /// Writes the "fleet" stats section: per-worker state plus routing
+  /// counters.
+  void append_stats(JsonWriter& w) const override;
+
+  /// Propagates the front server's drain to the worker fleet.
+  void on_drain() override;
+
+  const HashRing& ring() const noexcept { return ring_; }
+
+  // --- counters (tests) ----------------------------------------------------
+  std::uint64_t forwarded() const noexcept { return forwarded_.load(); }
+  std::uint64_t failovers() const noexcept { return failovers_.load(); }
+  std::uint64_t shed() const noexcept { return shed_.load(); }
+  std::uint64_t stale_serves() const noexcept { return stale_serves_.load(); }
+  std::uint64_t unavailable() const noexcept { return unavailable_.load(); }
+
+ private:
+  struct PooledConn {
+    service::ServiceClient client;
+    std::uint64_t epoch = 0;  ///< worker epoch the connection was minted under
+  };
+  struct WorkerPool {
+    std::mutex mu;
+    std::vector<PooledConn> idle;
+  };
+  struct Telemetry;
+
+  /// One forward attempt. Returns the response line (no '\n') or nullopt on
+  /// transport failure (connect/send/recv/timeout/chaos drop).
+  std::optional<std::string> forward(std::size_t worker, std::string_view raw);
+
+  /// Stale sources in order: router LRU, then (simulate only) the shared
+  /// disk cache. Empty when nothing stale exists.
+  std::string stale_response(const service::Request& r,
+                             const std::string& canonical);
+
+  Supervisor& supervisor_;
+  RouterConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<WorkerPool>> pools_;
+  service::ShardedLruCache stale_;
+  std::unique_ptr<Telemetry> telemetry_;
+
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> stale_serves_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
+  std::atomic<std::uint64_t> chaos_drops_{0};
+  std::atomic<std::uint64_t> chaos_delays_{0};
+};
+
+}  // namespace am::fleet

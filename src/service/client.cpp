@@ -1,8 +1,13 @@
 #include "service/client.hpp"
 
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace am::service {
@@ -10,12 +15,19 @@ namespace am::service {
 ServiceClient::~ServiceClient() { close(); }
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      timeout_ms_(other.timeout_ms_),
+      max_line_bytes_(other.max_line_bytes_),
+      last_status_(other.last_status_),
+      buffer_(std::move(other.buffer_)) {}
 
 ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    timeout_ms_ = other.timeout_ms_;
+    max_line_bytes_ = other.max_line_bytes_;
+    last_status_ = other.last_status_;
     buffer_ = std::move(other.buffer_);
   }
   return *this;
@@ -24,13 +36,47 @@ ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
 bool ServiceClient::connect(const Endpoint& ep, std::string* error) {
   close();
   fd_ = connect_to(ep, error);
+  if (fd_ >= 0) apply_timeout();
   return fd_ >= 0;
+}
+
+bool ServiceClient::connect_retry(const Endpoint& ep, int retries,
+                                  int backoff_ms, std::uint64_t jitter_seed,
+                                  std::string* error) {
+  int delay_ms = backoff_ms > 0 ? backoff_ms : 1;
+  for (int attempt = 0;; ++attempt) {
+    if (connect(ep, error)) return true;
+    if (attempt >= retries) return false;
+    // splitmix64 step: deterministic jitter in [0, delay_ms) avoids
+    // retry-storm synchronization without a global RNG.
+    jitter_seed += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = jitter_seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const int jitter = static_cast<int>(z % static_cast<std::uint64_t>(delay_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms + jitter));
+    if (delay_ms < 2000) delay_ms = std::min(2000, delay_ms * 2);
+  }
 }
 
 void ServiceClient::close() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   buffer_.clear();
+}
+
+void ServiceClient::set_timeout_ms(int timeout_ms) {
+  timeout_ms_ = timeout_ms > 0 ? timeout_ms : 0;
+  if (fd_ >= 0) apply_timeout();
+}
+
+void ServiceClient::apply_timeout() {
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms_ % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 bool ServiceClient::send_line(const std::string& line) {
@@ -40,24 +86,15 @@ bool ServiceClient::send_line(const std::string& line) {
 }
 
 bool ServiceClient::recv_line(std::string* line) {
-  if (fd_ < 0) return false;
-  for (;;) {
-    const std::size_t nl = buffer_.find('\n');
-    if (nl != std::string::npos) {
-      *line = buffer_.substr(0, nl);
-      buffer_.erase(0, nl + 1);
-      if (!line->empty() && line->back() == '\r') line->pop_back();
-      return true;
-    }
-    char buf[16384];
-    const ssize_t n = ::read(fd_, buf, sizeof buf);
-    if (n > 0) {
-      buffer_.append(buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;  // EOF or hard error mid-line
+  if (fd_ < 0) {
+    last_status_ = RecvStatus::kError;
+    return false;
   }
+  last_status_ =
+      am::service::recv_line(fd_, &buffer_, line, max_line_bytes_);
+  if (last_status_ != RecvStatus::kOk) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
 }
 
 std::optional<std::string> ServiceClient::roundtrip(const std::string& line,
@@ -68,7 +105,19 @@ std::optional<std::string> ServiceClient::roundtrip(const std::string& line,
   }
   std::string response;
   if (!recv_line(&response)) {
-    if (error != nullptr) *error = "connection closed before response";
+    if (error != nullptr) {
+      switch (last_status_) {
+        case RecvStatus::kTimeout:
+          *error = "timed out waiting for response";
+          break;
+        case RecvStatus::kTooLarge:
+          *error = "response line exceeded the configured byte cap";
+          break;
+        default:
+          *error = "connection closed before response";
+          break;
+      }
+    }
     return std::nullopt;
   }
   return response;

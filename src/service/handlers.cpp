@@ -132,6 +132,24 @@ ServiceCore::ServiceCore(ServiceConfig config)
   }
 }
 
+void ServiceCore::append_stats(JsonWriter& w) const {
+  const CacheCounters cache = cache_.counters();
+  w.key("cache").begin_object();
+  w.kv("capacity", std::uint64_t{cache_.capacity()});
+  w.kv("shards", std::uint64_t{cache_.shard_count()});
+  w.kv("entries", cache.entries);
+  w.kv("hits", cache.hits);
+  w.kv("misses", cache.misses);
+  w.kv("insertions", cache.insertions);
+  w.kv("evictions", cache.evictions);
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  w.kv("hit_rate", lookups > 0
+                       ? static_cast<double>(cache.hits) /
+                             static_cast<double>(lookups)
+                       : 0.0);
+  w.end_object();
+}
+
 ServiceCore::HandleResult ServiceCore::handle(const Request& r,
                                               const RequestContext* ctx) {
   HandleResult out;
@@ -296,6 +314,18 @@ std::string ServiceCore::run_calibrate(const CalibrateQuery& q,
   return os.str();
 }
 
+bench::WorkloadConfig simulate_workload(const PointQuery& q) {
+  bench::WorkloadConfig workload;
+  workload.mode = workload_mode(q.mode);
+  workload.prim = q.prim;
+  workload.threads = q.threads;
+  workload.work = static_cast<bench::Cycles>(q.work);
+  workload.write_fraction = q.write_fraction;
+  workload.zipf_lines = static_cast<std::size_t>(q.zipf_lines);
+  workload.zipf_s = q.zipf_s;
+  return workload;
+}
+
 std::string ServiceCore::run_simulate(const PointQuery& q, std::string* error,
                                       const RequestContext* ctx) {
   const sim::MachineConfig mc = machine_for(q.machine);
@@ -305,14 +335,7 @@ std::string ServiceCore::run_simulate(const PointQuery& q, std::string* error,
     return "";
   }
 
-  bench::WorkloadConfig workload;
-  workload.mode = workload_mode(q.mode);
-  workload.prim = q.prim;
-  workload.threads = q.threads;
-  workload.work = static_cast<bench::Cycles>(q.work);
-  workload.write_fraction = q.write_fraction;
-  workload.zipf_lines = static_cast<std::size_t>(q.zipf_lines);
-  workload.zipf_s = q.zipf_s;
+  const bench::WorkloadConfig workload = simulate_workload(q);
 
   bench::SweepOptions opts;
   opts.jobs = 1;
@@ -353,7 +376,11 @@ std::string ServiceCore::run_simulate(const PointQuery& q, std::string* error,
              (outcome.message.empty() ? "" : ": " + outcome.message);
     return "";
   }
+  return render_simulate_result(q, *run);
+}
 
+std::string render_simulate_result(const PointQuery& q,
+                                   const bench::MeasuredRun& run) {
   std::ostringstream os;
   JsonWriter w(os);
   w.begin_object();
@@ -363,26 +390,26 @@ std::string ServiceCore::run_simulate(const PointQuery& q, std::string* error,
   w.kv("threads", std::uint64_t{q.threads});
   w.kv("work", q.work);
   w.kv("seed", q.seed);
-  w.kv("duration_cycles", run->duration_cycles);
-  w.kv("total_ops", run->total_ops());
-  w.kv("total_attempts", run->total_attempts());
-  w.kv("throughput_ops_per_kcycle", run->throughput_ops_per_kcycle());
-  w.kv("throughput_mops", run->throughput_mops());
-  w.kv("mean_latency_cycles", run->mean_latency_cycles());
-  w.kv("success_rate", run->success_rate());
-  w.kv("attempts_per_op", run->attempts_per_op());
-  w.kv("fairness_jain", run->jain_fairness());
+  w.kv("duration_cycles", run.duration_cycles);
+  w.kv("total_ops", run.total_ops());
+  w.kv("total_attempts", run.total_attempts());
+  w.kv("throughput_ops_per_kcycle", run.throughput_ops_per_kcycle());
+  w.kv("throughput_mops", run.throughput_mops());
+  w.kv("mean_latency_cycles", run.mean_latency_cycles());
+  w.kv("success_rate", run.success_rate());
+  w.kv("attempts_per_op", run.attempts_per_op());
+  w.kv("fairness_jain", run.jain_fairness());
   w.key("transfers").begin_object();
-  w.kv("local_hit", run->transfers[0]);
-  w.kv("near", run->transfers[1]);
-  w.kv("far", run->transfers[2]);
-  w.kv("memory", run->transfers[3]);
+  w.kv("local_hit", run.transfers[0]);
+  w.kv("near", run.transfers[1]);
+  w.kv("far", run.transfers[2]);
+  w.kv("memory", run.transfers[3]);
   w.end_object();
-  w.kv("invalidations", run->invalidations);
-  w.kv("memory_fetches", run->memory_fetches);
-  w.kv("evictions", run->evictions);
-  if (run->energy_valid) {
-    w.kv("energy_per_op_nj", run->energy_per_op_nj());
+  w.kv("invalidations", run.invalidations);
+  w.kv("memory_fetches", run.memory_fetches);
+  w.kv("evictions", run.evictions);
+  if (run.energy_valid) {
+    w.kv("energy_per_op_nj", run.energy_per_op_nj());
   } else {
     w.kv_null("energy_per_op_nj");
   }

@@ -15,14 +15,25 @@
 //                queries are served from disk exactly like sweep points.
 // Results are serialized once and cached as bytes, which is what makes
 // responses byte-identical across worker threads and cache temperature.
+//
+// The transport (Server) talks to handlers through the RequestHandler
+// interface, so the same poll loop can front either a ServiceCore (one
+// worker process) or a fleet::Router (the supervisor's forwarding tier).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "bench_core/result.hpp"
+#include "bench_core/workload.hpp"
 #include "obs/trace.hpp"
 #include "service/lru_cache.hpp"
 #include "service/protocol.hpp"
+
+namespace am {
+class JsonWriter;
+}  // namespace am
 
 namespace am::service {
 
@@ -33,6 +44,34 @@ namespace am::service {
 struct RequestContext {
   std::uint64_t req_id = 0;          ///< server-wide request sequence number
   obs::TraceSink* trace = nullptr;   ///< shared sink; must be thread-safe
+};
+
+struct HandleResult {
+  std::string response;  ///< full response line, '\n'-terminated
+  bool ok = true;        ///< envelope carried a result (not an error)
+  bool cache_hit = false;
+};
+
+/// What the Server's worker threads call for every parsed request. @p raw
+/// is the original request line exactly as received (no trailing '\n') —
+/// a forwarding handler relays it verbatim so the answering worker
+/// re-canonicalizes the same bytes and the response (id echo included)
+/// stays byte-identical to a direct-served run.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  virtual HandleResult handle(const Request& r, std::string_view raw,
+                              const RequestContext* ctx) = 0;
+
+  /// Appends handler-specific sections ("cache", "fleet", ...) into the
+  /// stats response object being built. Must be thread-safe: stats requests
+  /// run on worker threads.
+  virtual void append_stats(JsonWriter& w) const { (void)w; }
+
+  /// Invoked once when the server enters drain (SIGTERM/SIGINT): a
+  /// forwarding handler propagates drain to its workers here.
+  virtual void on_drain() {}
 };
 
 struct ServiceConfig {
@@ -52,15 +91,13 @@ struct ServiceConfig {
   bool metrics = true;
 };
 
-class ServiceCore {
+class ServiceCore final : public RequestHandler {
  public:
   explicit ServiceCore(ServiceConfig config);
 
-  struct HandleResult {
-    std::string response;  ///< full response line, '\n'-terminated
-    bool ok = true;        ///< envelope carried a result (not an error)
-    bool cache_hit = false;
-  };
+  /// Back-compat alias: callers historically named the result through the
+  /// class (ServiceCore::HandleResult).
+  using HandleResult = am::service::HandleResult;
 
   /// Executes @p r (any kind except kStats/kMetrics, which need server-wide
   /// state and are answered by the Server). Never throws: failures become
@@ -68,6 +105,15 @@ class ServiceCore {
   /// affects response bytes (responses stay byte-identical with and without
   /// tracing attached).
   HandleResult handle(const Request& r, const RequestContext* ctx = nullptr);
+
+  HandleResult handle(const Request& r, std::string_view raw,
+                      const RequestContext* ctx) override {
+    (void)raw;
+    return handle(r, ctx);
+  }
+
+  /// Writes the "cache" stats section (hits/misses/size/...).
+  void append_stats(JsonWriter& w) const override;
 
   const ShardedLruCache& cache() const noexcept { return cache_; }
   const ServiceConfig& config() const noexcept { return config_; }
@@ -82,5 +128,16 @@ class ServiceCore {
   ServiceConfig config_;
   ShardedLruCache cache_;
 };
+
+/// The exact WorkloadConfig a simulate request runs (also the key half of
+/// the sweep disk-cache entry for that request — the fleet's stale-serve
+/// path recomputes it to address the shared cache without a live worker).
+bench::WorkloadConfig simulate_workload(const PointQuery& q);
+
+/// Serializes a finished simulate run into the result-object JSON the
+/// handler caches and returns. Split out so the fleet can render disk-cache
+/// hits byte-identically to a worker-served response.
+std::string render_simulate_result(const PointQuery& q,
+                                   const bench::MeasuredRun& run);
 
 }  // namespace am::service

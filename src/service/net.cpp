@@ -197,15 +197,44 @@ bool write_all(int fd, const std::string& data) {
       off += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n == 0) return false;  // send never legitimately writes nothing
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       pollfd pfd{fd, POLLOUT, 0};
-      ::poll(&pfd, 1, 1000);
-      continue;
+      const int rc = ::poll(&pfd, 1, 1000);
+      if (rc < 0 && errno != EINTR) return false;
+      if (rc > 0 && (pfd.revents & (POLLERR | POLLNVAL)) != 0) return false;
+      continue;  // rc == 0 (timeout): retry the send; it re-reports EAGAIN
     }
-    if (n < 0 && errno == EINTR) continue;
     return false;
   }
   return true;
+}
+
+RecvStatus recv_line(int fd, std::string* buffer, std::string* line,
+                     std::size_t max_bytes) {
+  for (;;) {
+    const auto newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      line->assign(*buffer, 0, newline);
+      buffer->erase(0, newline + 1);
+      return RecvStatus::kOk;
+    }
+    if (max_bytes != 0 && buffer->size() >= max_bytes) {
+      buffer->clear();  // the oversized prefix is unrecoverable garbage
+      return RecvStatus::kTooLarge;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return RecvStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::kTimeout;
+    return RecvStatus::kError;
+  }
 }
 
 }  // namespace am::service

@@ -42,8 +42,28 @@ int connect_to(const Endpoint& ep, std::string* error);
 /// listen_on). Returns 0 on failure or for unix sockets.
 std::uint16_t bound_port(int fd);
 
-/// Writes all of @p data to @p fd, retrying short writes and EAGAIN (waits
-/// for writability); returns false on a hard error or peer close.
+/// Writes all of @p data to @p fd, retrying short writes, EINTR and EAGAIN
+/// (waits for writability); returns false on a hard error or peer close.
 bool write_all(int fd, const std::string& data);
+
+/// Outcome of a bounded line read (see recv_line).
+enum class RecvStatus : std::uint8_t {
+  kOk,        ///< one full line extracted into *line
+  kClosed,    ///< peer closed cleanly before a newline arrived
+  kError,     ///< hard socket error (errno-level failure)
+  kTimeout,   ///< EAGAIN/EWOULDBLOCK on a socket with SO_RCVTIMEO armed
+  kTooLarge,  ///< buffered bytes exceeded max_bytes with no newline
+};
+
+/// Reads from @p fd into @p buffer until it holds a '\n', then moves the
+/// first line (newline stripped) into @p *line, leaving any over-read tail
+/// in @p buffer for the next call. EINTR is retried; EAGAIN/EWOULDBLOCK is
+/// reported as kTimeout (meaningful when the caller armed SO_RCVTIMEO).
+/// The buffer is capped at @p max_bytes (0 = unlimited): exceeding it
+/// without a newline yields kTooLarge and clears the buffer, so the caller
+/// can answer with a structured `request_too_large` error instead of
+/// growing without bound.
+RecvStatus recv_line(int fd, std::string* buffer, std::string* line,
+                     std::size_t max_bytes = 0);
 
 }  // namespace am::service

@@ -400,4 +400,25 @@ std::string make_error_response(const std::string& id,
   return out;
 }
 
+std::string make_error_response(const std::string& id, const std::string& code,
+                                const std::string& message) {
+  std::string out = "{\"v\":\"";
+  out += kProtocolVersion;
+  out += "\"";
+  if (!id.empty()) out += ",\"id\":\"" + json_escape(id) + "\"";
+  out += ",\"ok\":false,\"code\":\"" + json_escape(code) +
+         "\",\"error\":\"" + json_escape(message) + "\"}\n";
+  return out;
+}
+
+std::string response_error_code(std::string_view response_line) {
+  const auto doc = JsonValue::parse(std::string(response_line));
+  if (!doc.has_value()) return "";
+  const JsonValue* ok = doc->find("ok");
+  if (ok == nullptr || ok->as_bool()) return "";
+  const JsonValue* code = doc->find("code");
+  if (code == nullptr || code->type() != JsonValue::Type::kString) return "";
+  return code->as_string();
+}
+
 }  // namespace am::service

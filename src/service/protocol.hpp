@@ -126,4 +126,25 @@ std::string make_result_response(const Request& r,
 std::string make_error_response(const std::string& id,
                                 const std::string& message);
 
+// Machine-readable error codes carried in coded error envelopes. Plain
+// handler errors (bad request members, simulation failures) stay uncoded;
+// codes name *serving-layer* conditions a client is expected to branch on
+// (retry, back off, shrink the request).
+namespace errcode {
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kUnavailable = "unavailable";
+inline constexpr const char* kTimeout = "timeout";
+inline constexpr const char* kRequestTooLarge = "request_too_large";
+}  // namespace errcode
+
+/// Coded error envelope: {"v","id"?,"ok":false,"code","error"}. @p code is
+/// one of the errcode constants; clients dispatch on it instead of parsing
+/// the human-readable message.
+std::string make_error_response(const std::string& id, const std::string& code,
+                                const std::string& message);
+
+/// The "code" member of an error envelope line, or empty when absent (plain
+/// errors, success envelopes, unparseable lines).
+std::string response_error_code(std::string_view response_line);
+
 }  // namespace am::service

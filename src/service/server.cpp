@@ -116,8 +116,8 @@ struct Server::Telemetry {
   bool stop = false;
 };
 
-Server::Server(ServiceCore& core, ServerConfig config)
-    : core_(core), config_(std::move(config)) {
+Server::Server(RequestHandler& handler, ServerConfig config)
+    : handler_(handler), config_(std::move(config)) {
   if (config_.service_threads == 0) config_.service_threads = 1;
   ensure_shutdown_pipe();
 }
@@ -265,12 +265,18 @@ void Server::poll_loop() {
 
     if ((fds[0].revents & POLLIN) != 0) {
       drain_fd(g_shutdown_read);
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!draining_) {
-        draining_ = true;
-        for (const int fd : listen_fds_) ::close(fd);
-        listen_fds_.clear();
+      bool entered_drain = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!draining_) {
+          draining_ = true;
+          entered_drain = true;
+          for (const int fd : listen_fds_) ::close(fd);
+          listen_fds_.clear();
+        }
       }
+      // Outside mu_: a forwarding handler's drain may block on its workers.
+      if (entered_drain) handler_.on_drain();
       continue;  // re-evaluate: maybe nothing is in flight and we can exit
     }
 
@@ -339,10 +345,11 @@ void Server::handle_readable(Connection& conn) {
         // Oversized line: answer once, then hang up. The buffer cannot be
         // resynchronized to the next line boundary reliably.
         write_all(conn.fd,
-                  make_error_response("", "request line exceeds " +
-                                              std::to_string(
-                                                  config_.max_line_bytes) +
-                                              " bytes"));
+                  make_error_response("", errcode::kRequestTooLarge,
+                                      "request line exceeds " +
+                                          std::to_string(
+                                              config_.max_line_bytes) +
+                                          " bytes"));
         eof = true;
         break;
       }
@@ -459,7 +466,7 @@ void Server::process(std::shared_ptr<Connection> conn) {
       response = make_result_response(*request, body);
     } else {
       const RequestContext ctx{req_id, config_.trace};
-      ServiceCore::HandleResult result = core_.handle(*request, &ctx);
+      HandleResult result = handler_.handle(*request, line, &ctx);
       response = std::move(result.response);
       ok = result.ok;
       cache_hit = result.cache_hit;
@@ -580,7 +587,6 @@ std::string Server::stats_json() const {
     active = connections_.size();
     draining = draining_;
   }
-  const CacheCounters cache = core_.cache().counters();
 
   std::uint64_t total = 0;
   for (const std::uint64_t n : by_kind) total += n;
@@ -640,20 +646,7 @@ std::string Server::stats_json() const {
   w.kv("min", lat_min);
   w.kv("max", lat_max);
   w.end_object();
-  w.key("cache").begin_object();
-  w.kv("capacity", std::uint64_t{core_.cache().capacity()});
-  w.kv("shards", std::uint64_t{core_.cache().shard_count()});
-  w.kv("entries", cache.entries);
-  w.kv("hits", cache.hits);
-  w.kv("misses", cache.misses);
-  w.kv("insertions", cache.insertions);
-  w.kv("evictions", cache.evictions);
-  const std::uint64_t lookups = cache.hits + cache.misses;
-  w.kv("hit_rate", lookups > 0
-                       ? static_cast<double>(cache.hits) /
-                             static_cast<double>(lookups)
-                       : 0.0);
-  w.end_object();
+  handler_.append_stats(w);  // "cache" for ServiceCore, "fleet" for a router
   w.key("connections").begin_object();
   w.kv("accepted", accepted);
   w.kv("active", std::uint64_t{active});

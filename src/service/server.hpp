@@ -54,8 +54,10 @@ struct ServerConfig {
 
 class Server {
  public:
-  /// @p core outlives the server; it is shared by every worker.
-  Server(ServiceCore& core, ServerConfig config);
+  /// @p handler outlives the server; it is shared by every worker thread.
+  /// A ServiceCore makes this a one-process daemon; a fleet::Router makes
+  /// it the supervisor's front door.
+  Server(RequestHandler& handler, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -113,7 +115,7 @@ class Server {
   /// sampler's clock.
   std::uint64_t uptime_ms() const;
 
-  ServiceCore& core_;
+  RequestHandler& handler_;
   ServerConfig config_;
   std::vector<int> listen_fds_;
   std::vector<Endpoint> bound_;

@@ -1,0 +1,352 @@
+// End-to-end fleet tests: a real Supervisor forking real am_serve worker
+// processes (AM_SERVE_BIN, injected by CMake), fronted by the Router.
+//
+// These are the robustness contracts am_fleet ships on:
+//   - byte-identity: the fleet answers exactly the bytes a single daemon
+//     would, regardless of which worker serves, before and after restarts;
+//   - no dropped requests: SIGKILLing a worker mid-load yields only
+//     successes or structured error envelopes, never hangs or raw resets
+//     surfacing to the client as protocol garbage;
+//   - crashed workers rejoin; spawn->die loops open the circuit breaker;
+//   - full workers shed with `overloaded`; a dead shard with a cached
+//     answer serves stale instead of erroring.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/chaos.hpp"
+#include "fleet/router.hpp"
+#include "fleet/supervisor.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace am::fleet {
+namespace {
+
+std::string serve_binary() {
+#ifdef AM_SERVE_BIN
+  return AM_SERVE_BIN;
+#else
+  return find_worker_binary();
+#endif
+}
+
+std::string fresh_runtime_dir() {
+  static std::atomic<int> counter{0};
+  const std::string dir = ::testing::TempDir() + "/am_fleet_test_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter.fetch_add(1));
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+FleetConfig fast_config(std::size_t workers) {
+  FleetConfig config;
+  config.workers = workers;
+  config.worker_binary = serve_binary();
+  config.runtime_dir = fresh_runtime_dir();
+  config.worker_threads = 2;
+  config.health_interval_ms = 50;
+  config.probe_timeout_ms = 1000;
+  config.restart_backoff_ms = 20;
+  config.metrics = false;
+  return config;
+}
+
+/// Supervisor + Router, started and waited-up, or the test fails.
+struct LiveFleet {
+  Supervisor supervisor;
+  Router router;
+
+  explicit LiveFleet(FleetConfig fleet_config, RouterConfig router_config = {})
+      : supervisor(std::move(fleet_config)),
+        router(supervisor, [&router_config] {
+          router_config.metrics = false;
+          return router_config;
+        }()) {
+    std::string error;
+    if (!supervisor.start(&error)) {
+      ADD_FAILURE() << "fleet start failed: " << error;
+      return;
+    }
+    if (!supervisor.wait_all_up(supervisor.config().start_grace_ms)) {
+      ADD_FAILURE() << "fleet did not come up";
+    }
+  }
+
+  ~LiveFleet() { supervisor.drain(); }
+
+  service::HandleResult handle(const std::string& line) {
+    std::string error;
+    const auto request = service::parse_request(line, &error);
+    EXPECT_TRUE(request.has_value()) << line << " -> " << error;
+    if (!request.has_value()) return {};
+    return router.handle(*request, line, nullptr);
+  }
+};
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+TEST(Fleet, MissingBinaryFailsStartWithError) {
+  FleetConfig config = fast_config(1);
+  config.worker_binary = "/nonexistent/am_serve";
+  Supervisor supervisor(std::move(config));
+  std::string error;
+  EXPECT_FALSE(supervisor.start(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Fleet, ServesByteIdenticalToSingleDaemon) {
+  ASSERT_FALSE(serve_binary().empty());
+  LiveFleet fleet(fast_config(2));
+  service::ServiceCore core({});
+  for (const char* line : {
+           R"({"kind":"predict","prim":"FAA","threads":16,"work":100})",
+           R"({"kind":"predict","prim":"CAS","threads":8,"id":"q1"})",
+           R"({"kind":"advise","target":"counter","threads":16})",
+           R"({"kind":"simulate","machine":"test","prim":"TAS","threads":2,"seed":7})",
+       }) {
+    const auto via_fleet = fleet.handle(line);
+    EXPECT_TRUE(via_fleet.ok) << line << " -> " << via_fleet.response;
+    std::string perr;
+    const auto request = service::parse_request(line, &perr);
+    ASSERT_TRUE(request.has_value()) << perr;
+    std::string direct = core.handle(*request, line, nullptr).response;
+    if (direct.empty() || direct.back() != '\n') direct += '\n';
+    EXPECT_EQ(via_fleet.response, direct) << line;
+  }
+}
+
+TEST(Fleet, RepeatedRequestsAreByteIdenticalAcrossWorkers) {
+  ASSERT_FALSE(serve_binary().empty());
+  FleetConfig config = fast_config(2);
+  RouterConfig router_config;
+  router_config.failover_retries = 1;
+  LiveFleet fleet(std::move(config), router_config);
+  const std::string line =
+      R"({"kind":"predict","prim":"CAS","threads":12,"work":50})";
+  std::set<std::string> seen;
+  for (int i = 0; i < 20; ++i) {
+    const auto result = fleet.handle(line);
+    ASSERT_TRUE(result.ok) << result.response;
+    seen.insert(result.response);
+  }
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(Fleet, SigkillMidLoadEveryRequestAnsweredAndWorkerRejoins) {
+  ASSERT_FALSE(serve_binary().empty());
+  FleetConfig config = fast_config(2);
+  RouterConfig router_config;
+  router_config.failover_retries = 1;
+  router_config.request_timeout_ms = 5000;
+  LiveFleet fleet(std::move(config), router_config);
+
+  // Baseline bytes per request shape, before any fault.
+  std::vector<std::string> lines;
+  std::vector<std::string> baseline;
+  for (int i = 0; i < 8; ++i) {
+    lines.push_back(
+        R"({"kind":"predict","prim":"FAA","threads":8,"work":)" +
+        std::to_string(10 * i) + "}");
+    const auto r = fleet.handle(lines.back());
+    ASSERT_TRUE(r.ok) << r.response;
+    baseline.push_back(r.response);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> empty_responses{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::vector<std::thread> loaders;
+  for (int t = 0; t < 4; ++t) {
+    loaders.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto r = fleet.handle(lines[i++ % lines.size()]);
+        if (r.response.empty()) {
+          empty_responses.fetch_add(1);
+        } else if (!r.ok &&
+                   service::response_error_code(r.response).empty()) {
+          // Errors must be *structured*: a code the client dispatches on.
+          malformed.fetch_add(1);
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  // SIGKILL each worker once, mid-load.
+  for (std::size_t victim = 0; victim < 2; ++victim) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const auto status = fleet.supervisor.status();
+    if (status[victim].pid > 0) ::kill(status[victim].pid, SIGKILL);
+    EXPECT_TRUE(wait_until(
+        [&] { return fleet.supervisor.workers_up() == 2; }, 10000))
+        << "worker " << victim << " did not rejoin";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true);
+  for (auto& t : loaders) t.join();
+
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(empty_responses.load(), 0u);
+  EXPECT_EQ(malformed.load(), 0u);
+  EXPECT_GE(fleet.supervisor.total_restarts(), 2u);
+
+  // Post-restart responses still match the pre-fault bytes exactly.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto r = fleet.handle(lines[i]);
+    ASSERT_TRUE(r.ok) << r.response;
+    EXPECT_EQ(r.response, baseline[i]) << lines[i];
+  }
+}
+
+TEST(Fleet, FullWorkersShedWithStructuredOverloaded) {
+  ASSERT_FALSE(serve_binary().empty());
+  static ChaosConfig chaos;  // outlives the router's forwarding threads
+  chaos.delay_response.store(-1);  // always delay: holds in-flight slots
+  chaos.delay_ms.store(400);
+  FleetConfig config = fast_config(1);
+  config.max_inflight = 1;
+  config.chaos = nullptr;  // supervisor side quiet; router side delays
+  RouterConfig router_config;
+  router_config.failover_retries = 0;
+  router_config.stale_capacity = 0;  // force the shed path, not stale
+  router_config.chaos = &chaos;
+  LiveFleet fleet(std::move(config), router_config);
+
+  std::atomic<int> overloaded{0};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string line =
+          R"({"kind":"predict","prim":"FAA","threads":4,"id":"c)" +
+          std::to_string(c) + "\"}";
+      const auto r = fleet.handle(line);
+      if (r.ok) {
+        ok.fetch_add(1);
+      } else if (service::response_error_code(r.response) ==
+                 service::errcode::kOverloaded) {
+        overloaded.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  chaos.delay_response.store(0);
+
+  // One slot, four concurrent requests, each holding the slot ~400ms: at
+  // least one must have been shed, and every request got an answer.
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_EQ(ok.load() + overloaded.load(), 4);
+}
+
+TEST(Fleet, SpawnDeathLoopOpensCircuitBreaker) {
+  FleetConfig config = fast_config(1);
+  config.worker_binary = "/bin/false";  // exits immediately, never serves
+  config.circuit_failures = 3;
+  config.restart_backoff_ms = 10;
+  config.restart_backoff_max_ms = 20;
+  config.start_grace_ms = 300;
+  config.circuit_cooloff_ms = 60000;
+  Supervisor supervisor(std::move(config));
+  std::string error;
+  ASSERT_TRUE(supervisor.start(&error)) << error;
+  EXPECT_TRUE(wait_until(
+      [&] {
+        return supervisor.status()[0].state == WorkerState::kCircuitOpen;
+      },
+      10000));
+  EXPECT_EQ(supervisor.workers_up(), 0u);
+  supervisor.drain();
+}
+
+TEST(Fleet, DeadShardServesStaleFromRouterLru) {
+  ASSERT_FALSE(serve_binary().empty());
+  FleetConfig config = fast_config(1);
+  config.restart_backoff_ms = 60000;  // stay down once killed
+  RouterConfig router_config;
+  router_config.failover_retries = 0;
+  LiveFleet fleet(std::move(config), router_config);
+
+  const std::string line =
+      R"({"kind":"predict","prim":"CAS","threads":8,"id":"stale-1"})";
+  const auto warm = fleet.handle(line);
+  ASSERT_TRUE(warm.ok) << warm.response;
+
+  const auto status = fleet.supervisor.status();
+  ASSERT_GT(status[0].pid, 0);
+  ::kill(status[0].pid, SIGKILL);
+  ASSERT_TRUE(wait_until(
+      [&] { return fleet.supervisor.workers_up() == 0; }, 10000));
+
+  const auto stale = fleet.handle(line);
+  EXPECT_TRUE(stale.cache_hit);
+  EXPECT_EQ(stale.response, warm.response);  // byte-identical stale serve
+
+  // A request the router never saw cannot be served stale: structured
+  // `unavailable`, not a hang or an empty line.
+  const auto miss = fleet.handle(
+      R"({"kind":"predict","prim":"SWP","threads":3,"id":"never-seen"})");
+  EXPECT_FALSE(miss.ok);
+  EXPECT_EQ(service::response_error_code(miss.response),
+            service::errcode::kUnavailable);
+}
+
+TEST(Fleet, ChaosKillScheduleKeepsFleetServing) {
+  ASSERT_FALSE(serve_binary().empty());
+  static ChaosConfig chaos;
+  chaos.kill_every_ms.store(200);
+  FleetConfig config = fast_config(2);
+  config.chaos = &chaos;
+  RouterConfig router_config;
+  router_config.failover_retries = 1;
+  LiveFleet fleet(std::move(config), router_config);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(1200);
+  std::uint64_t answered = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto r = fleet.handle(
+        R"({"kind":"predict","prim":"FAA","threads":8,"work":5})");
+    ASSERT_FALSE(r.response.empty());
+    if (!r.ok) {
+      // Under chaos an answer may be a structured degradation; never junk.
+      EXPECT_FALSE(service::response_error_code(r.response).empty())
+          << r.response;
+    }
+    ++answered;
+  }
+  chaos.kill_every_ms.store(0);
+  EXPECT_GT(answered, 0u);
+  EXPECT_GE(fleet.supervisor.total_restarts(), 1u);
+  // Once chaos stops, the fleet heals to full strength.
+  EXPECT_TRUE(wait_until(
+      [&] { return fleet.supervisor.workers_up() == 2; }, 10000));
+}
+
+}  // namespace
+}  // namespace am::fleet

@@ -11,9 +11,13 @@
 //   am_client --kind=simulate --prim=CAS --threads=8 --repeat=2
 //   am_client --raw='{"kind":"calibrate","machine":"xeon","samples":[...]}'
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/json.hpp"
@@ -96,6 +100,16 @@ int main(int argc, char** argv) {
                "");
   cli.add_flag("repeat", "send the request this many times", "1",
                CliParser::FlagKind::kInt);
+  cli.add_flag("timeout-ms",
+               "socket send/recv deadline per request (0 = block forever)",
+               "0", CliParser::FlagKind::kInt);
+  cli.add_flag("retries",
+               "reconnect-and-resend attempts after a transport failure "
+               "(exponential backoff with jitter)",
+               "0", CliParser::FlagKind::kInt);
+  cli.add_flag("retry-backoff-ms",
+               "initial retry backoff (doubles per attempt, jittered)", "50",
+               CliParser::FlagKind::kInt);
   if (!cli.parse(argc, argv)) return 2;
 
   std::string error;
@@ -113,16 +127,56 @@ int main(int argc, char** argv) {
     line = cli.get("raw").empty() ? build_request(cli) : cli.get("raw");
   }
   const std::int64_t repeat = std::max<std::int64_t>(1, cli.get_int("repeat"));
+  const int retries =
+      static_cast<int>(std::max<std::int64_t>(0, cli.get_int("retries")));
+  const int backoff_ms = static_cast<int>(
+      std::max<std::int64_t>(1, cli.get_int("retry-backoff-ms")));
 
   am::service::ServiceClient client;
-  if (!client.connect(*endpoint, &error)) {
+  client.set_timeout_ms(
+      static_cast<int>(std::max<std::int64_t>(0, cli.get_int("timeout-ms"))));
+  if (!client.connect_retry(*endpoint, retries, backoff_ms,
+                            static_cast<std::uint64_t>(::getpid()), &error)) {
     std::cerr << "am_client: " << error << "\n";
     return 1;
   }
 
+  // Per-request retry: a transport failure (timeout, reset, worker restart
+  // behind a fleet) closes the stream, backs off with jitter, reconnects
+  // and resends. Requests are idempotent, so a resend is safe even if the
+  // original was served.
+  std::uint64_t jitter_state = static_cast<std::uint64_t>(::getpid());
+  const auto jittered_sleep_ms = [&jitter_state](int delay_ms) {
+    jitter_state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = jitter_state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const int jitter =
+        static_cast<int>(z % static_cast<std::uint64_t>(std::max(1, delay_ms)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms + jitter));
+  };
+  const auto roundtrip_retry =
+      [&](const std::string& request,
+          std::string* err) -> std::optional<std::string> {
+    int delay_ms = backoff_ms;
+    for (int attempt = 0;; ++attempt) {
+      if (client.connected()) {
+        const auto response = client.roundtrip(request, err);
+        if (response.has_value()) return response;
+        client.close();
+      }
+      if (attempt >= retries) return std::nullopt;
+      jittered_sleep_ms(delay_ms);
+      delay_ms = std::min(2000, delay_ms * 2);
+      std::string connect_error;  // transient; keep the roundtrip error
+      client.connect(*endpoint, &connect_error);
+    }
+  };
+
   bool all_ok = true;
   for (std::int64_t i = 0; i < repeat; ++i) {
-    const auto response = client.roundtrip(line, &error);
+    const auto response = roundtrip_retry(line, &error);
     if (!response.has_value()) {
       std::cerr << "am_client: " << error << "\n";
       return 1;

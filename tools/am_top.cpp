@@ -88,6 +88,36 @@ void render(const std::vector<PromSample>& s, const std::string& endpoint) {
               value_or_zero(s, "am_sweep_points_total", {{"status", "ok"}}),
               value_or_zero(s, "am_sweep_points_total",
                             {{"status", "timeout"}}));
+
+  // Fleet panel: present only when scraping an am_fleet front (the
+  // workers-up gauge is registered by the supervisor, not am_serve).
+  if (find_sample(s, "am_fleet_workers_up").has_value()) {
+    std::printf("\n  fleet      up=%.0f restarts=%.0f deaths=%.0f "
+                "probe-fail=%.0f circuit-opens=%.0f\n",
+                value_or_zero(s, "am_fleet_workers_up"),
+                value_or_zero(s, "am_fleet_restarts_total"),
+                value_or_zero(s, "am_fleet_worker_deaths_total"),
+                value_or_zero(s, "am_fleet_probe_failures_total"),
+                value_or_zero(s, "am_fleet_circuit_opens_total"));
+    std::printf("  routing    forwarded=%.0f failover=%.0f shed=%.0f "
+                "stale=%.0f unavailable=%.0f\n",
+                value_or_zero(s, "am_fleet_forwarded_total"),
+                value_or_zero(s, "am_fleet_failovers_total"),
+                value_or_zero(s, "am_fleet_shed_total"),
+                value_or_zero(s, "am_fleet_stale_serves_total"),
+                value_or_zero(s, "am_fleet_unavailable_total"));
+    const double chaos = value_or_zero(s, "am_fleet_chaos_kills_total") +
+                         value_or_zero(s, "am_fleet_chaos_hangs_total") +
+                         value_or_zero(s, "am_fleet_chaos_drops_total") +
+                         value_or_zero(s, "am_fleet_chaos_delays_total");
+    if (chaos > 0.0) {
+      std::printf("  chaos      kills=%.0f hangs=%.0f drops=%.0f delays=%.0f\n",
+                  value_or_zero(s, "am_fleet_chaos_kills_total"),
+                  value_or_zero(s, "am_fleet_chaos_hangs_total"),
+                  value_or_zero(s, "am_fleet_chaos_drops_total"),
+                  value_or_zero(s, "am_fleet_chaos_delays_total"));
+    }
+  }
   std::fflush(stdout);
 }
 
