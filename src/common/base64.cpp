@@ -1,0 +1,86 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace am {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> table{};
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = -1;
+  for (std::int8_t i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return table;
+}
+
+constexpr std::array<std::int8_t, 256> kReverse = make_reverse();
+
+}  // namespace
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                            static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                            (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+bool base64_decode(std::string_view text, std::string* out) {
+  out->clear();
+  if (text.size() % 4 != 0) return false;
+  out->reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal as the final one or two characters.
+        if (!last || j < 2) return false;
+        if (j == 2 && text[i + 3] != '=') return false;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return false;
+      const std::int8_t d = kReverse[static_cast<unsigned char>(c)];
+      if (d < 0) return false;
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out->push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) out->push_back(static_cast<char>((v >> 8) & 0xff));
+    if (pad < 1) out->push_back(static_cast<char>(v & 0xff));
+  }
+  return true;
+}
+
+}  // namespace am

@@ -1,0 +1,23 @@
+// Standard base64 (RFC 4648, with padding) for binary payloads carried
+// inside the JSON wire protocol — the run_guest request ships a whole ELF
+// image this way. Strict decoding: the alphabet is exact, padding is
+// mandatory and terminal, whitespace is rejected. A payload either decodes
+// to the bytes the client encoded or the request is refused; there is no
+// lenient path that could make two distinct wire forms canonicalize to the
+// same guest image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace am {
+
+/// Encodes @p bytes as base64 with '=' padding.
+std::string base64_encode(std::string_view bytes);
+
+/// Decodes strict base64 into @p out (cleared first). False on any
+/// malformed input: bad characters, bad length, misplaced padding.
+bool base64_decode(std::string_view text, std::string* out);
+
+}  // namespace am

@@ -41,6 +41,10 @@ struct Router::Telemetry {
     unavailable = &reg.counter(
         "am_fleet_unavailable_total",
         "Requests answered `unavailable` (no worker, no stale copy)");
+    promoted = &reg.counter(
+        "am_fleet_promoted_total",
+        "Simulate requests computed at the front and promoted into the "
+        "shared sweep disk cache (every worker down)");
     chaos_drops = &reg.counter("am_fleet_chaos_drops_total",
                                "Chaos-injected dropped worker connections");
     chaos_delays = &reg.counter("am_fleet_chaos_delays_total",
@@ -52,6 +56,7 @@ struct Router::Telemetry {
   obs::metrics::Counter* shed = nullptr;
   obs::metrics::Counter* stale_serves = nullptr;
   obs::metrics::Counter* unavailable = nullptr;
+  obs::metrics::Counter* promoted = nullptr;
   obs::metrics::Counter* chaos_drops = nullptr;
   obs::metrics::Counter* chaos_delays = nullptr;
 };
@@ -164,6 +169,31 @@ std::string Router::stale_response(const service::Request& r,
       r, service::render_simulate_result(q, *run));
 }
 
+service::HandleResult Router::promote(const service::Request& r) {
+  service::HandleResult none;
+  if (r.kind != service::RequestKind::kSimulate) return none;
+  const std::string& dir = supervisor_.config().sweep_cache_dir;
+  if (dir.empty()) return none;
+
+  // Single writer: promotions run one at a time under promote_mu_, so
+  // concurrent clients of a dark fleet cannot race the same point, and the
+  // SweepEngine inside the core publishes each disk entry atomically
+  // (write-fsync-rename) — a recovering worker either sees the whole entry
+  // or none of it, never a torn file.
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  if (promote_core_ == nullptr) {
+    service::ServiceConfig cfg;
+    cfg.cache_capacity = 0;  // the router's stale LRU is the memory tier
+    cfg.sim_cache_dir = dir;
+    cfg.metrics = false;  // fleet-level counters belong to the router
+    promote_core_ = std::make_unique<service::ServiceCore>(cfg);
+  }
+  // The core renders through the exact serializer a worker uses, so a
+  // promoted response (success or structured error) is byte-identical to a
+  // worker-served one.
+  return promote_core_->handle(r, nullptr);
+}
+
 service::HandleResult Router::handle(const service::Request& r,
                                      std::string_view raw,
                                      const service::RequestContext* ctx) {
@@ -234,6 +264,21 @@ service::HandleResult Router::handle(const service::Request& r,
     out.cache_hit = true;
     return out;
   }
+  // Promotion: every worker is down (not merely full — a full fleet sheds
+  // so clients back off) and the shared disk tier is configured, so the
+  // front computes the simulate point itself. Answering also writes the
+  // disk entry, warming the cache every restarted worker shares.
+  if (!any_full) {
+    service::HandleResult promoted = promote(r);
+    if (!promoted.response.empty()) {
+      promoted_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_ != nullptr) telemetry_->promoted->inc();
+      if (r.cacheable() && promoted.ok && config_.stale_capacity > 0) {
+        stale_.put(stale_key(canonical, r.id), promoted.response);
+      }
+      return promoted;
+    }
+  }
   if (any_full) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry_ != nullptr) telemetry_->shed->inc();
@@ -263,6 +308,7 @@ void Router::append_stats(JsonWriter& w) const {
   w.kv("shed", shed_.load(std::memory_order_relaxed));
   w.kv("stale_serves", stale_serves_.load(std::memory_order_relaxed));
   w.kv("unavailable", unavailable_.load(std::memory_order_relaxed));
+  w.kv("promoted", promoted_.load(std::memory_order_relaxed));
   w.kv("chaos_drops", chaos_drops_.load(std::memory_order_relaxed));
   w.kv("chaos_delays", chaos_delays_.load(std::memory_order_relaxed));
   w.key("per_worker").begin_array();

@@ -15,8 +15,12 @@
 //   3. every candidate down      -> stale-while-revalidate: last good
 //                                   response from the router's LRU, else
 //                                   (simulate) the shared disk cache
-//   4. stale miss, someone full  -> structured `overloaded` (shed)
-//   5. stale miss, all down      -> structured `unavailable`
+//   4. stale miss, all down      -> promotion (simulate + --sweep-cache):
+//                                   the front computes the point itself and
+//                                   its SweepEngine writes the shared disk
+//                                   entry, warming every recovering worker
+//   5. stale miss, someone full  -> structured `overloaded` (shed)
+//   6. stale miss, all down      -> structured `unavailable`
 // Admission is per-worker (Supervisor::try_acquire): a slow worker sheds
 // its own shard's load instead of stalling the fleet.
 #pragma once
@@ -80,6 +84,7 @@ class Router final : public service::RequestHandler {
   std::uint64_t shed() const noexcept { return shed_.load(); }
   std::uint64_t stale_serves() const noexcept { return stale_serves_.load(); }
   std::uint64_t unavailable() const noexcept { return unavailable_.load(); }
+  std::uint64_t promoted() const noexcept { return promoted_.load(); }
 
  private:
   struct PooledConn {
@@ -101,6 +106,14 @@ class Router final : public service::RequestHandler {
   std::string stale_response(const service::Request& r,
                              const std::string& canonical);
 
+  /// Last-resort compute-at-the-front for simulate when every worker is
+  /// down: answers via a lazily-built local ServiceCore whose sim cache dir
+  /// is the fleet's shared --sweep-cache, so the computed point is promoted
+  /// into the disk tier (write-fsync-rename) and recovering workers get a
+  /// warm hit. Serialized — the front is the single writer while the fleet
+  /// is dark. Empty response when promotion does not apply.
+  service::HandleResult promote(const service::Request& r);
+
   Supervisor& supervisor_;
   RouterConfig config_;
   HashRing ring_;
@@ -108,11 +121,15 @@ class Router final : public service::RequestHandler {
   service::ShardedLruCache stale_;
   std::unique_ptr<Telemetry> telemetry_;
 
+  std::mutex promote_mu_;  ///< single-writer gate for promotion compute
+  std::unique_ptr<service::ServiceCore> promote_core_;  ///< lazily built
+
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> stale_serves_{0};
   std::atomic<std::uint64_t> unavailable_{0};
+  std::atomic<std::uint64_t> promoted_{0};
   std::atomic<std::uint64_t> chaos_drops_{0};
   std::atomic<std::uint64_t> chaos_delays_{0};
 };

@@ -1,0 +1,340 @@
+#include "guest/corpus.hpp"
+
+#include <cstddef>
+#include <map>
+
+#include "guest/asm.hpp"
+
+namespace am::guest::corpus {
+
+namespace {
+
+using namespace am::guest::rv;
+
+constexpr std::uint32_t kTextBase = 0x10000;
+constexpr std::uint32_t kDataBase = 0x20000;
+constexpr std::uint32_t kPfX = 1, kPfW = 2, kPfR = 4;
+
+void put16(std::vector<std::uint8_t>* v, std::uint16_t x) {
+  v->push_back(static_cast<std::uint8_t>(x));
+  v->push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void put32(std::vector<std::uint8_t>* v, std::uint32_t x) {
+  put16(v, static_cast<std::uint16_t>(x));
+  put16(v, static_cast<std::uint16_t>(x >> 16));
+}
+
+/// Two-pass label assembler over the raw encoders in asm.hpp: branches and
+/// jumps name integer labels, resolved after the last bind().
+class Asm {
+ public:
+  int label() { return next_label_++; }
+  void bind(int label) { bound_[label] = pc(); }
+  std::uint32_t pc() const {
+    return kTextBase + 4 * static_cast<std::uint32_t>(words_.size());
+  }
+
+  void op(std::uint32_t word) { words_.push_back(word); }
+
+  void beq(std::uint32_t rs1, std::uint32_t rs2, int l) { br(0, rs1, rs2, l); }
+  void bne(std::uint32_t rs1, std::uint32_t rs2, int l) { br(1, rs1, rs2, l); }
+  void blt(std::uint32_t rs1, std::uint32_t rs2, int l) { br(4, rs1, rs2, l); }
+  void j(int l) {
+    fixups_.push_back({words_.size(), l, 0, 0, 0, true});
+    words_.push_back(0);
+  }
+
+  /// Loads a 32-bit constant (lui+addi when it doesn't fit simm12).
+  void li(std::uint32_t rd, std::int32_t imm) {
+    if (imm >= -2048 && imm < 2048) {
+      op(addi(rd, x0, imm));
+      return;
+    }
+    const auto u = static_cast<std::uint32_t>(imm);
+    const std::uint32_t hi = (u + 0x800u) & 0xfffff000u;
+    op(lui(rd, hi));
+    const auto lo = static_cast<std::int32_t>(u - hi);
+    if (lo != 0) op(addi(rd, rd, lo));
+  }
+
+  void exit_hart(std::int32_t code) {
+    li(a0, code);
+    li(a7, 93);
+    op(ecall());
+  }
+  void exit_group(std::int32_t code) {
+    li(a0, code);
+    li(a7, 94);
+    op(ecall());
+  }
+
+  std::vector<std::uint8_t> bytes() const {
+    std::vector<std::uint32_t> words = words_;
+    for (const Fixup& f : fixups_) {
+      const std::uint32_t insn_pc =
+          kTextBase + 4 * static_cast<std::uint32_t>(f.at);
+      const auto off = static_cast<std::int32_t>(bound_.at(f.label) - insn_pc);
+      words[f.at] = f.is_jal ? jal(x0, off) : enc_b(off, f.rs1, f.rs2, f.f3);
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(words.size() * 4);
+    for (std::uint32_t w : words) put32(&out, w);
+    return out;
+  }
+
+ private:
+  struct Fixup {
+    std::size_t at;
+    int label;
+    std::uint32_t f3, rs1, rs2;
+    bool is_jal;
+  };
+
+  void br(std::uint32_t f3, std::uint32_t rs1, std::uint32_t rs2, int l) {
+    fixups_.push_back({words_.size(), l, f3, rs1, rs2, false});
+    words_.push_back(0);
+  }
+
+  std::vector<std::uint32_t> words_;
+  std::vector<Fixup> fixups_;
+  std::map<int, std::uint32_t> bound_;
+  int next_label_ = 0;
+};
+
+std::vector<std::uint8_t> link(const Asm& text, std::uint32_t data_memsz) {
+  Elf32Builder elf;
+  elf.entry = kTextBase;
+  elf.segments.push_back({kTextBase, kPfR | kPfX, text.bytes(), 0});
+  elf.segments.back().memsz =
+      static_cast<std::uint32_t>(elf.segments.back().bytes.size());
+  elf.segments.push_back({kDataBase, kPfR | kPfW, {}, data_memsz});
+  return elf.build();
+}
+
+/// Hart-0 barrier: spin on a plain load of [addr_reg] until it equals
+/// harts * kIters, then exit_group(0); other harts exit(0) immediately.
+void emit_barrier_exit(Asm& a, std::uint32_t addr_reg) {
+  const int done = a.label(), wait = a.label();
+  a.bne(a0, x0, done);
+  a.op(slli(t2, a1, 6));  // harts * 64
+  a.bind(wait);
+  a.op(lw(t3, 0, addr_reg));
+  a.bne(t3, t2, wait);
+  a.exit_group(0);
+  a.bind(done);
+  a.exit_hart(0);
+}
+
+// faa_counter: kIters amoadd.w(counter, 1) per hart — the pure FAA
+// throughput kernel (paper Fig. 2 shape).
+std::vector<std::uint8_t> build_faa_counter() {
+  Asm a;
+  a.li(s0, kDataBase);
+  a.li(s1, kIters);
+  a.li(t0, 0);
+  const int loop = a.label();
+  a.bind(loop);
+  a.li(t1, 1);
+  a.op(amoadd_w(x0, t1, s0));
+  a.op(addi(t0, t0, 1));
+  a.blt(t0, s1, loop);
+  emit_barrier_exit(a, s0);
+  return link(a, /*data_memsz=*/64);
+}
+
+// spinlock: test-and-set via amoswap.w with a plain-load backoff spin;
+// counter (separate line) incremented plainly inside the critical section.
+std::vector<std::uint8_t> build_spinlock() {
+  Asm a;
+  a.li(s0, kDataBase);       // lock
+  a.op(addi(s2, s0, 64));    // counter, next line over
+  a.li(s1, kIters);
+  a.li(t0, 0);
+  const int loop = a.label(), acq = a.label(), spin = a.label(),
+            got = a.label();
+  a.bind(loop);
+  a.bind(acq);
+  a.li(t1, 1);
+  a.op(amoswap_w(t2, t1, s0));
+  a.beq(t2, x0, got);
+  a.bind(spin);
+  a.op(lw(t2, 0, s0));
+  a.bne(t2, x0, spin);
+  a.j(acq);
+  a.bind(got);
+  a.op(lw(t3, 0, s2));
+  a.op(addi(t3, t3, 1));
+  a.op(sw(t3, 0, s2));
+  a.op(fence());
+  a.op(amoswap_w(x0, x0, s0));  // release: swap in 0
+  a.op(addi(t0, t0, 1));
+  a.blt(t0, s1, loop);
+  emit_barrier_exit(a, s2);
+  return link(a, 128);
+}
+
+// ticket_lock: FAA ticket draw, plain-load spin on the owner word, FAA
+// release — the fair-lock contrast case for the contention profile.
+std::vector<std::uint8_t> build_ticket_lock() {
+  Asm a;
+  a.li(s0, kDataBase);       // next-ticket
+  a.op(addi(s2, s0, 64));    // owner
+  a.op(addi(s3, s0, 128));   // counter
+  a.li(s1, kIters);
+  a.li(t0, 0);
+  const int loop = a.label(), spin = a.label();
+  a.bind(loop);
+  a.li(t1, 1);
+  a.op(amoadd_w(t2, t1, s0));  // my ticket
+  a.bind(spin);
+  a.op(lw(t3, 0, s2));
+  a.bne(t3, t2, spin);
+  a.op(lw(t4, 0, s3));
+  a.op(addi(t4, t4, 1));
+  a.op(sw(t4, 0, s3));
+  a.op(fence());
+  a.li(t1, 1);
+  a.op(amoadd_w(x0, t1, s2));  // pass the lock
+  a.op(addi(t0, t0, 1));
+  a.blt(t0, s1, loop);
+  emit_barrier_exit(a, s3);
+  return link(a, 192);
+}
+
+// treiber_push: LR/SC push loop onto a shared stack head; hart 0 validates
+// by walking the prepend-only list until it holds harts * kIters nodes.
+std::vector<std::uint8_t> build_treiber_push() {
+  Asm a;
+  a.li(s0, kDataBase);  // head
+  a.li(s1, kIters);
+  // Private node block: data + 64 + hart * kIters * 8 (line-aligned, so
+  // node stores never break another hart's head reservation).
+  a.op(slli(t1, a0, 9));
+  a.op(addi(s2, s0, 64));
+  a.op(add(s2, s2, t1));
+  a.li(t0, 0);
+  const int loop = a.label(), push = a.label();
+  a.bind(loop);
+  a.op(slli(t1, t0, 3));
+  a.op(add(t2, s2, t1));  // node address
+  a.op(sw(t0, 4, t2));    // node->value = i
+  a.bind(push);
+  a.op(lr_w(t3, s0));
+  a.op(sw(t3, 0, t2));    // node->next = observed head
+  a.op(sc_w(t4, t2, s0));
+  a.bne(t4, x0, push);
+  a.op(addi(t0, t0, 1));
+  a.blt(t0, s1, loop);
+  // Hart 0: walk the list until every node is reachable.
+  const int done = a.label(), wait = a.label(), walk = a.label(),
+            check = a.label();
+  a.bne(a0, x0, done);
+  a.op(slli(t5, a1, 6));  // target node count
+  a.bind(wait);
+  a.li(t6, 0);
+  a.op(lw(t2, 0, s0));
+  a.bind(walk);
+  a.beq(t2, x0, check);
+  a.op(addi(t6, t6, 1));
+  a.op(lw(t2, 0, t2));
+  a.j(walk);
+  a.bind(check);
+  a.bne(t6, t5, wait);
+  a.exit_group(0);
+  a.bind(done);
+  a.exit_hart(0);
+  // 64 nodes/hart * 8 bytes, up to 64 harts, after the 64-byte head line.
+  return link(a, 64 + 64 * kIters * 8);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Elf32Builder::build() const {
+  const auto phnum = static_cast<std::uint32_t>(segments.size());
+  const std::uint32_t phoff = 52;
+  std::uint32_t data_off = phoff + 32 * phnum;
+
+  std::vector<std::uint8_t> out;
+  // e_ident.
+  out = {0x7f, 'E', 'L', 'F', 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  put16(&out, 2);    // ET_EXEC
+  put16(&out, 243);  // EM_RISCV
+  put32(&out, 1);    // e_version
+  put32(&out, entry);
+  put32(&out, phoff);
+  put32(&out, 0);  // e_shoff
+  put32(&out, 0);  // e_flags
+  put16(&out, 52);  // e_ehsize
+  put16(&out, 32);  // e_phentsize
+  put16(&out, static_cast<std::uint16_t>(phnum));
+  put16(&out, 0);  // e_shentsize
+  put16(&out, 0);  // e_shnum
+  put16(&out, 0);  // e_shstrndx
+
+  for (const Segment& seg : segments) {
+    const auto filesz = static_cast<std::uint32_t>(seg.bytes.size());
+    put32(&out, 1);  // PT_LOAD
+    put32(&out, data_off);
+    put32(&out, seg.vaddr);
+    put32(&out, seg.vaddr);  // p_paddr
+    put32(&out, filesz);
+    put32(&out, seg.memsz > filesz ? seg.memsz : filesz);
+    put32(&out, seg.flags);
+    put32(&out, 0x1000);  // p_align
+    data_off += filesz;
+  }
+  for (const Segment& seg : segments) {
+    out.insert(out.end(), seg.bytes.begin(), seg.bytes.end());
+  }
+  return out;
+}
+
+const std::vector<std::string>& names() {
+  static const std::vector<std::string> kNames = {
+      "faa_counter", "spinlock", "ticket_lock", "treiber_push"};
+  return kNames;
+}
+
+std::vector<std::uint8_t> build(const std::string& name) {
+  if (name == "faa_counter") return build_faa_counter();
+  if (name == "spinlock") return build_spinlock();
+  if (name == "ticket_lock") return build_ticket_lock();
+  if (name == "treiber_push") return build_treiber_push();
+  return {};
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2 + len / 32 + 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+    if ((i + 1) % 32 == 0) out.push_back('\n');
+  }
+  if (len % 32 != 0) out.push_back('\n');
+  return out;
+}
+
+bool from_hex(std::string_view text, std::vector<std::uint8_t>* out) {
+  out->clear();
+  int hi = -1;
+  for (char c : text) {
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else return false;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out->push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  return hi < 0;
+}
+
+}  // namespace am::guest::corpus

@@ -1,0 +1,59 @@
+// The checked-in guest corpus: four classic contention kernels assembled
+// in-process (no cross-toolchain) into static RV32IMA ELF executables.
+//
+// Every program takes hart id in a0 and hart count in a1 (the loader ABI),
+// runs ITERS loop bodies per hart, and self-validates: hart 0 spins at a
+// barrier until the shared state proves every hart's work arrived (counter ==
+// harts * ITERS, or the Treiber list holds harts * ITERS nodes), then issues
+// exit_group(0). A lost update, broken LR/SC pairing or mis-ordered retirement
+// turns that into a hang (-> cycle_budget) or a nonzero exit — so simply
+// running the corpus to completion is a functional test of the interpreter's
+// atomic semantics under real interleaving.
+//
+// The corpus is committed as hex (tests/guest/corpus/*.hex) so CI and the
+// service tests need no assembler; the regen-check test rebuilds each program
+// and diffs the bytes, and AM_REGEN_CORPUS=1 re-blesses the files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace am::guest::corpus {
+
+/// Loop iterations per hart in every corpus program.
+inline constexpr std::uint32_t kIters = 64;
+
+/// Minimal static ELF32 writer (EM_RISCV, ET_EXEC): header + program headers
+/// + segment bytes, no sections. Also used by the malformed-input tests to
+/// produce a valid image before corrupting it.
+struct Elf32Builder {
+  struct Segment {
+    std::uint32_t vaddr = 0;
+    std::uint32_t flags = 0;  ///< PF_X=1, PF_W=2, PF_R=4
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t memsz = 0;  ///< >= bytes.size(); excess is zero-filled
+  };
+  std::uint32_t entry = 0;
+  std::vector<Segment> segments;
+
+  std::vector<std::uint8_t> build() const;
+};
+
+/// Names of the corpus programs: faa_counter, spinlock, ticket_lock,
+/// treiber_push.
+const std::vector<std::string>& names();
+
+/// Assembles the named program. Empty vector for an unknown name.
+std::vector<std::uint8_t> build(const std::string& name);
+
+/// Hex encoding used for the checked-in corpus files: lowercase, 32 bytes
+/// per line, trailing newline.
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+
+/// Strict inverse of to_hex, except whitespace is ignored anywhere. False on
+/// non-hex characters or an odd digit count.
+bool from_hex(std::string_view text, std::vector<std::uint8_t>* out);
+
+}  // namespace am::guest::corpus

@@ -1,0 +1,185 @@
+#include "guest/elf.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace am::guest {
+
+namespace {
+
+constexpr std::uint16_t kEmRiscv = 243;
+constexpr std::uint16_t kEtExec = 2;
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint32_t kPfX = 1;
+
+std::uint16_t rd16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t rd32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+struct Segment {
+  std::uint32_t vaddr = 0;
+  std::uint32_t memsz = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t filesz = 0;
+  bool exec = false;
+};
+
+std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+GuestError load_elf32(const std::uint8_t* data, std::size_t len,
+                      const GuestLimits& limits,
+                      std::uint32_t stack_bytes_total, GuestImage* out) {
+  if (len > limits.max_elf_bytes) {
+    return GuestError::make(errc::kElfTooLarge,
+                            "elf file exceeds " +
+                                std::to_string(limits.max_elf_bytes) +
+                                " bytes");
+  }
+  if (len < 52) {
+    return GuestError::make(errc::kElfTruncated,
+                            "file smaller than an ELF32 header");
+  }
+  if (data[0] != 0x7f || data[1] != 'E' || data[2] != 'L' || data[3] != 'F') {
+    return GuestError::make(errc::kElfBadMagic, "missing \\x7fELF magic");
+  }
+  if (data[4] != 1 || data[5] != 1) {
+    return GuestError::make(errc::kElfWrongClass,
+                            "need little-endian ELFCLASS32");
+  }
+  if (rd16(data + 18) != kEmRiscv) {
+    return GuestError::make(
+        errc::kElfWrongMachine,
+        "e_machine=" + std::to_string(rd16(data + 18)) + ", need RISC-V");
+  }
+  if (rd16(data + 16) != kEtExec) {
+    return GuestError::make(errc::kElfNotExec,
+                            "need a statically linked ET_EXEC image");
+  }
+  const std::uint32_t entry = rd32(data + 24);
+  const std::uint32_t phoff = rd32(data + 28);
+  const std::uint16_t phentsize = rd16(data + 42);
+  const std::uint16_t phnum = rd16(data + 44);
+  if (phentsize != 32) {
+    return GuestError::make(errc::kElfBadSegment,
+                            "e_phentsize=" + std::to_string(phentsize) +
+                                ", need 32");
+  }
+  if (phnum == 0) {
+    return GuestError::make(errc::kElfBadSegment, "no program headers");
+  }
+  if (phnum > limits.max_segments) {
+    return GuestError::make(errc::kElfBadSegment,
+                            "too many program headers");
+  }
+  // phoff + phnum*32 must sit inside the file, overflow-safe.
+  if (phoff > len || static_cast<std::uint64_t>(phoff) + phnum * 32ull > len) {
+    return GuestError::make(errc::kElfTruncated,
+                            "program headers past end of file");
+  }
+
+  std::vector<Segment> segs;
+  for (std::uint16_t i = 0; i < phnum; ++i) {
+    const std::uint8_t* ph = data + phoff + i * 32u;
+    if (rd32(ph) != kPtLoad) continue;
+    Segment s;
+    s.offset = rd32(ph + 4);
+    s.vaddr = rd32(ph + 8);
+    s.filesz = rd32(ph + 16);
+    s.memsz = rd32(ph + 20);
+    s.exec = (rd32(ph + 24) & kPfX) != 0;
+    if (s.memsz == 0) continue;
+    if (s.filesz > s.memsz) {
+      return GuestError::make(errc::kElfBadSegment,
+                              "segment filesz exceeds memsz");
+    }
+    if (static_cast<std::uint64_t>(s.offset) + s.filesz > len) {
+      return GuestError::make(errc::kElfTruncated,
+                              "segment data past end of file");
+    }
+    if (static_cast<std::uint64_t>(s.vaddr) + s.memsz > 0xffffffffull) {
+      return GuestError::make(errc::kElfBadSegment,
+                              "segment wraps the 32-bit address space");
+    }
+    segs.push_back(s);
+  }
+  if (segs.empty()) {
+    return GuestError::make(errc::kElfBadSegment, "no PT_LOAD segments");
+  }
+
+  std::sort(segs.begin(), segs.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.vaddr < b.vaddr;
+            });
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    if (segs[i].vaddr < segs[i - 1].vaddr + segs[i - 1].memsz) {
+      return GuestError::make(errc::kElfOverlap,
+                              "PT_LOAD segments overlap");
+    }
+  }
+
+  const std::uint32_t base = segs.front().vaddr & ~0xfffu;
+  const std::uint32_t seg_top = segs.back().vaddr + segs.back().memsz;
+  const std::uint32_t brk = align_up(seg_top, 16);
+  const std::uint64_t heap_end = static_cast<std::uint64_t>(brk) +
+                                 limits.heap_bytes;
+  const std::uint64_t stacks_base = align_up(
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(heap_end,
+                                                         0xffffff00ull)),
+      64);
+  const std::uint64_t image_end = stacks_base + stack_bytes_total;
+  if (image_end > 0xffffffffull ||
+      image_end - base > limits.max_image_bytes) {
+    return GuestError::make(errc::kElfTooLarge,
+                            "loaded image exceeds " +
+                                std::to_string(limits.max_image_bytes) +
+                                " bytes");
+  }
+
+  GuestImage image;
+  image.mem = GuestMemory(base, static_cast<std::uint32_t>(image_end - base));
+  std::uint32_t text_lo = 0xffffffffu;
+  std::uint32_t text_hi = 0;
+  for (const Segment& s : segs) {
+    if (s.filesz > 0 &&
+        !image.mem.write_raw(s.vaddr, data + s.offset, s.filesz)) {
+      return GuestError::make(errc::kElfBadSegment,
+                              "segment outside the image span");
+    }
+    if (s.exec) {
+      text_lo = std::min(text_lo, s.vaddr);
+      text_hi = std::max(text_hi, s.vaddr + s.memsz);
+    }
+  }
+  if (text_hi <= text_lo) {
+    return GuestError::make(errc::kElfBadSegment,
+                            "no executable PT_LOAD segment");
+  }
+  if (entry < text_lo || entry >= text_hi || entry % 4 != 0) {
+    return GuestError::make(errc::kElfBadEntry,
+                            "entry point outside executable text (or "
+                            "misaligned)");
+  }
+
+  image.entry = entry;
+  image.text_base = text_lo;
+  image.text_end = text_hi;
+  image.brk = brk;
+  image.heap_end = static_cast<std::uint32_t>(heap_end);
+  image.stacks_base = static_cast<std::uint32_t>(stacks_base);
+  image.mem.protect_text(text_lo, text_hi);
+  *out = std::move(image);
+  return {};
+}
+
+}  // namespace am::guest

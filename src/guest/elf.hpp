@@ -1,0 +1,45 @@
+// Minimal ELF32 loader for statically linked RV32 executables.
+//
+// Accepts exactly the shape the guest frontend can execute — little-endian
+// ELFCLASS32, e_machine EM_RISCV, ET_EXEC, PT_LOAD segments that fit inside
+// the image cap without overlapping — and refuses everything else with a
+// structured GuestError. The loaded image is one flat GuestMemory spanning
+// the segments plus a bump-allocated heap and a per-hart stack region laid
+// out above the highest segment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "guest/errors.hpp"
+#include "guest/memory.hpp"
+
+namespace am::guest {
+
+struct GuestLimits {
+  std::uint32_t max_elf_bytes = 4u << 20;    ///< raw ELF file size cap
+  std::uint32_t max_image_bytes = 16u << 20; ///< loaded footprint cap
+  std::uint32_t heap_bytes = 256u << 10;     ///< brk arena above the segments
+  std::uint32_t max_segments = 64;           ///< program-header count cap
+};
+
+struct GuestImage {
+  GuestMemory mem;
+  std::uint32_t entry = 0;
+  /// Union of executable segments; the decode-once stream covers it and
+  /// stores into it are refused (memory.hpp).
+  std::uint32_t text_base = 0;
+  std::uint32_t text_end = 0;
+  std::uint32_t brk = 0;         ///< heap cursor start (sys_brk)
+  std::uint32_t heap_end = 0;    ///< heap cap
+  std::uint32_t stacks_base = 0; ///< per-hart stacks live in [stacks_base, mem.end())
+};
+
+/// Parses and loads @p data. @p stack_bytes_total reserves the per-hart
+/// stack region above the heap. Returns an ok() error on success with
+/// @p out populated.
+GuestError load_elf32(const std::uint8_t* data, std::size_t len,
+                      const GuestLimits& limits,
+                      std::uint32_t stack_bytes_total, GuestImage* out);
+
+}  // namespace am::guest

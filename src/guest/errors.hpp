@@ -1,0 +1,52 @@
+// Structured guest failures. Everything that can go wrong with a guest —
+// a malformed ELF, a wild pointer, an instruction outside RV32IMA, a
+// runaway loop — is reported as a GuestError with a stable machine-readable
+// code, never as a crash or an exception escaping the frontend. The service
+// layer forwards the code inside a `guest_error` envelope so clients can
+// dispatch on it.
+#pragma once
+
+#include <string>
+
+namespace am::guest {
+
+// Stable error-code strings (documented in docs/guest.md).
+namespace errc {
+// ELF loading.
+inline constexpr const char* kElfTruncated = "elf_truncated";
+inline constexpr const char* kElfBadMagic = "elf_bad_magic";
+inline constexpr const char* kElfWrongClass = "elf_wrong_class";
+inline constexpr const char* kElfWrongMachine = "elf_wrong_machine";
+inline constexpr const char* kElfNotExec = "elf_not_exec";
+inline constexpr const char* kElfBadSegment = "elf_bad_segment";
+inline constexpr const char* kElfOverlap = "elf_overlap";
+inline constexpr const char* kElfTooLarge = "elf_too_large";
+inline constexpr const char* kElfBadEntry = "elf_bad_entry";
+// Execution.
+inline constexpr const char* kIllegalInstruction = "illegal_instruction";
+inline constexpr const char* kMemFault = "mem_fault";
+inline constexpr const char* kMisaligned = "misaligned";
+inline constexpr const char* kTextWrite = "text_write";
+inline constexpr const char* kInstructionBudget = "instruction_budget";
+inline constexpr const char* kCycleBudget = "cycle_budget";
+inline constexpr const char* kBreakpoint = "breakpoint";
+// Run configuration.
+inline constexpr const char* kBadHarts = "bad_harts";
+inline constexpr const char* kBadBackend = "bad_backend";
+}  // namespace errc
+
+struct GuestError {
+  std::string code;     ///< one of errc::*; empty means "no error"
+  std::string message;  ///< human-readable detail
+
+  bool ok() const noexcept { return code.empty(); }
+
+  static GuestError make(const char* code, std::string message) {
+    GuestError e;
+    e.code = code;
+    e.message = std::move(message);
+    return e;
+  }
+};
+
+}  // namespace am::guest

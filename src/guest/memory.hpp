@@ -1,0 +1,118 @@
+// Flat guest physical memory: one contiguous byte span covering every
+// loaded segment plus heap and per-hart stacks. All accesses are
+// bounds-checked; a violation sets a sticky fault the interpreter converts
+// into a structured GuestError. The executable range is write-protected —
+// the decode-once instruction stream (decode.hpp) would silently go stale
+// under self-modifying code, so stores into it are refused instead.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace am::guest {
+
+class GuestMemory {
+ public:
+  GuestMemory() = default;
+  GuestMemory(std::uint32_t base, std::uint32_t size)
+      : base_(base), bytes_(size, 0) {}
+
+  std::uint32_t base() const noexcept { return base_; }
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+  std::uint32_t end() const noexcept { return base_ + size(); }
+
+  bool contains(std::uint32_t addr, std::uint32_t len) const noexcept {
+    return addr >= base_ && len <= size() && addr - base_ <= size() - len;
+  }
+
+  /// Marks [lo, hi) as execute-only for stores (the decoded text range).
+  void protect_text(std::uint32_t lo, std::uint32_t hi) noexcept {
+    text_lo_ = lo;
+    text_hi_ = hi;
+  }
+
+  // --- typed little-endian accessors -----------------------------------
+  // On a bounds (or text-write) violation the access is dropped, reads
+  // return 0, and ok() goes false with the faulting address latched.
+
+  std::uint32_t load8(std::uint32_t addr) noexcept { return load(addr, 1); }
+  std::uint32_t load16(std::uint32_t addr) noexcept { return load(addr, 2); }
+  std::uint32_t load32(std::uint32_t addr) noexcept { return load(addr, 4); }
+
+  void store8(std::uint32_t addr, std::uint32_t v) noexcept {
+    store(addr, 1, v);
+  }
+  void store16(std::uint32_t addr, std::uint32_t v) noexcept {
+    store(addr, 2, v);
+  }
+  void store32(std::uint32_t addr, std::uint32_t v) noexcept {
+    store(addr, 4, v);
+  }
+
+  /// Raw write used by the loader (ignores text protection; the loader
+  /// populates text in the first place).
+  bool write_raw(std::uint32_t addr, const void* data,
+                 std::uint32_t len) noexcept {
+    if (!contains(addr, len)) return false;
+    std::memcpy(&bytes_[addr - base_], data, len);
+    return true;
+  }
+
+  bool read_raw(std::uint32_t addr, void* data, std::uint32_t len) noexcept {
+    if (!contains(addr, len)) return false;
+    std::memcpy(data, &bytes_[addr - base_], len);
+    return true;
+  }
+
+  bool ok() const noexcept { return !faulted_; }
+  std::uint32_t fault_addr() const noexcept { return fault_addr_; }
+  bool text_fault() const noexcept { return text_fault_; }
+  void clear_fault() noexcept {
+    faulted_ = false;
+    text_fault_ = false;
+  }
+
+ private:
+  std::uint32_t load(std::uint32_t addr, std::uint32_t len) noexcept {
+    if (!contains(addr, len)) {
+      fault(addr, false);
+      return 0;
+    }
+    std::uint32_t v = 0;
+    std::memcpy(&v, &bytes_[addr - base_], len);
+    return v;
+  }
+
+  void store(std::uint32_t addr, std::uint32_t len, std::uint32_t v) noexcept {
+    if (!contains(addr, len)) {
+      fault(addr, false);
+      return;
+    }
+    if (addr < text_hi_ && addr + len > text_lo_) {
+      fault(addr, true);
+      return;
+    }
+    std::memcpy(&bytes_[addr - base_], &v, len);
+  }
+
+  void fault(std::uint32_t addr, bool text) noexcept {
+    if (!faulted_) {
+      faulted_ = true;
+      fault_addr_ = addr;
+      text_fault_ = text;
+    }
+  }
+
+  std::uint32_t base_ = 0;
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t text_lo_ = 0;
+  std::uint32_t text_hi_ = 0;
+  bool faulted_ = false;
+  bool text_fault_ = false;
+  std::uint32_t fault_addr_ = 0;
+};
+
+}  // namespace am::guest

@@ -6,11 +6,14 @@
 
 #include "bench_core/sim_backend.hpp"
 #include "bench_core/sweep.hpp"
+#include "common/base64.hpp"
 #include "common/json.hpp"
+#include "guest/runner.hpp"
 #include "model/advisor.hpp"
 #include "model/bouncing_model.hpp"
 #include "model/calibrate.hpp"
 #include "model/params_io.hpp"
+#include "obs/metrics.hpp"
 #include "sim/config.hpp"
 
 namespace am::service {
@@ -169,6 +172,7 @@ ServiceCore::HandleResult ServiceCore::handle(const Request& r,
   }
 
   std::string error;
+  std::string error_code;
   std::string result;
   switch (r.kind) {
     case RequestKind::kPredict: result = run_predict(r.point, &error); break;
@@ -179,6 +183,9 @@ ServiceCore::HandleResult ServiceCore::handle(const Request& r,
     case RequestKind::kSimulate:
       result = run_simulate(r.point, &error, ctx);
       break;
+    case RequestKind::kRunGuest:
+      result = run_guest(r.guest, &error, &error_code, ctx);
+      break;
     case RequestKind::kStats:
     case RequestKind::kPing:
     case RequestKind::kMetrics:
@@ -186,7 +193,9 @@ ServiceCore::HandleResult ServiceCore::handle(const Request& r,
       break;
   }
   if (!error.empty()) {
-    out.response = make_error_response(r.id, error);
+    out.response = error_code.empty()
+                       ? make_error_response(r.id, error)
+                       : make_error_response(r.id, error_code, error);
     out.ok = false;
     return out;
   }
@@ -377,6 +386,97 @@ std::string ServiceCore::run_simulate(const PointQuery& q, std::string* error,
     return "";
   }
   return render_simulate_result(q, *run);
+}
+
+std::string ServiceCore::run_guest(const GuestQuery& q, std::string* error,
+                                   std::string* error_code,
+                                   const RequestContext* ctx) {
+  // Per-request counters; registration is idempotent, so resolving them
+  // here (the cold path — a cache hit never reaches run_guest) is fine.
+  obs::metrics::Registry& reg = obs::metrics::default_registry();
+  obs::metrics::Counter* runs =
+      config_.metrics
+          ? &reg.counter("am_guest_runs_total", "run_guest executions")
+          : nullptr;
+  obs::metrics::Counter* errors =
+      config_.metrics ? &reg.counter("am_guest_errors_total",
+                                     "run_guest executions that failed")
+                      : nullptr;
+  obs::metrics::Counter* instret =
+      config_.metrics ? &reg.counter("am_guest_instructions_total",
+                                     "guest instructions retired")
+                      : nullptr;
+  obs::metrics::Counter* cycles =
+      config_.metrics ? &reg.counter("am_guest_cycles_total",
+                                     "simulated cycles spent on guest runs")
+                      : nullptr;
+  if (runs != nullptr) runs->inc();
+
+  guest::GuestRunConfig config;
+  config.backend = "sim:" + q.machine + ":" + q.memory_model;
+  config.harts = q.harts;
+  config.seed = q.seed;
+  config.max_cycles = config_.guest_max_cycles;
+  config.guest.max_instructions = config_.guest_max_instructions;
+  config.guest.max_stdout_bytes = 4096;  // response-size guard
+  config.trace = ctx != nullptr ? ctx->trace : nullptr;
+
+  const guest::GuestRunResult result =
+      guest::run_guest(q.elf.data(), q.elf.size(), config);
+
+  if (instret != nullptr) instret->inc(result.total_instructions);
+  if (cycles != nullptr) cycles->inc(result.completion_cycles);
+  if (!result.error.ok()) {
+    if (errors != nullptr) errors->inc();
+    *error = result.error.code + ": " + result.error.message;
+    *error_code = errcode::kGuestError;
+    return "";
+  }
+
+  const bench::MeasuredRun run = guest::to_measured_run(result);
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("machine", q.machine);
+  w.kv("memory_model", q.memory_model);
+  w.kv("harts", std::uint64_t{q.harts});
+  w.kv("seed", q.seed);
+  w.kv("elf_sha", q.elf_sha);
+  w.kv("completion_cycles", result.completion_cycles);
+  w.kv("instructions", result.total_instructions);
+  w.kv("atomics", result.total_atomics);
+  w.kv("yields", result.total_yields);
+  w.kv("sc_failures", result.total_sc_failures);
+  w.kv("guest_ipc", result.instructions_per_cycle());
+  w.kv("atomics_per_kcycle", result.atomics_per_kcycle());
+  w.key("hart_reports").begin_array();
+  for (const guest::HartReport& h : result.hart_reports) {
+    w.begin_object();
+    w.kv("exit_code", std::uint64_t{h.exit_code});
+    w.kv("instructions", h.instructions);
+    w.kv("atomics", h.atomics);
+    w.kv("sc_failures", h.sc_failures);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("transfers").begin_object();
+  w.kv("local_hit", run.transfers[0]);
+  w.kv("near", run.transfers[1]);
+  w.kv("far", run.transfers[2]);
+  w.kv("memory", run.transfers[3]);
+  w.end_object();
+  w.kv("invalidations", run.invalidations);
+  w.kv("memory_fetches", run.memory_fetches);
+  if (run.energy_valid) {
+    w.kv("energy_package_j", run.energy_package_j);
+  } else {
+    w.kv_null("energy_package_j");
+  }
+  // Guest stdout may be arbitrary bytes; ship it base64 so the response
+  // line stays valid JSON regardless of what the binary printed.
+  w.kv("stdout_b64", base64_encode(result.stdout_bytes));
+  w.end_object();
+  return os.str();
 }
 
 std::string render_simulate_result(const PointQuery& q,

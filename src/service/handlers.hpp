@@ -89,6 +89,12 @@ struct ServiceConfig {
   /// Mirror prediction-cache hit/miss/insert/evict events into
   /// obs::metrics::default_registry() counters.
   bool metrics = true;
+  /// run_guest resource ceilings, service-side (the CLI runs with larger
+  /// defaults): simulated-cycle window and total guest-instruction budget
+  /// per request. A guest still running at either cap gets a coded
+  /// guest_error response.
+  std::uint64_t guest_max_cycles = 50'000'000;
+  std::uint64_t guest_max_instructions = 20'000'000;
 };
 
 class ServiceCore final : public RequestHandler {
@@ -124,6 +130,11 @@ class ServiceCore final : public RequestHandler {
   std::string run_calibrate(const CalibrateQuery& q, std::string* error);
   std::string run_simulate(const PointQuery& q, std::string* error,
                            const RequestContext* ctx);
+  /// On failure sets @p error_code to errcode::kGuestError and @p error to
+  /// "<guest code>: <message>" — guest failures are coded so clients can
+  /// tell a broken binary from an unhealthy service.
+  std::string run_guest(const GuestQuery& q, std::string* error,
+                        std::string* error_code, const RequestContext* ctx);
 
   ServiceConfig config_;
   ShardedLruCache cache_;

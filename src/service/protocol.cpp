@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "bench_core/sweep.hpp"  // splitmix64
+#include "common/base64.hpp"
 #include "common/json.hpp"
 
 namespace am::service {
@@ -181,6 +182,34 @@ void parse_calibrate(Fields& f, CalibrateQuery& q) {
   if (q.samples.empty()) f.fail("samples must not be empty");
 }
 
+void parse_guest(Fields& f, GuestQuery& q) {
+  q.machine = lower(f.get_string("machine", q.machine));
+  if (!valid_machine(q.machine)) f.fail("machine must be xeon|knl|test");
+  q.memory_model = lower(f.get_string("memory_model", q.memory_model));
+  if (q.memory_model != "sc" && q.memory_model != "tso") {
+    f.fail("memory_model must be sc|tso");
+  }
+  q.harts = static_cast<std::uint32_t>(f.get_uint("harts", 1, 1, 256));
+  q.seed = f.get_uint("seed", 1, 0, ~std::uint64_t{0});
+  const std::string b64 = f.get_string("elf", "");
+  if (b64.empty()) {
+    f.fail("elf (base64) is required");
+    return;
+  }
+  std::string decoded;
+  if (!base64_decode(b64, &decoded)) {
+    f.fail("elf is not valid base64");
+    return;
+  }
+  if (decoded.empty() || decoded.size() > kMaxGuestElfBytes) {
+    f.fail("elf must decode to 1.." + std::to_string(kMaxGuestElfBytes) +
+           " bytes");
+    return;
+  }
+  q.elf.assign(decoded.begin(), decoded.end());
+  q.elf_sha = guest_elf_sha(decoded);
+}
+
 }  // namespace
 
 const char* to_string(RequestKind k) noexcept {
@@ -192,6 +221,7 @@ const char* to_string(RequestKind k) noexcept {
     case RequestKind::kStats: return "stats";
     case RequestKind::kPing: return "ping";
     case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kRunGuest: return "run_guest";
   }
   return "?";
 }
@@ -200,7 +230,7 @@ std::optional<RequestKind> parse_kind(std::string_view name) noexcept {
   for (RequestKind k :
        {RequestKind::kPredict, RequestKind::kAdvise, RequestKind::kCalibrate,
         RequestKind::kSimulate, RequestKind::kStats, RequestKind::kPing,
-        RequestKind::kMetrics}) {
+        RequestKind::kMetrics, RequestKind::kRunGuest}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -233,7 +263,7 @@ std::optional<Request> parse_request(std::string_view line,
   if (!k.has_value()) {
     return fail("unknown kind '" + kind +
                 "' (want predict|advise|calibrate|simulate|stats|ping|"
-                "metrics)");
+                "metrics|run_guest)");
   }
   r.kind = *k;
 
@@ -249,6 +279,9 @@ std::optional<Request> parse_request(std::string_view line,
       break;
     case RequestKind::kCalibrate:
       parse_calibrate(f, r.calibrate);
+      break;
+    case RequestKind::kRunGuest:
+      parse_guest(f, r.guest);
       break;
     case RequestKind::kStats:
     case RequestKind::kPing:
@@ -329,6 +362,17 @@ std::string canonical_request(const Request& r) {
       s += ']';
       break;
     }
+    case RequestKind::kRunGuest: {
+      const GuestQuery& q = r.guest;
+      str("machine", q.machine);
+      str("memory_model", q.memory_model);
+      uint("harts", q.harts);
+      uint("seed", q.seed);
+      // The binary participates via its content hash, not its (possibly
+      // re-encoded) base64 spelling — see GuestQuery.
+      str("elf_sha", q.elf_sha);
+      break;
+    }
     case RequestKind::kStats:
     case RequestKind::kPing:
     case RequestKind::kMetrics:
@@ -336,6 +380,16 @@ std::string canonical_request(const Request& r) {
   }
   s += '}';
   return s;
+}
+
+std::string guest_elf_sha(std::string_view elf_bytes) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(
+                    chain_hash(elf_bytes, 0x616d2d6775657374ull)),  // "am-guest"
+                static_cast<unsigned long long>(
+                    chain_hash(elf_bytes, 0x656c660000000000ull))); // "elf"
+  return buf;
 }
 
 std::uint64_t chain_hash(std::string_view bytes,

@@ -35,10 +35,11 @@ enum class RequestKind : std::uint8_t {
   kStats,      ///< server-side counters; never cached, always fresh
   kPing,       ///< liveness probe
   kMetrics,    ///< Prometheus text exposition; never cached, always fresh
+  kRunGuest,   ///< run a client-supplied rv32 binary as a sim workload
 };
 
 /// Number of RequestKind values (sized per-kind counter arrays).
-inline constexpr std::size_t kRequestKindCount = 7;
+inline constexpr std::size_t kRequestKindCount = 8;
 
 const char* to_string(RequestKind k) noexcept;
 std::optional<RequestKind> parse_kind(std::string_view name) noexcept;
@@ -82,18 +83,45 @@ struct CalibrateQuery {
   std::vector<CalibrateSample> samples;
 };
 
+/// Decoded-ELF size cap for run_guest requests. Generous for the corpus
+/// (each program is < 1 KiB) while keeping worst-case request lines inside
+/// the transport's per-line byte cap (base64 of 256 KiB is ~342 KiB).
+inline constexpr std::size_t kMaxGuestElfBytes = 256u << 10;
+
+/// run_guest: execute a statically linked rv32ima ELF on the simulator.
+/// The wire request carries the binary base64-encoded in "elf"; the parsed
+/// query holds the *decoded* bytes plus their content hash. The canonical
+/// form embeds only elf_sha — two requests shipping the same binary under
+/// different base64 spellings (or ids) canonicalize identically, so the
+/// sharded LRU, the disk tier and the fleet's stale-serving all work on
+/// run_guest unchanged.
+struct GuestQuery {
+  std::string machine = "xeon";     ///< sim preset: xeon | knl | test
+  std::string memory_model = "sc";  ///< sc | tso
+  std::uint32_t harts = 1;
+  std::uint64_t seed = 1;
+  std::vector<std::uint8_t> elf;  ///< decoded ELF image
+  std::string elf_sha;            ///< guest_elf_sha(elf)
+};
+
+/// Content hash of a guest binary: two independent chain_hash passes over
+/// the decoded bytes, rendered as 32 hex digits (the cache-key posture).
+std::string guest_elf_sha(std::string_view elf_bytes);
+
 struct Request {
   RequestKind kind = RequestKind::kPing;
   std::string id;  ///< echoed back verbatim; never part of the cache key
   PointQuery point;
   AdviseQuery advise;
   CalibrateQuery calibrate;
+  GuestQuery guest;
 
   /// True for kinds whose responses are deterministic functions of the
   /// canonical request and therefore cacheable.
   bool cacheable() const noexcept {
     return kind == RequestKind::kPredict || kind == RequestKind::kAdvise ||
-           kind == RequestKind::kCalibrate || kind == RequestKind::kSimulate;
+           kind == RequestKind::kCalibrate || kind == RequestKind::kSimulate ||
+           kind == RequestKind::kRunGuest;
   }
 };
 
@@ -135,6 +163,11 @@ inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kUnavailable = "unavailable";
 inline constexpr const char* kTimeout = "timeout";
 inline constexpr const char* kRequestTooLarge = "request_too_large";
+/// run_guest failures that are properties of the *guest binary or its
+/// execution* (bad ELF, illegal instruction, cycle budget), as opposed to a
+/// malformed request line. Clients branch on this to distinguish "my binary
+/// is broken" from "the service is unhealthy".
+inline constexpr const char* kGuestError = "guest_error";
 }  // namespace errcode
 
 /// Coded error envelope: {"v","id"?,"ok":false,"code","error"}. @p code is

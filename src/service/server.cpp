@@ -58,7 +58,7 @@ struct Server::Telemetry {
     namespace m = obs::metrics;
     static constexpr const char* kKinds[kRequestKindCount] = {
         "predict", "advise", "calibrate", "simulate",
-        "stats",   "ping",   "metrics"};
+        "stats",   "ping",   "metrics",   "run_guest"};
     for (std::size_t i = 0; i < kRequestKindCount; ++i) {
       by_kind[i] =
           &reg.counter("am_server_requests_total", "Requests handled, by kind",
@@ -634,6 +634,7 @@ std::string Server::stats_json() const {
   w.kv("stats", by_kind[static_cast<std::size_t>(RequestKind::kStats)]);
   w.kv("ping", by_kind[static_cast<std::size_t>(RequestKind::kPing)]);
   w.kv("metrics", by_kind[static_cast<std::size_t>(RequestKind::kMetrics)]);
+  w.kv("run_guest", by_kind[static_cast<std::size_t>(RequestKind::kRunGuest)]);
   w.kv("parse_errors", parse_errors);
   w.kv("handler_errors", handler_errors);
   w.end_object();

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_core/sim_backend.hpp"
+#include "bench_core/sweep.hpp"
 #include "fleet/chaos.hpp"
 #include "fleet/router.hpp"
 #include "fleet/supervisor.hpp"
@@ -32,6 +34,7 @@
 #include "service/handlers.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "sim/config.hpp"
 
 namespace am::fleet {
 namespace {
@@ -311,6 +314,70 @@ TEST(Fleet, DeadShardServesStaleFromRouterLru) {
   // `unavailable`, not a hang or an empty line.
   const auto miss = fleet.handle(
       R"({"kind":"predict","prim":"SWP","threads":3,"id":"never-seen"})");
+  EXPECT_FALSE(miss.ok);
+  EXPECT_EQ(service::response_error_code(miss.response),
+            service::errcode::kUnavailable);
+}
+
+TEST(Fleet, DeadFleetPromotesSimulateIntoSharedDiskCache) {
+  ASSERT_FALSE(serve_binary().empty());
+  FleetConfig config = fast_config(1);
+  config.restart_backoff_ms = 60000;  // stay down once killed
+  config.sweep_cache_dir = fresh_runtime_dir();
+  const std::string cache_dir = config.sweep_cache_dir;
+  RouterConfig router_config;
+  router_config.failover_retries = 0;
+  LiveFleet fleet(std::move(config), router_config);
+
+  const auto status = fleet.supervisor.status();
+  ASSERT_GT(status[0].pid, 0);
+  ::kill(status[0].pid, SIGKILL);
+  ASSERT_TRUE(wait_until(
+      [&] { return fleet.supervisor.workers_up() == 0; }, 10000));
+
+  // A simulate the fleet never served: no stale copy anywhere and every
+  // worker down, so the front computes the point itself (promotion) instead
+  // of answering `unavailable`.
+  const std::string line =
+      R"({"kind":"simulate","machine":"test","prim":"FAA","threads":2,"seed":11,"id":"promo-1"})";
+  const auto promoted = fleet.handle(line);
+  ASSERT_TRUE(promoted.ok) << promoted.response;
+  EXPECT_EQ(fleet.router.promoted(), 1u);
+
+  // The promotion published the shared disk entry under the exact key a
+  // worker's own sweep engine would have used.
+  std::string perr;
+  const auto request = service::parse_request(line, &perr);
+  ASSERT_TRUE(request.has_value()) << perr;
+  const sim::MachineConfig mc = sim::preset_by_name(request->point.machine);
+  const std::string key = bench::sweep_cache_key(
+      bench::sim_backend_cache_identity(mc, bench::SimBackendOptions{}),
+      service::simulate_workload(request->point),
+      bench::sweep_point_seed(request->point.seed, 0));
+  struct ::stat st {};
+  EXPECT_EQ(::stat((cache_dir + "/" + key + ".json").c_str(), &st), 0)
+      << "promotion did not write " << key << ".json";
+
+  // A second worker sharing the cache dir gets the warm hit: a fresh
+  // ServiceCore (exactly what a worker runs) answers byte-identically.
+  service::ServiceConfig worker_cfg;
+  worker_cfg.sim_cache_dir = cache_dir;
+  worker_cfg.metrics = false;
+  service::ServiceCore second_worker(worker_cfg);
+  std::string direct = second_worker.handle(*request, line, nullptr).response;
+  if (direct.empty() || direct.back() != '\n') direct += '\n';
+  EXPECT_EQ(promoted.response, direct);
+
+  // The promotion also seeded the router's stale LRU: repeats are memory
+  // hits, not recomputes.
+  const auto again = fleet.handle(line);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.response, promoted.response);
+  EXPECT_EQ(fleet.router.promoted(), 1u);
+
+  // Promotion is simulate-only: other kinds still degrade to `unavailable`.
+  const auto miss = fleet.handle(
+      R"({"kind":"predict","prim":"SWP","threads":3,"id":"no-promo"})");
   EXPECT_FALSE(miss.ok);
   EXPECT_EQ(service::response_error_code(miss.response),
             service::errcode::kUnavailable);

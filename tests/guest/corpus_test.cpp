@@ -1,0 +1,112 @@
+// The checked-in corpus is golden: re-assembling each program in-process
+// must reproduce tests/guest/corpus/<name>.hex byte for byte (AM_REGEN_CORPUS=1
+// re-blesses the files). Each program is also run to completion — the corpus
+// self-validates (barrier + exit_group(0)), so a clean exit is a functional
+// test of lost updates, LR/SC pairing and retirement-order value semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "guest/corpus.hpp"
+#include "guest/runner.hpp"
+
+namespace am::guest {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(AM_GUEST_CORPUS_DIR) + "/" + name + ".hex";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+TEST(GuestCorpus, CheckedInHexMatchesAssembler) {
+  const bool regen = std::getenv("AM_REGEN_CORPUS") != nullptr;
+  for (const std::string& name : corpus::names()) {
+    const std::vector<std::uint8_t> elf = corpus::build(name);
+    ASSERT_FALSE(elf.empty()) << name;
+    const std::string hex = corpus::to_hex(elf.data(), elf.size());
+    if (regen) {
+      std::ofstream out(golden_path(name), std::ios::binary);
+      out << hex;
+      ASSERT_TRUE(out.good()) << "cannot re-bless " << golden_path(name);
+      continue;
+    }
+    std::string golden;
+    ASSERT_TRUE(read_file(golden_path(name), &golden))
+        << golden_path(name)
+        << " missing — run with AM_REGEN_CORPUS=1 to bless";
+    EXPECT_EQ(golden, hex) << name
+                           << ": assembler output drifted from the checked-in "
+                              "corpus (AM_REGEN_CORPUS=1 re-blesses)";
+  }
+}
+
+TEST(GuestCorpus, CheckedInHexDecodesToBuilderBytes) {
+  for (const std::string& name : corpus::names()) {
+    std::string golden;
+    if (!read_file(golden_path(name), &golden)) {
+      GTEST_SKIP() << "corpus not blessed yet";
+    }
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(corpus::from_hex(golden, &bytes)) << name;
+    EXPECT_EQ(bytes, corpus::build(name)) << name;
+  }
+}
+
+TEST(GuestCorpus, EveryProgramSelfValidatesUnderContention) {
+  for (const std::string& name : corpus::names()) {
+    const std::vector<std::uint8_t> elf = corpus::build(name);
+    GuestRunConfig config;
+    config.backend = "sim:test";
+    config.harts = 2;
+    const GuestRunResult r = run_guest(elf.data(), elf.size(), config);
+    ASSERT_TRUE(r.error.ok())
+        << name << ": " << r.error.code << ": " << r.error.message;
+    for (const HartReport& h : r.hart_reports) {
+      EXPECT_TRUE(h.exited) << name;
+      EXPECT_EQ(h.exit_code, 0u) << name;
+    }
+    EXPECT_GT(r.total_atomics, 0u) << name;
+    EXPECT_GT(r.completion_cycles, 0u) << name;
+  }
+}
+
+TEST(GuestCorpus, SpinlockRunsUnderTsoOnXeon) {
+  const std::vector<std::uint8_t> elf = corpus::build("spinlock");
+  GuestRunConfig config;
+  config.backend = "sim:xeon:tso";
+  config.harts = 4;
+  const GuestRunResult r = run_guest(elf.data(), elf.size(), config);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.memory_model, sim::MemoryModel::kTso);
+  for (const HartReport& h : r.hart_reports) EXPECT_EQ(h.exit_code, 0u);
+}
+
+TEST(GuestCorpus, RunsAreDeterministicAcrossRepeats) {
+  const std::vector<std::uint8_t> elf = corpus::build("ticket_lock");
+  GuestRunConfig config;
+  config.backend = "sim:test";
+  config.harts = 2;
+  const GuestRunResult a = run_guest(elf.data(), elf.size(), config);
+  const GuestRunResult b = run_guest(elf.data(), elf.size(), config);
+  ASSERT_TRUE(a.error.ok());
+  EXPECT_EQ(a.completion_cycles, b.completion_cycles);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.total_atomics, b.total_atomics);
+  EXPECT_EQ(a.total_sc_failures, b.total_sc_failures);
+}
+
+}  // namespace
+}  // namespace am::guest

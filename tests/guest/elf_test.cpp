@@ -1,0 +1,171 @@
+// ELF32 loader contract: the corpus binaries load into a sane image, and
+// every malformed shape the loader documents is refused with its structured
+// code — truncation, wrong magic/class/machine/type, overlapping or
+// oversized segments, an entry outside text. Nothing here may crash: a
+// GuestError is the only failure channel.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "guest/corpus.hpp"
+#include "guest/elf.hpp"
+
+namespace am::guest {
+namespace {
+
+std::vector<std::uint8_t> corpus_elf(const std::string& name) {
+  std::vector<std::uint8_t> elf = corpus::build(name);
+  EXPECT_FALSE(elf.empty()) << name;
+  return elf;
+}
+
+GuestError load(const std::vector<std::uint8_t>& elf, GuestImage* out,
+                GuestLimits limits = {}) {
+  return load_elf32(elf.data(), elf.size(), limits, 64u << 10, out);
+}
+
+TEST(GuestElf, CorpusBinariesLoadWithSaneLayout) {
+  for (const std::string& name : corpus::names()) {
+    GuestImage image;
+    const GuestError err = load(corpus_elf(name), &image);
+    ASSERT_TRUE(err.ok()) << name << ": " << err.code << ": " << err.message;
+    // Entry lies inside the executable range and the stream is 4-aligned.
+    EXPECT_GE(image.entry, image.text_base) << name;
+    EXPECT_LT(image.entry, image.text_end) << name;
+    EXPECT_EQ(image.entry % 4, 0u) << name;
+    // Heap sits above the segments, stacks above the heap, all in-bounds.
+    EXPECT_GE(image.brk, image.text_end) << name;
+    EXPECT_GE(image.heap_end, image.brk) << name;
+    EXPECT_GE(image.stacks_base, image.heap_end) << name;
+    EXPECT_TRUE(image.mem.contains(image.stacks_base, 4)) << name;
+  }
+}
+
+TEST(GuestElf, TextRangeIsWriteProtected) {
+  GuestImage image;
+  ASSERT_TRUE(load(corpus_elf("faa_counter"), &image).ok());
+  image.mem.store32(image.text_base, 0xdeadbeef);
+  EXPECT_FALSE(image.mem.ok());
+  EXPECT_TRUE(image.mem.text_fault());
+  EXPECT_EQ(image.mem.fault_addr(), image.text_base);
+}
+
+TEST(GuestElf, TruncatedHeaderIsElfTruncated) {
+  const std::vector<std::uint8_t> elf = corpus_elf("spinlock");
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{51}}) {
+    GuestImage image;
+    const std::vector<std::uint8_t> cut(elf.begin(), elf.begin() + len);
+    EXPECT_EQ(load(cut, &image).code, errc::kElfTruncated) << len;
+  }
+}
+
+TEST(GuestElf, TruncatedSegmentIsElfTruncated) {
+  const std::vector<std::uint8_t> elf = corpus_elf("spinlock");
+  GuestImage image;
+  const std::vector<std::uint8_t> cut(elf.begin(), elf.begin() + 120);
+  const GuestError err = load(cut, &image);
+  EXPECT_FALSE(err.ok());
+  // Either the program headers or a segment body got cut; both are
+  // truncation-class failures.
+  EXPECT_EQ(err.code, errc::kElfTruncated);
+}
+
+TEST(GuestElf, BadMagicIsRefused) {
+  std::vector<std::uint8_t> elf = corpus_elf("spinlock");
+  elf[0] = 0x7e;
+  GuestImage image;
+  EXPECT_EQ(load(elf, &image).code, errc::kElfBadMagic);
+}
+
+TEST(GuestElf, Elf64IsWrongClass) {
+  std::vector<std::uint8_t> elf = corpus_elf("spinlock");
+  elf[4] = 2;  // EI_CLASS = ELFCLASS64
+  GuestImage image;
+  EXPECT_EQ(load(elf, &image).code, errc::kElfWrongClass);
+}
+
+TEST(GuestElf, X86MachineIsWrongMachine) {
+  std::vector<std::uint8_t> elf = corpus_elf("spinlock");
+  elf[18] = 0x3e;  // e_machine = EM_X86_64
+  elf[19] = 0x00;
+  GuestImage image;
+  EXPECT_EQ(load(elf, &image).code, errc::kElfWrongMachine);
+}
+
+TEST(GuestElf, SharedObjectIsNotExec) {
+  std::vector<std::uint8_t> elf = corpus_elf("spinlock");
+  elf[16] = 3;  // e_type = ET_DYN
+  GuestImage image;
+  EXPECT_EQ(load(elf, &image).code, errc::kElfNotExec);
+}
+
+TEST(GuestElf, OverlappingSegmentsAreRefused) {
+  // Rebuild the spinlock image with the data segment placed on top of text.
+  corpus::Elf32Builder b;
+  const std::vector<std::uint8_t> base = corpus_elf("spinlock");
+  GuestImage image;
+  ASSERT_TRUE(load(base, &image).ok());
+  corpus::Elf32Builder::Segment text;
+  text.vaddr = 0x10000;
+  text.flags = 5;  // R+X
+  text.bytes.assign(256, 0x13);  // nops
+  text.memsz = 256;
+  corpus::Elf32Builder::Segment overlap = text;
+  overlap.vaddr = 0x10080;  // inside text
+  overlap.flags = 6;        // R+W
+  b.entry = 0x10000;
+  b.segments = {text, overlap};
+  const std::vector<std::uint8_t> elf = b.build();
+  GuestImage out;
+  EXPECT_EQ(load(elf, &out).code, errc::kElfOverlap);
+}
+
+TEST(GuestElf, ImageCapIsElfTooLarge) {
+  corpus::Elf32Builder b;
+  corpus::Elf32Builder::Segment text;
+  text.vaddr = 0x10000;
+  text.flags = 5;
+  text.bytes.assign(16, 0x13);
+  text.memsz = 64u << 20;  // 64 MiB of zero-fill: over the 16 MiB cap
+  b.entry = 0x10000;
+  b.segments = {text};
+  GuestImage out;
+  EXPECT_EQ(load(b.build(), &out).code, errc::kElfTooLarge);
+}
+
+TEST(GuestElf, EntryOutsideTextIsBadEntry) {
+  corpus::Elf32Builder b;
+  corpus::Elf32Builder::Segment text;
+  text.vaddr = 0x10000;
+  text.flags = 5;
+  text.bytes.assign(64, 0x13);
+  text.memsz = 64;
+  b.entry = 0x40000;  // nowhere
+  b.segments = {text};
+  GuestImage out;
+  EXPECT_EQ(load(b.build(), &out).code, errc::kElfBadEntry);
+}
+
+TEST(GuestElf, HexRoundTripsEveryCorpusBinary) {
+  for (const std::string& name : corpus::names()) {
+    const std::vector<std::uint8_t> elf = corpus_elf(name);
+    const std::string hex = corpus::to_hex(elf.data(), elf.size());
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(corpus::from_hex(hex, &back)) << name;
+    EXPECT_EQ(back, elf) << name;
+  }
+}
+
+TEST(GuestElf, FromHexRejectsGarbage) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(corpus::from_hex("zz", &out));
+  EXPECT_FALSE(corpus::from_hex("abc", &out));  // odd nibble count
+  EXPECT_TRUE(corpus::from_hex(" 7f 45\n4c46 ", &out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0x7f, 0x45, 0x4c, 0x46}));
+}
+
+}  // namespace
+}  // namespace am::guest

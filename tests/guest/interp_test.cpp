@@ -1,0 +1,251 @@
+// Interpreter semantics on hand-assembled programs: integer ALU results,
+// atomic value semantics applied at retirement, LR/SC reservation rules,
+// the syscall surface, and the structured-error channel for every runtime
+// fault class (illegal instruction, wild pointer, misaligned atomic,
+// runaway loop). All runs ride the real sim::Machine (sim:test preset), so
+// these also pin the guest->sim lowering end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "guest/asm.hpp"
+#include "guest/corpus.hpp"
+#include "guest/runner.hpp"
+
+namespace am::guest {
+namespace {
+
+using namespace am::guest::rv;
+
+/// Assembles @p words at 0x10000 (entry) with a small RW data segment at
+/// 0x20000 and runs it on the test machine.
+GuestRunResult run_words(const std::vector<std::uint32_t>& words,
+                         std::vector<std::uint8_t> data = {},
+                         GuestRunConfig config = {}) {
+  corpus::Elf32Builder b;
+  corpus::Elf32Builder::Segment text;
+  text.vaddr = 0x10000;
+  text.flags = 5;  // R+X
+  for (std::uint32_t w : words) {
+    text.bytes.push_back(static_cast<std::uint8_t>(w));
+    text.bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+    text.bytes.push_back(static_cast<std::uint8_t>(w >> 16));
+    text.bytes.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+  text.memsz = static_cast<std::uint32_t>(text.bytes.size());
+  corpus::Elf32Builder::Segment d;
+  d.vaddr = 0x20000;
+  d.flags = 6;  // R+W
+  d.bytes = std::move(data);
+  d.memsz = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(d.bytes.size()));
+  b.entry = 0x10000;
+  b.segments = {text, d};
+  const std::vector<std::uint8_t> elf = b.build();
+  if (config.backend.empty() || config.backend == "sim:xeon") {
+    config.backend = "sim:test";
+  }
+  return run_guest(elf.data(), elf.size(), config);
+}
+
+std::vector<std::uint32_t> exit_with_a0() {
+  return {addi(a7, x0, 93), ecall()};
+}
+
+void append(std::vector<std::uint32_t>* prog,
+            const std::vector<std::uint32_t>& tail) {
+  prog->insert(prog->end(), tail.begin(), tail.end());
+}
+
+TEST(GuestInterp, ArithmeticFlowsIntoExitCode) {
+  std::vector<std::uint32_t> prog = {
+      addi(a0, x0, 5),
+      addi(t0, x0, 7),
+      mul(a0, a0, t0),   // 35
+      addi(a0, a0, 7),   // 42
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  ASSERT_EQ(r.hart_reports.size(), 1u);
+  EXPECT_TRUE(r.hart_reports[0].exited);
+  EXPECT_EQ(r.hart_reports[0].exit_code, 42u);
+  EXPECT_GT(r.completion_cycles, 0u);
+}
+
+TEST(GuestInterp, AmoAddReturnsOldValueAndUpdatesMemory) {
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0x20000),
+      addi(t1, x0, 5),
+      sw(t1, 0, t0),            // [0x20000] = 5
+      addi(t2, x0, 3),
+      amoadd_w(s0, t2, t0),     // s0 = 5, [0x20000] = 8
+      lw(s1, 0, t0),            // s1 = 8
+      add(a0, s0, s1),          // 13
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 13u);
+  EXPECT_GE(r.hart_reports[0].atomics, 1u);
+}
+
+TEST(GuestInterp, LrScSucceedsOnceThenFailsWithoutReservation) {
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0x20000),
+      lr_w(s0, t0),             // reservation on the line, s0 = 0
+      addi(s1, s0, 9),
+      sc_w(s2, s1, t0),         // success: s2 = 0, [0x20000] = 9
+      sc_w(t3, s1, t0),         // no reservation anymore: t3 = 1, no store
+      lw(s3, 0, t0),            // 9
+      slli(t3, t3, 4),          // 16
+      add(a0, t3, s3),          // 25
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 25u);
+  EXPECT_EQ(r.hart_reports[0].sc_failures, 1u);
+}
+
+TEST(GuestInterp, AmoCasSwapsOnlyOnMatch) {
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0x20000),
+      addi(t1, x0, 7),
+      sw(t1, 0, t0),            // [0x20000] = 7
+      addi(s0, x0, 7),          // expected (rd carries it in)
+      addi(t2, x0, 21),         // desired
+      amocas_w(s0, t2, t0),     // matches: s0 = 7, [0x20000] = 21
+      addi(s1, x0, 99),         // wrong expected
+      addi(t2, x0, 50),
+      amocas_w(s1, t2, t0),     // no match: s1 = 21, memory keeps 21
+      lw(s2, 0, t0),
+      add(a0, s1, s2),          // 21 + 21 = 42
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 42u);
+}
+
+TEST(GuestInterp, WriteSyscallCapturesStdout) {
+  std::vector<std::uint32_t> prog = {
+      addi(a0, x0, 1),          // fd = stdout
+      lui(a1, 0x20000),         // buf
+      addi(a2, x0, 3),          // len
+      addi(a7, x0, 64),         // write
+      ecall(),
+      addi(a0, x0, 0),
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog, {'h', 'i', '\n'});
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.stdout_bytes, "hi\n");
+}
+
+TEST(GuestInterp, UnknownSyscallReturnsEnosys) {
+  std::vector<std::uint32_t> prog = {
+      addi(a7, x0, 999),
+      ecall(),                   // a0 = -ENOSYS = -38
+      addi(t0, x0, -38),
+      sub(a0, a0, t0),           // 0 iff the kernel said ENOSYS
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 0u);
+}
+
+TEST(GuestInterp, IllegalInstructionIsStructured) {
+  const GuestRunResult r = run_words({0xffffffffu});
+  EXPECT_EQ(r.error.code, errc::kIllegalInstruction);
+}
+
+TEST(GuestInterp, EbreakIsStructured) {
+  const GuestRunResult r = run_words({ebreak()});
+  EXPECT_EQ(r.error.code, errc::kBreakpoint);
+}
+
+TEST(GuestInterp, WildLoadIsMemFault) {
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0xdeadb000u),
+      lw(a0, 0, t0),
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  EXPECT_EQ(r.error.code, errc::kMemFault);
+}
+
+TEST(GuestInterp, StoreIntoTextIsTextWrite) {
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0x10000),
+      sw(x0, 0, t0),
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  EXPECT_EQ(r.error.code, errc::kTextWrite);
+}
+
+TEST(GuestInterp, MisalignedAtomicIsStructured) {
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0x20000),
+      addi(t0, t0, 2),
+      amoadd_w(s0, x0, t0),
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  EXPECT_EQ(r.error.code, errc::kMisaligned);
+}
+
+TEST(GuestInterp, RunawayLoopHitsInstructionBudget) {
+  GuestRunConfig config;
+  config.guest.max_instructions = 10'000;
+  const GuestRunResult r = run_words({jal(x0, 0)}, {}, config);
+  EXPECT_EQ(r.error.code, errc::kInstructionBudget);
+}
+
+TEST(GuestInterp, SliceYieldsKeepPlainSpinLoopsLive) {
+  // Hart 1 spins on a *plain* load of a flag hart 0 stores with a plain sw.
+  // Without the slice-yield fairness mechanism this never terminates (the
+  // spinner would monopolize interpretation); with it, both exit 0.
+  std::vector<std::uint32_t> prog = {
+      lui(t0, 0x20000),
+      bne(a0, x0, 5 * 4),        // hart != 0 -> spin
+      addi(t1, x0, 1),
+      sw(t1, 0, t0),             // hart 0 publishes the flag
+      addi(a0, x0, 0),
+      jal(x0, 4 * 4),            // -> exit
+      lw(t2, 0, t0),             // spin:
+      beq(t2, x0, -1 * 4),
+      addi(a0, x0, 0),
+  };
+  append(&prog, exit_with_a0());
+  GuestRunConfig config;
+  config.harts = 2;
+  const GuestRunResult r = run_words(prog, {}, config);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 0u);
+  EXPECT_EQ(r.hart_reports[1].exit_code, 0u);
+}
+
+TEST(GuestInterp, BadBackendAndBadHartsAreStructured) {
+  const std::vector<std::uint8_t> elf = corpus::build("faa_counter");
+  GuestRunConfig config;
+  config.backend = "hw";
+  GuestRunResult r = run_guest(elf.data(), elf.size(), config);
+  EXPECT_EQ(r.error.code, errc::kBadBackend);
+
+  config.backend = "sim:test";
+  config.harts = 0;
+  r = run_guest(elf.data(), elf.size(), config);
+  EXPECT_EQ(r.error.code, errc::kBadHarts);
+
+  config.harts = 100000;  // more harts than any preset has cores
+  r = run_guest(elf.data(), elf.size(), config);
+  EXPECT_EQ(r.error.code, errc::kBadHarts);
+}
+
+}  // namespace
+}  // namespace am::guest

@@ -1,0 +1,138 @@
+// run_guest through the service layer: requests canonicalize by content
+// hash (so the sharded LRU and fleet stale-serving work unchanged), repeat
+// requests are byte-identical cache hits, and every guest failure surfaces
+// as a coded `guest_error` envelope — a broken binary must be
+// distinguishable from an unhealthy service.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/base64.hpp"
+#include "guest/corpus.hpp"
+#include "service/handlers.hpp"
+#include "service/protocol.hpp"
+
+namespace am::service {
+namespace {
+
+std::string corpus_request(const std::string& name, int harts,
+                           const std::string& extra = "") {
+  const std::vector<std::uint8_t> elf = am::guest::corpus::build(name);
+  const std::string b64 = am::base64_encode(
+      std::string_view(reinterpret_cast<const char*>(elf.data()), elf.size()));
+  return std::string("{\"kind\":\"run_guest\",\"machine\":\"test\",") +
+         "\"harts\":" + std::to_string(harts) + "," + extra + "\"elf\":\"" +
+         b64 + "\"}";
+}
+
+Request parse_ok(const std::string& line) {
+  std::string error;
+  const auto r = parse_request(line, &error);
+  EXPECT_TRUE(r.has_value()) << error;
+  return r.value_or(Request{});
+}
+
+TEST(ServiceGuest, ServesAndCachesByteIdentical) {
+  ServiceCore core({});
+  const Request r = parse_ok(corpus_request("faa_counter", 2));
+  const auto first = core.handle(r);
+  ASSERT_TRUE(first.ok) << first.response;
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = core.handle(r);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.response, second.response);
+  // The result names the run: completion cycles and the content hash.
+  EXPECT_NE(first.response.find("\"completion_cycles\""), std::string::npos);
+  EXPECT_NE(first.response.find("\"elf_sha\""), std::string::npos);
+}
+
+TEST(ServiceGuest, CanonicalFormHashesContentNotEncoding) {
+  // Same bytes, different member order: identical canonical form, and the
+  // multi-KB base64 body is replaced by the 32-hex content hash.
+  const std::vector<std::uint8_t> elf = am::guest::corpus::build("spinlock");
+  const std::string b64 = am::base64_encode(
+      std::string_view(reinterpret_cast<const char*>(elf.data()), elf.size()));
+  const Request a = parse_ok(
+      R"({"kind":"run_guest","machine":"test","harts":2,"elf":")" + b64 +
+      "\"}");
+  const Request b = parse_ok(
+      R"({"harts":2,"elf":")" + b64 + R"(","machine":"test","kind":"run_guest"})");
+  EXPECT_EQ(canonical_request(a), canonical_request(b));
+  const std::string sha = guest_elf_sha(
+      std::string_view(reinterpret_cast<const char*>(elf.data()), elf.size()));
+  EXPECT_NE(canonical_request(a).find(sha), std::string::npos);
+  EXPECT_EQ(canonical_request(a).find(b64), std::string::npos);
+  EXPECT_LT(canonical_request(a).size(), 256u);
+}
+
+TEST(ServiceGuest, GarbageElfIsCodedGuestError) {
+  ServiceCore core({});
+  const std::string b64 = am::base64_encode("this is not an elf at all");
+  const Request r = parse_ok(
+      R"({"kind":"run_guest","machine":"test","harts":1,"elf":")" + b64 +
+      "\"}");
+  const auto result = core.handle(r);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(response_error_code(result.response), errcode::kGuestError);
+  // The guest-level code rides in the message for client-side dispatch.
+  EXPECT_NE(result.response.find("elf_"), std::string::npos);
+}
+
+TEST(ServiceGuest, TooManyHartsForMachineIsCodedGuestError) {
+  ServiceCore core({});
+  const Request r = parse_ok(corpus_request("faa_counter", 256));
+  const auto result = core.handle(r);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(response_error_code(result.response), errcode::kGuestError);
+  EXPECT_NE(result.response.find("bad_harts"), std::string::npos);
+}
+
+TEST(ServiceGuest, ServiceCeilingsAbortRunawayGuests) {
+  ServiceConfig config;
+  config.guest_max_cycles = 20'000;
+  config.guest_max_instructions = 5'000;
+  ServiceCore core(config);
+  // treiber_push at 2 harts needs far more than 5k instructions.
+  const Request r = parse_ok(corpus_request("treiber_push", 2));
+  const auto result = core.handle(r);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(response_error_code(result.response), errcode::kGuestError);
+}
+
+TEST(ServiceGuest, ParseRejectsBadRequests) {
+  std::string error;
+  // Missing elf.
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"run_guest","machine":"test","harts":1})", &error)
+      .has_value());
+  // Invalid base64.
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"run_guest","machine":"test","harts":1,"elf":"@@@"})", &error)
+      .has_value());
+  // Hart count outside 1..256.
+  EXPECT_FALSE(parse_request(corpus_request("spinlock", 0), &error)
+      .has_value());
+  EXPECT_FALSE(parse_request(corpus_request("spinlock", 257), &error)
+      .has_value());
+  // Oversized ELF (decoded > kMaxGuestElfBytes).
+  const std::string big = am::base64_encode(std::string(kMaxGuestElfBytes + 1,
+                                                        'x'));
+  EXPECT_FALSE(parse_request(
+      R"({"kind":"run_guest","machine":"test","harts":1,"elf":")" + big +
+      "\"}", &error).has_value());
+}
+
+TEST(ServiceGuest, MemoryModelSelectsTso) {
+  ServiceCore core({});
+  const Request r = parse_ok(
+      corpus_request("spinlock", 2, R"("memory_model":"tso",)"));
+  const auto result = core.handle(r);
+  ASSERT_TRUE(result.ok) << result.response;
+  EXPECT_NE(result.response.find("\"memory_model\":\"tso\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace am::service

@@ -126,6 +126,77 @@ TEST(Server, OversizedRequestLineGetsStructuredTooLarge) {
   server.wait();
 }
 
+TEST(Server, MultiMegabyteRequestJustOverCapAnswersStructured) {
+  // The am_client --file path ships whole request bodies from disk — a
+  // run_guest line with a base64 ELF payload is naturally megabytes. Just
+  // over the cap (overshoot small enough to sit in socket buffers) the
+  // send completes and the structured answer must come back.
+  ServiceCore core({});
+  ServerConfig config;
+  Endpoint ep;
+  ep.host = "127.0.0.1";
+  ep.port = 0;
+  config.listen.push_back(ep);
+  config.max_line_bytes = 1 << 20;
+  config.metrics = false;
+  Server server(core, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ServiceClient client;
+  client.set_timeout_ms(10000);
+  ASSERT_TRUE(client.connect(server.bound_endpoints().front(), &error))
+      << error;
+  const std::string line = R"({"kind":"run_guest","elf":")" +
+                           std::string((1 << 20) + (32 << 10), 'A') + "\"}";
+  const auto response = client.roundtrip(line, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response_error_code(*response), errcode::kRequestTooLarge);
+
+  Server::request_shutdown();
+  server.wait();
+}
+
+TEST(Server, FourMegabyteRequestNeverWedgesTheServer) {
+  // Far over the cap the server answers once and hangs up mid-send; the
+  // client either reads the structured error or sees a clean transport
+  // failure (never a hang — deadlines bound both sides), and the server
+  // must keep serving new connections afterwards.
+  ServiceCore core({});
+  ServerConfig config;
+  Endpoint ep;
+  ep.host = "127.0.0.1";
+  ep.port = 0;
+  config.listen.push_back(ep);
+  config.max_line_bytes = 1 << 20;
+  config.metrics = false;
+  Server server(core, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ServiceClient big;
+  big.set_timeout_ms(10000);
+  ASSERT_TRUE(big.connect(server.bound_endpoints().front(), &error)) << error;
+  const std::string line =
+      R"({"kind":"run_guest","elf":")" + std::string(4 << 20, 'A') + "\"}";
+  const auto response = big.roundtrip(line, &error);
+  if (response.has_value()) {
+    EXPECT_EQ(response_error_code(*response), errcode::kRequestTooLarge);
+  }
+
+  ServiceClient after;
+  after.set_timeout_ms(10000);
+  ASSERT_TRUE(after.connect(server.bound_endpoints().front(), &error))
+      << error;
+  const auto pong =
+      after.roundtrip(R"({"v":"am-serve/1","kind":"ping"})", &error);
+  ASSERT_TRUE(pong.has_value()) << error;
+  EXPECT_NE(pong->find("\"pong\":true"), std::string::npos);
+
+  Server::request_shutdown();
+  server.wait();
+}
+
 TEST(Client, ConnectRetrySucceedsWhenServerAppearsLate) {
   // Reserve a port, close it, then start the real server there after a
   // delay; the client must survive the gap via backoff retries.

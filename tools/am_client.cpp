@@ -10,22 +10,36 @@
 //   am_client --kind=advise --target=lock --threads=32 --critical=200
 //   am_client --kind=simulate --prim=CAS --threads=8 --repeat=2
 //   am_client --raw='{"kind":"calibrate","machine":"xeon","samples":[...]}'
+//   am_client --file=request.json            # request line from disk
+//   am_client --kind=run_guest --elf=prog.elf --harts=8 --memory-model=tso
 
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
 
+#include "common/base64.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "service/client.hpp"
 
 namespace {
 
-std::string build_request(const am::CliParser& cli) {
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return static_cast<bool>(in);
+}
+
+std::optional<std::string> build_request(const am::CliParser& cli,
+                                         std::string* error) {
   const std::string kind = cli.get("kind");
   std::ostringstream os;
   am::JsonWriter w(os);
@@ -57,6 +71,21 @@ std::string build_request(const am::CliParser& cli) {
     } else {
       w.kv("work", cli.get_double("work"));
     }
+  } else if (kind == "run_guest") {
+    if (cli.get("elf").empty()) {
+      *error = "--kind=run_guest needs --elf=<path>";
+      return std::nullopt;
+    }
+    std::string elf;
+    if (!read_file(cli.get("elf"), &elf)) {
+      *error = "cannot read " + cli.get("elf");
+      return std::nullopt;
+    }
+    w.kv("machine", cli.get("machine"));
+    w.kv("memory_model", cli.get("memory-model"));
+    w.kv("harts", static_cast<std::uint64_t>(cli.get_int("harts")));
+    w.kv("seed", cli.get_uint64("seed"));
+    w.kv("elf", am::base64_encode(elf));
   }
   w.end_object();
   return os.str();
@@ -70,7 +99,8 @@ int main(int argc, char** argv) {
   cli.add_flag("connect", "daemon endpoint (host:port or unix:path)",
                "127.0.0.1:7787", CliParser::FlagKind::kEndpoint);
   cli.add_flag("kind",
-               "request kind: ping|stats|metrics|predict|advise|simulate",
+               "request kind: "
+               "ping|stats|metrics|predict|advise|simulate|run_guest",
                "ping");
   cli.add_flag("metrics",
                "shortcut for --kind=metrics; prints the decoded Prometheus "
@@ -98,6 +128,14 @@ int main(int argc, char** argv) {
                CliParser::FlagKind::kDouble);
   cli.add_flag("raw", "send this JSON line verbatim instead of building one",
                "");
+  cli.add_flag("file",
+               "send the request line read from this file verbatim "
+               "(first line; overrides --raw)",
+               "");
+  cli.add_flag("elf", "run_guest: path to a static rv32ima ELF binary", "");
+  cli.add_flag("memory-model", "run_guest: sc|tso", "sc");
+  cli.add_flag("harts", "run_guest: guest hart count", "4",
+               CliParser::FlagKind::kInt);
   cli.add_flag("repeat", "send the request this many times", "1",
                CliParser::FlagKind::kInt);
   cli.add_flag("timeout-ms",
@@ -123,8 +161,25 @@ int main(int argc, char** argv) {
   std::string line;
   if (metrics_mode) {
     line = "{\"v\":\"am-serve/1\",\"kind\":\"metrics\"}";
+  } else if (!cli.get("file").empty()) {
+    // Request body from disk: everything up to the first newline is the
+    // request line (the wire format is one line per request).
+    std::string raw;
+    if (!read_file(cli.get("file"), &raw)) {
+      std::cerr << "am_client: cannot read " << cli.get("file") << "\n";
+      return 2;
+    }
+    line = raw.substr(0, raw.find('\n'));
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  } else if (!cli.get("raw").empty()) {
+    line = cli.get("raw");
   } else {
-    line = cli.get("raw").empty() ? build_request(cli) : cli.get("raw");
+    const auto built = build_request(cli, &error);
+    if (!built.has_value()) {
+      std::cerr << "am_client: " << error << "\n";
+      return 2;
+    }
+    line = *built;
   }
   const std::int64_t repeat = std::max<std::int64_t>(1, cli.get_int("repeat"));
   const int retries =

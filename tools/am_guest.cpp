@@ -1,0 +1,186 @@
+// am_guest: run a compiled RV32IMA binary as a simulator workload.
+//
+// Loads a statically linked ELF (raw bytes or the corpus hex encoding,
+// auto-detected), runs it on the chosen machine preset with one sim core per
+// hart, and reports the modeled contention profile: completion cycles,
+// per-hart instruction/atomic counts, coherence traffic and energy. With
+// --json-out the run is written as an am-run-report/1 document.
+//
+//   am_guest --elf prog.elf --backend=sim:xeon:tso --harts=8
+//   am_guest --corpus spinlock --harts=4 --json-out run.json
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_core/report.hpp"
+#include "common/cli.hpp"
+#include "guest/corpus.hpp"
+#include "guest/runner.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return static_cast<bool>(in);
+}
+
+/// Raw ELF passes through; anything without the magic is tried as the
+/// corpus hex encoding.
+bool to_elf_bytes(const std::string& raw, std::vector<std::uint8_t>* out) {
+  if (raw.size() >= 4 && raw.compare(0, 4, "\x7f" "ELF") == 0) {
+    out->assign(raw.begin(), raw.end());
+    return true;
+  }
+  return am::guest::corpus::from_hex(raw, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace am;
+
+  CliParser cli(
+      "Run a compiled RV32IMA guest binary on the coherence simulator.");
+  cli.add_flag("elf", "path to a static rv32ima ELF (or corpus .hex file)");
+  cli.add_flag("corpus", "run a built-in corpus program by name instead");
+  cli.add_flag("list-corpus", "list built-in corpus programs and exit", "false",
+               CliParser::FlagKind::kBool);
+  cli.add_flag("backend", "sim:{xeon|knl|test}[:{sc|tso}]", "sim:xeon");
+  cli.add_flag("harts", "guest hart count (one sim core each)", "4",
+               CliParser::FlagKind::kInt);
+  cli.add_flag("seed", "machine + stack-fill seed", "1",
+               CliParser::FlagKind::kUint64);
+  cli.add_flag("max-cycles", "simulated-cycle budget", "200000000",
+               CliParser::FlagKind::kUint64);
+  cli.add_flag("max-instructions", "total guest instruction budget", "50000000",
+               CliParser::FlagKind::kUint64);
+  cli.add_flag("json-out", "write an am-run-report/1 document here");
+  cli.add_flag("dump-elf",
+               "write the loaded binary as a raw ELF here and exit without "
+               "running (corpus extraction for am_client --elf)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  if (cli.get_bool("list-corpus")) {
+    for (const std::string& name : guest::corpus::names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::uint8_t> elf;
+  std::string source;
+  if (!cli.get("corpus").empty()) {
+    source = "corpus:" + cli.get("corpus");
+    elf = guest::corpus::build(cli.get("corpus"));
+    if (elf.empty()) {
+      std::fprintf(stderr, "am_guest: unknown corpus program '%s'\n",
+                   cli.get("corpus").c_str());
+      return 2;
+    }
+  } else if (!cli.get("elf").empty()) {
+    source = cli.get("elf");
+    std::string raw;
+    if (!read_file(source, &raw)) {
+      std::fprintf(stderr, "am_guest: cannot read %s\n", source.c_str());
+      return 2;
+    }
+    if (!to_elf_bytes(raw, &elf)) {
+      std::fprintf(stderr, "am_guest: %s is neither an ELF nor corpus hex\n",
+                   source.c_str());
+      return 2;
+    }
+  } else {
+    std::fprintf(stderr, "am_guest: need --elf or --corpus\n%s",
+                 cli.usage().c_str());
+    return 2;
+  }
+
+  if (!cli.get("dump-elf").empty()) {
+    std::ofstream out(cli.get("dump-elf"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(elf.data()),
+              static_cast<std::streamsize>(elf.size()));
+    if (!out) {
+      std::fprintf(stderr, "am_guest: cannot write %s\n",
+                   cli.get("dump-elf").c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  guest::GuestRunConfig config;
+  config.backend = cli.get("backend");
+  config.harts = static_cast<std::uint32_t>(cli.get_int("harts"));
+  config.seed = cli.get_uint64("seed");
+  config.max_cycles = cli.get_uint64("max-cycles");
+  config.guest.max_instructions = cli.get_uint64("max-instructions");
+
+  guest::GuestRunResult result =
+      guest::run_guest(elf.data(), elf.size(), config);
+
+  if (!result.stdout_bytes.empty()) {
+    std::fwrite(result.stdout_bytes.data(), 1, result.stdout_bytes.size(),
+                stdout);
+    if (result.stdout_bytes.back() != '\n') std::printf("\n");
+  }
+
+  if (!result.error.ok()) {
+    std::fprintf(stderr, "am_guest: guest_error %s: %s\n",
+                 result.error.code.c_str(), result.error.message.c_str());
+    return 1;
+  }
+
+  std::printf("guest %s on %s (%s, %u harts, seed %llu)\n", source.c_str(),
+              result.machine.c_str(), sim::to_string(result.memory_model),
+              result.harts, static_cast<unsigned long long>(result.seed));
+  std::printf("  completion: %llu cycles  (%.3f guest IPC, %.2f atomics/kcycle)\n",
+              static_cast<unsigned long long>(result.completion_cycles),
+              result.instructions_per_cycle(), result.atomics_per_kcycle());
+  std::printf("  instructions: %llu  atomics: %llu  yields: %llu  sc-fail: %llu\n",
+              static_cast<unsigned long long>(result.total_instructions),
+              static_cast<unsigned long long>(result.total_atomics),
+              static_cast<unsigned long long>(result.total_yields),
+              static_cast<unsigned long long>(result.total_sc_failures));
+  for (std::size_t h = 0; h < result.hart_reports.size(); ++h) {
+    const guest::HartReport& r = result.hart_reports[h];
+    std::printf(
+        "  hart %-3zu exit=%u  instret=%-10llu atomics=%-8llu sc-fail=%llu\n",
+        h, r.exit_code, static_cast<unsigned long long>(r.instructions),
+        static_cast<unsigned long long>(r.atomics),
+        static_cast<unsigned long long>(r.sc_failures));
+  }
+  const sim::RunStats& stats = result.stats;
+  std::printf(
+      "  coherence: %llu transfers, %llu invalidations, %llu mem fetches\n",
+      static_cast<unsigned long long>(stats.transfers[0] + stats.transfers[1] +
+                                      stats.transfers[2] + stats.transfers[3]),
+      static_cast<unsigned long long>(stats.invalidations),
+      static_cast<unsigned long long>(stats.memory_fetches));
+
+  if (!cli.get("json-out").empty()) {
+    bench::ReportMeta meta;
+    meta.bench = cli.program_name();
+    meta.title = "guest run: " + source;
+    meta.backend = config.backend;
+    meta.machine = result.machine;
+    meta.command = cli.command_line();
+    bench::WorkloadConfig workload;
+    workload.threads = result.harts;
+    workload.seed = result.seed;
+    std::vector<bench::RecordedRun> runs;
+    runs.push_back({workload, guest::to_measured_run(result)});
+    if (!bench::write_run_report_file(cli.get("json-out"), meta, nullptr,
+                                      runs)) {
+      std::fprintf(stderr, "am_guest: cannot write %s\n",
+                   cli.get("json-out").c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

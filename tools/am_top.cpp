@@ -55,7 +55,7 @@ void render(const std::vector<PromSample>& s, const std::string& endpoint) {
   std::printf("\n  requests   ");
   for (const char* kind :
        {"predict", "advise", "calibrate", "simulate", "stats", "ping",
-        "metrics"}) {
+        "metrics", "run_guest"}) {
     const double n =
         value_or_zero(s, "am_server_requests_total", {{"kind", kind}});
     if (n > 0.0) std::printf("%s=%.0f  ", kind, n);
@@ -89,6 +89,19 @@ void render(const std::vector<PromSample>& s, const std::string& endpoint) {
               value_or_zero(s, "am_sweep_points_total",
                             {{"status", "timeout"}}));
 
+  // Guest panel: present once the daemon has executed a run_guest request
+  // (the counters register on first execution, not at startup).
+  if (find_sample(s, "am_guest_runs_total").has_value()) {
+    const double guest_runs = value_or_zero(s, "am_guest_runs_total");
+    const double guest_instret =
+        value_or_zero(s, "am_guest_instructions_total");
+    std::printf("  guest      runs=%.0f errors=%.0f instret=%.3g "
+                "cycles=%.3g   instret/run=%.3g\n",
+                guest_runs, value_or_zero(s, "am_guest_errors_total"),
+                guest_instret, value_or_zero(s, "am_guest_cycles_total"),
+                guest_runs > 0.0 ? guest_instret / guest_runs : 0.0);
+  }
+
   // Fleet panel: present only when scraping an am_fleet front (the
   // workers-up gauge is registered by the supervisor, not am_serve).
   if (find_sample(s, "am_fleet_workers_up").has_value()) {
@@ -100,11 +113,12 @@ void render(const std::vector<PromSample>& s, const std::string& endpoint) {
                 value_or_zero(s, "am_fleet_probe_failures_total"),
                 value_or_zero(s, "am_fleet_circuit_opens_total"));
     std::printf("  routing    forwarded=%.0f failover=%.0f shed=%.0f "
-                "stale=%.0f unavailable=%.0f\n",
+                "stale=%.0f promoted=%.0f unavailable=%.0f\n",
                 value_or_zero(s, "am_fleet_forwarded_total"),
                 value_or_zero(s, "am_fleet_failovers_total"),
                 value_or_zero(s, "am_fleet_shed_total"),
                 value_or_zero(s, "am_fleet_stale_serves_total"),
+                value_or_zero(s, "am_fleet_promoted_total"),
                 value_or_zero(s, "am_fleet_unavailable_total"));
     const double chaos = value_or_zero(s, "am_fleet_chaos_kills_total") +
                          value_or_zero(s, "am_fleet_chaos_hangs_total") +
