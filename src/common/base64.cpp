@@ -76,6 +76,11 @@ bool base64_decode(std::string_view text, std::string* out) {
       if (d < 0) return false;
       v = (v << 6) | static_cast<std::uint32_t>(d);
     }
+    // Canonical padding (RFC 4648 §3.5): the encoder leaves the unused low
+    // bits of the final symbol zero, so e.g. "QQ==" and "QR==" must not
+    // both decode to "A" — reject the non-canonical spellings.
+    if (pad == 1 && (v & 0xffu) != 0) return false;
+    if (pad == 2 && (v & 0xffffu) != 0) return false;
     out->push_back(static_cast<char>((v >> 16) & 0xff));
     if (pad < 2) out->push_back(static_cast<char>((v >> 8) & 0xff));
     if (pad < 1) out->push_back(static_cast<char>(v & 0xff));

@@ -1,10 +1,11 @@
 // Standard base64 (RFC 4648, with padding) for binary payloads carried
 // inside the JSON wire protocol — the run_guest request ships a whole ELF
 // image this way. Strict decoding: the alphabet is exact, padding is
-// mandatory and terminal, whitespace is rejected. A payload either decodes
-// to the bytes the client encoded or the request is refused; there is no
-// lenient path that could make two distinct wire forms canonicalize to the
-// same guest image.
+// mandatory and terminal, whitespace is rejected, and non-canonical
+// trailing bits in padded groups (RFC 4648 §3.5) are refused. A payload
+// either decodes to the bytes the client encoded or the request is
+// refused; there is no lenient path that could make two distinct wire
+// forms canonicalize to the same guest image.
 #pragma once
 
 #include <cstdint>

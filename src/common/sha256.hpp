@@ -1,0 +1,25 @@
+// SHA-256 (FIPS 180-4), self-contained. Exists for the one place the repo
+// needs a *cryptographic* digest: content-addressing attacker-supplied
+// bytes (run_guest ELF images) whose hash is the sole shared cache key —
+// an engineered collision there would serve one binary's cached response
+// for a different binary. Everything that only needs distribution (LRU
+// sharding, the fleet hash ring, per-point seeds) keeps the cheap
+// splitmix64 chain in service/protocol.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace am {
+
+/// Full 32-byte SHA-256 digest of @p bytes.
+std::array<std::uint8_t, 32> sha256(std::string_view bytes);
+
+/// Lowercase hex of the first @p bytes_out bytes of sha256(@p bytes).
+/// bytes_out is clamped to [1, 32]; 16 gives the 128-bit / 32-hex form the
+/// service uses for cache keys.
+std::string sha256_hex(std::string_view bytes, std::size_t bytes_out = 32);
+
+}  // namespace am

@@ -12,7 +12,7 @@ namespace {
 constexpr std::uint32_t kSysWrite = 64;
 constexpr std::uint32_t kSysExit = 93;
 constexpr std::uint32_t kSysExitGroup = 94;
-constexpr std::uint32_t kSysClockGettime = 113;
+constexpr std::uint32_t kSysClockGettime64 = 403;
 constexpr std::uint32_t kSysBrk = 214;
 
 constexpr std::uint32_t kEnosys = static_cast<std::uint32_t>(-38);
@@ -126,15 +126,20 @@ bool GuestProgram::do_syscall(sim::CoreId core, Hart& h) {
       h.x[10] = len;  // short writes never surface to the guest
       return true;
     }
-    case kSysClockGettime: {
+    case kSysClockGettime64: {
       // Deterministic virtual clock: 1 retired instruction == 1 ns. Wall
       // time would break byte-identical replay; the guest only needs a
-      // monotonic measure of its own progress.
+      // monotonic measure of its own progress. rv32 Linux is time64-only
+      // (no nr 113), so this is clock_gettime64 writing the 16-byte
+      // __kernel_timespec {i64 tv_sec; i64 tv_nsec} toolchain-built
+      // guests expect.
       const std::uint32_t ts = h.x[11];
-      image_.mem.store32(ts, static_cast<std::uint32_t>(
-                                 total_instret_ / 1'000'000'000ull));
-      image_.mem.store32(ts + 4, static_cast<std::uint32_t>(
-                                     total_instret_ % 1'000'000'000ull));
+      const std::uint64_t sec = total_instret_ / 1'000'000'000ull;
+      const std::uint64_t nsec = total_instret_ % 1'000'000'000ull;
+      image_.mem.store32(ts, static_cast<std::uint32_t>(sec));
+      image_.mem.store32(ts + 4, static_cast<std::uint32_t>(sec >> 32));
+      image_.mem.store32(ts + 8, static_cast<std::uint32_t>(nsec));
+      image_.mem.store32(ts + 12, 0);
       if (!image_.mem.ok()) {
         image_.mem.clear_fault();
         h.x[10] = kEfault;
@@ -183,7 +188,11 @@ std::optional<sim::IssueRequest> GuestProgram::next_op(sim::CoreId core,
                " instructions");
       return std::nullopt;
     }
-    if (h.pc < image_.text_base || h.pc + 4 > image_.text_end ||
+    // 64-bit sum: `h.pc + 4` in uint32 wraps to 0 for pc >= 0xfffffffc,
+    // which would pass the check and index text_ ~1G entries out of
+    // bounds — and a jalr target is fully guest-controlled.
+    if (h.pc < image_.text_base ||
+        static_cast<std::uint64_t>(h.pc) + 4 > image_.text_end ||
         h.pc % 4 != 0) {
       fail(errc::kMemFault, "pc outside executable text: " +
                                 std::to_string(h.pc));

@@ -9,6 +9,7 @@
 #include "bench_core/sweep.hpp"  // splitmix64
 #include "common/base64.hpp"
 #include "common/json.hpp"
+#include "common/sha256.hpp"
 
 namespace am::service {
 
@@ -383,13 +384,7 @@ std::string canonical_request(const Request& r) {
 }
 
 std::string guest_elf_sha(std::string_view elf_bytes) {
-  char buf[33];
-  std::snprintf(buf, sizeof buf, "%016llx%016llx",
-                static_cast<unsigned long long>(
-                    chain_hash(elf_bytes, 0x616d2d6775657374ull)),  // "am-guest"
-                static_cast<unsigned long long>(
-                    chain_hash(elf_bytes, 0x656c660000000000ull))); // "elf"
-  return buf;
+  return sha256_hex(elf_bytes, 16);
 }
 
 std::uint64_t chain_hash(std::string_view bytes,

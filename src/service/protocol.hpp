@@ -104,8 +104,12 @@ struct GuestQuery {
   std::string elf_sha;            ///< guest_elf_sha(elf)
 };
 
-/// Content hash of a guest binary: two independent chain_hash passes over
-/// the decoded bytes, rendered as 32 hex digits (the cache-key posture).
+/// Content hash of a guest binary: SHA-256 of the decoded bytes truncated
+/// to 128 bits, rendered as 32 hex digits. Must be cryptographic: the hash
+/// replaces the ELF bytes in the canonical form, so it is the sole cache
+/// key for attacker-supplied binaries shared across clients (sharded LRU,
+/// disk tier, fleet routing) — an engineered collision would serve one
+/// binary's cached response for a different binary.
 std::string guest_elf_sha(std::string_view elf_bytes);
 
 struct Request {

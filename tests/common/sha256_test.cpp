@@ -1,0 +1,52 @@
+// SHA-256 against the FIPS 180-4 / RFC 6234 known-answer vectors, plus the
+// padding edge cases (tail lengths that do and don't spill into a second
+// final block) a hand-rolled implementation most plausibly gets wrong.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/sha256.hpp"
+
+namespace am {
+namespace {
+
+TEST(Sha256, KnownAnswerVectors) {
+  EXPECT_EQ(
+      sha256_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(
+      sha256_hex(std::string(1'000'000, 'a')),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // 55 bytes fits length-in-block; 56..64 spill into a second block.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string a(n, 'x');
+    std::string b = a;
+    b.back() = 'y';
+    EXPECT_EQ(sha256_hex(a).size(), 64u) << n;
+    EXPECT_NE(sha256_hex(a), sha256_hex(b)) << n;
+  }
+  // Pinned against python hashlib: sha256(b'x' * 64).
+  EXPECT_EQ(
+      sha256_hex(std::string(64, 'x')),
+      "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c");
+}
+
+TEST(Sha256, TruncatedHexPrefix) {
+  const std::string full = sha256_hex("abc");
+  EXPECT_EQ(sha256_hex("abc", 16), full.substr(0, 32));
+  EXPECT_EQ(sha256_hex("abc", 1), full.substr(0, 2));
+  EXPECT_EQ(sha256_hex("abc", 99), full);  // clamped
+}
+
+}  // namespace
+}  // namespace am

@@ -158,6 +158,46 @@ TEST(GuestInterp, UnknownSyscallReturnsEnosys) {
   EXPECT_EQ(r.hart_reports[0].exit_code, 0u);
 }
 
+TEST(GuestInterp, ClockGettime64WritesKernelTimespec) {
+  // rv32 Linux is time64-only: nr 403 writes the 16-byte __kernel_timespec
+  // {i64 tv_sec; i64 tv_nsec}. The virtual clock runs at 1 retired
+  // instruction == 1 ns, so after the 5 instructions up to and including
+  // the ecall: sec == 0, nsec == 5.
+  std::vector<std::uint32_t> prog = {
+      lui(a1, 0x20000),          // ts pointer
+      addi(a0, x0, 1),           // clockid (CLOCK_MONOTONIC; ignored)
+      addi(a7, x0, 403),
+      addi(t6, x0, 0),           // filler so the instret count is explicit
+      ecall(),                   // a0 = 0
+      lw(t0, 0, a1),             // sec lo  = 0
+      lw(t1, 4, a1),             // sec hi  = 0
+      lw(t2, 8, a1),             // nsec lo = 5
+      lw(t3, 12, a1),            // nsec hi = 0
+      add(a0, a0, t0),
+      add(a0, a0, t1),
+      add(a0, a0, t2),
+      add(a0, a0, t3),           // exit code = 5
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 5u);
+}
+
+TEST(GuestInterp, ClockGettime32IsEnosysLikeRealRv32) {
+  // Old 32-bit clock_gettime (nr 113) does not exist on rv32 kernels.
+  std::vector<std::uint32_t> prog = {
+      addi(a7, x0, 113),
+      ecall(),
+      addi(t0, x0, -38),
+      sub(a0, a0, t0),           // 0 iff -ENOSYS
+  };
+  append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  ASSERT_TRUE(r.error.ok()) << r.error.code << ": " << r.error.message;
+  EXPECT_EQ(r.hart_reports[0].exit_code, 0u);
+}
+
 TEST(GuestInterp, IllegalInstructionIsStructured) {
   const GuestRunResult r = run_words({0xffffffffu});
   EXPECT_EQ(r.error.code, errc::kIllegalInstruction);
@@ -174,6 +214,18 @@ TEST(GuestInterp, WildLoadIsMemFault) {
       lw(a0, 0, t0),
   };
   append(&prog, exit_with_a0());
+  const GuestRunResult r = run_words(prog);
+  EXPECT_EQ(r.error.code, errc::kMemFault);
+}
+
+TEST(GuestInterp, JalrToTopOfAddressSpaceIsMemFault) {
+  // pc = 0xfffffffc makes the fetch bounds check's `pc + 4` wrap to 0 in
+  // uint32 arithmetic; done naively that passes and indexes the decoded
+  // stream ~1G entries out of bounds. The jalr target is entirely
+  // guest-controlled, so this must be a structured fault, never host UB.
+  std::vector<std::uint32_t> prog = {
+      jalr(x0, x0, -4),          // target (0 - 4) & ~1 = 0xfffffffc
+  };
   const GuestRunResult r = run_words(prog);
   EXPECT_EQ(r.error.code, errc::kMemFault);
 }
